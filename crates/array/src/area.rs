@@ -1,0 +1,191 @@
+//! Array floorplan and area model.
+//!
+//! Section 5's aspect-ratio argument: "since width of 6T SRAM cell is
+//! 2.5× larger than its height, smaller number of columns is usually
+//! preferred". This module quantifies that: cell dimensions follow the
+//! Fig. 1(b) layout (width = 5 metal pitches, height = 0.4 × width), and
+//! the periphery adds a decoder strip along the rows plus a column strip
+//! (prechargers, write buffers, sense amplifiers) along the columns.
+
+use crate::{ArrayOrganization, TechnologyParams};
+
+/// Physical footprint of an array organization.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::{ArrayFloorplan, ArrayOrganization, TechnologyParams};
+///
+/// # fn main() -> Result<(), sram_array::ArrayError> {
+/// let tall = ArrayFloorplan::new(
+///     &ArrayOrganization::new(512, 64, 64)?,
+///     &TechnologyParams::sevennm(),
+///     25,
+///     3,
+/// );
+/// let wide = ArrayFloorplan::new(
+///     &ArrayOrganization::new(64, 512, 64)?,
+///     &TechnologyParams::sevennm(),
+///     25,
+///     3,
+/// );
+/// // Same bit count, but the tall-narrow array is closer to square
+/// // because cells are 2.5x wider than they are high.
+/// assert!(tall.aspect_ratio() < wide.aspect_ratio());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayFloorplan {
+    width: f64,
+    height: f64,
+    cell_area: f64,
+    periphery_area: f64,
+}
+
+impl ArrayFloorplan {
+    /// Height of the column-circuit strip, in cell heights per fin of
+    /// precharger + write-buffer devices (layout estimate).
+    const COLUMN_STRIP_CELL_HEIGHTS_PER_FIN: f64 = 0.25;
+    /// Width of the row-decoder/driver strip, in cell widths.
+    const ROW_STRIP_CELL_WIDTHS: f64 = 4.0;
+
+    /// Computes the floorplan of `org` with `n_pre`/`n_wr` column-circuit
+    /// fins.
+    #[must_use]
+    pub fn new(
+        org: &ArrayOrganization,
+        tech: &TechnologyParams,
+        n_pre: u32,
+        n_wr: u32,
+    ) -> Self {
+        let cell_w = tech.cell_width_pitches * tech.metal_pitch;
+        let cell_h = cell_w * tech.cell_height_ratio;
+        let core_w = cell_w * f64::from(org.cols());
+        let core_h = cell_h * f64::from(org.rows());
+
+        // Row strip: decoder + drivers along the left edge.
+        let row_strip_w = Self::ROW_STRIP_CELL_WIDTHS * cell_w;
+        // Column strip: precharge + write buffer + sense amps along the
+        // bottom edge; height grows with the fin budget.
+        let col_strip_h =
+            Self::COLUMN_STRIP_CELL_HEIGHTS_PER_FIN * cell_h * f64::from(n_pre + 2 * n_wr + 4);
+
+        let width = core_w + row_strip_w;
+        let height = core_h + col_strip_h;
+        Self {
+            width,
+            height,
+            cell_area: core_w * core_h,
+            periphery_area: width * height - core_w * core_h,
+        }
+    }
+
+    /// Total width in meters.
+    #[must_use]
+    pub fn width_meters(&self) -> f64 {
+        self.width
+    }
+
+    /// Total height in meters.
+    #[must_use]
+    pub fn height_meters(&self) -> f64 {
+        self.height
+    }
+
+    /// Total macro area in square microns.
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.width * self.height * 1e12
+    }
+
+    /// Cell-array core area in square microns.
+    #[must_use]
+    pub fn core_area_um2(&self) -> f64 {
+        self.cell_area * 1e12
+    }
+
+    /// Periphery overhead as a fraction of the total area.
+    #[must_use]
+    pub fn periphery_fraction(&self) -> f64 {
+        self.periphery_area / (self.cell_area + self.periphery_area)
+    }
+
+    /// Macro aspect ratio `max(w, h) / min(w, h)` (1.0 = square).
+    #[must_use]
+    pub fn aspect_ratio(&self) -> f64 {
+        self.width.max(self.height) / self.width.min(self.height)
+    }
+
+    /// Array efficiency: cell area over total area (the standard macro
+    /// figure of merit).
+    #[must_use]
+    pub fn array_efficiency(&self) -> f64 {
+        1.0 - self.periphery_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rows: u32, cols: u32, n_pre: u32, n_wr: u32) -> ArrayFloorplan {
+        ArrayFloorplan::new(
+            &ArrayOrganization::new(rows, cols, 64).unwrap(),
+            &TechnologyParams::sevennm(),
+            n_pre,
+            n_wr,
+        )
+    }
+
+    #[test]
+    fn square_count_array_is_wide() {
+        // Equal rows and cols: since cells are 2.5x wider than high, the
+        // macro is ~2.5x wider than high.
+        let p = plan(128, 128, 10, 2);
+        let ratio = p.width_meters() / p.height_meters();
+        assert!(ratio > 2.0 && ratio < 3.0, "w/h = {ratio:.2}");
+    }
+
+    #[test]
+    fn tall_narrow_balances_aspect() {
+        // rows/cols = 2.5 would be square; 512x256 with ratio 2 gets
+        // close.
+        let tall = plan(512, 256, 20, 3);
+        let wide = plan(256, 512, 20, 3);
+        assert!(tall.aspect_ratio() < wide.aspect_ratio());
+    }
+
+    #[test]
+    fn core_area_scales_with_bits() {
+        let small = plan(128, 64, 10, 2);
+        let large = plan(256, 128, 10, 2);
+        let ratio = large.core_area_um2() / small.core_area_um2();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_fins_cost_area() {
+        let lean = plan(128, 64, 1, 1);
+        let beefy = plan(128, 64, 50, 20);
+        assert!(beefy.area_um2() > lean.area_um2());
+        assert!(beefy.periphery_fraction() > lean.periphery_fraction());
+    }
+
+    #[test]
+    fn efficiency_improves_with_array_size() {
+        let small = plan(16, 64, 10, 2);
+        let large = plan(512, 256, 10, 2);
+        assert!(large.array_efficiency() > small.array_efficiency());
+        assert!(large.array_efficiency() > 0.8, "large macros should be cell-dominated");
+    }
+
+    #[test]
+    fn paper_cell_area_magnitude() {
+        // 7 nm cell: 215 nm x 86 nm = 0.0185 um^2; compare with Intel's
+        // published 14 nm cell (0.0588 um^2) — ours must be smaller.
+        let p = plan(1, 64, 1, 1);
+        let per_cell = p.core_area_um2() / 64.0;
+        assert!(per_cell < 0.0588 && per_cell > 0.005, "cell = {per_cell} um2");
+    }
+}

@@ -1,0 +1,112 @@
+//! Row/column decoder delay and energy model.
+//!
+//! Table 3 uses `D_row_dec(log n_r)` and `D_col_dec(log(n_c/W))`: the
+//! decoder cost is a function of its address width. We model an
+//! AND-tree decoder in logical-effort terms:
+//!
+//! * **delay** — a 2-input NAND/NOR tree of depth `ceil(log2(bits))`
+//!   plus an input buffer: `D(bits) = τ · (1 + 1.4 · depth)` (the 1.4
+//!   factor is the effort+parasitic delay of a fanout-2 NAND stage);
+//! * **energy** — the address buffers and one active decode path switch:
+//!   `E(bits) = (2·bits + 2·depth) · C_inv · Vdd²` plus a small
+//!   contribution from the `2^bits` first-level gates' shared predecode
+//!   lines.
+//!
+//! A zero-bit decoder (single row, or no column mux) costs nothing.
+
+use crate::Periphery;
+use sram_units::{Energy, Time};
+
+/// Decoder delay/energy as a function of address width.
+#[derive(Debug, Clone)]
+pub struct DecoderModel {
+    periphery_tau: Time,
+    c_inv: sram_units::Capacitance,
+    vdd: sram_units::Voltage,
+}
+
+impl DecoderModel {
+    /// Builds the decoder model from peripheral figures.
+    #[must_use]
+    pub fn new(periphery: &Periphery) -> Self {
+        Self {
+            periphery_tau: periphery.tau(),
+            c_inv: periphery.c_inverter_input(),
+            vdd: periphery.vdd(),
+        }
+    }
+
+    fn depth(bits: u32) -> f64 {
+        if bits <= 1 {
+            f64::from(bits)
+        } else {
+            f64::from(32 - (bits - 1).leading_zeros()) // ceil(log2(bits))
+        }
+    }
+
+    /// Propagation delay of a `bits`-wide decoder.
+    #[must_use]
+    pub fn delay(&self, bits: u32) -> Time {
+        if bits == 0 {
+            return Time::ZERO;
+        }
+        self.periphery_tau * (1.0 + 1.4 * Self::depth(bits))
+    }
+
+    /// Switching energy of one decode operation.
+    #[must_use]
+    pub fn energy(&self, bits: u32) -> Energy {
+        if bits == 0 {
+            return Energy::ZERO;
+        }
+        let gates = 2.0 * f64::from(bits) + 2.0 * Self::depth(bits)
+            + 0.25 * 2f64.powi(bits as i32).min(1024.0);
+        self.c_inv * gates * self.vdd * self.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::DeviceLibrary;
+
+    fn model() -> DecoderModel {
+        DecoderModel::new(&Periphery::new(&DeviceLibrary::sevennm()))
+    }
+
+    #[test]
+    fn zero_bits_cost_nothing() {
+        let m = model();
+        assert_eq!(m.delay(0), Time::ZERO);
+        assert_eq!(m.energy(0), Energy::ZERO);
+    }
+
+    #[test]
+    fn delay_grows_logarithmically() {
+        let m = model();
+        let d2 = m.delay(2);
+        let d8 = m.delay(8);
+        let d10 = m.delay(10);
+        assert!(d8 > d2);
+        // log2(8) = 3, log2(10) -> ceil = 4: one extra stage only.
+        assert!(d10 > d8);
+        assert!((d10 - d8) < (d8 - d2));
+    }
+
+    #[test]
+    fn energy_grows_with_width() {
+        let m = model();
+        assert!(m.energy(9) > m.energy(4));
+        assert!(m.energy(4) > m.energy(1));
+    }
+
+    #[test]
+    fn depth_computation() {
+        assert_eq!(DecoderModel::depth(0), 0.0);
+        assert_eq!(DecoderModel::depth(1), 1.0);
+        assert_eq!(DecoderModel::depth(2), 1.0);
+        assert_eq!(DecoderModel::depth(5), 3.0);
+        assert_eq!(DecoderModel::depth(8), 3.0);
+        assert_eq!(DecoderModel::depth(9), 4.0);
+    }
+}

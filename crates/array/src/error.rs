@@ -1,0 +1,66 @@
+//! Array-model error type.
+
+use core::fmt;
+use sram_cell::CellError;
+
+/// Errors produced by array-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// The array organization is structurally invalid.
+    InvalidOrganization(String),
+    /// A model parameter is outside its valid range.
+    InvalidParameter {
+        /// Offending parameter.
+        name: &'static str,
+        /// Violated constraint.
+        constraint: String,
+    },
+    /// An underlying cell characterization failed.
+    Cell(CellError),
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::InvalidOrganization(msg) => write!(f, "invalid array organization: {msg}"),
+            ArrayError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid array parameter `{name}`: {constraint}")
+            }
+            ArrayError::Cell(e) => write!(f, "cell characterization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArrayError::Cell(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CellError> for ArrayError {
+    fn from(e: CellError) -> Self {
+        ArrayError::Cell(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = ArrayError::InvalidOrganization("rows must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn wraps_cell_errors() {
+        use std::error::Error as _;
+        let e = ArrayError::from(CellError::BracketingFailed { what: "wm" });
+        assert!(e.source().is_some());
+    }
+}

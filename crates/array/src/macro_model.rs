@@ -1,0 +1,277 @@
+//! A behavioral SRAM macro: functional storage plus an energy/time
+//! ledger driven by the evaluated array metrics.
+//!
+//! This is the integration surface a system simulator would use: it
+//! stores actual bits, decodes word addresses against the organization,
+//! and charges every operation with the delay/energy the analytical
+//! model assigned — turning the paper's static design point into a
+//! runnable component.
+
+use crate::{ArrayError, ArrayMetrics, ArrayOrganization};
+use sram_units::{Energy, Time};
+
+/// A functional, energy-accounted SRAM macro.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::{ArrayModel, ArrayOrganization, ArrayParams, Periphery, SramMacro};
+/// use sram_cell::CellCharacterization;
+/// use sram_device::DeviceLibrary;
+///
+/// # fn main() -> Result<(), sram_array::ArrayError> {
+/// let lib = DeviceLibrary::sevennm();
+/// let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+/// let periphery = Periphery::new(&lib);
+/// let params = ArrayParams::paper_defaults();
+/// let org = ArrayOrganization::new(128, 64, 64)?;
+/// let metrics = ArrayModel::new(org, &cell, &periphery, &params).evaluate()?;
+///
+/// let mut mem = SramMacro::new(org, metrics);
+/// mem.write(3, 0xdead_beef_cafe_f00d)?;
+/// assert_eq!(mem.read(3)?, 0xdead_beef_cafe_f00d);
+/// assert!(mem.ledger().energy.joules() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramMacro {
+    organization: ArrayOrganization,
+    metrics: ArrayMetrics,
+    words: Vec<u64>,
+    ledger: OperationLedger,
+}
+
+/// Accumulated cost of the operations performed on a macro.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperationLedger {
+    /// Completed read operations.
+    pub reads: usize,
+    /// Completed write operations.
+    pub writes: usize,
+    /// Explicit idle cycles.
+    pub idle_cycles: usize,
+    /// Total busy + idle time at the design's cycle time.
+    pub elapsed: Time,
+    /// Total switching + leakage energy.
+    pub energy: Energy,
+}
+
+impl SramMacro {
+    /// Creates a zero-initialized macro for an organization whose word
+    /// width is at most 64 bits (one `u64` per word).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the organization's word width exceeds 64 bits.
+    #[must_use]
+    pub fn new(organization: ArrayOrganization, metrics: ArrayMetrics) -> Self {
+        assert!(
+            organization.word_bits() <= 64,
+            "behavioral model stores one u64 per word"
+        );
+        let words = organization.capacity().bits() / organization.word_bits() as usize;
+        Self {
+            organization,
+            metrics,
+            words: vec![0; words],
+            ledger: OperationLedger::default(),
+        }
+    }
+
+    /// Number of addressable words.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The organization backing this macro.
+    #[must_use]
+    pub fn organization(&self) -> ArrayOrganization {
+        self.organization
+    }
+
+    /// The accumulated operation ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &OperationLedger {
+        &self.ledger
+    }
+
+    fn word_mask(&self) -> u64 {
+        let w = self.organization.word_bits();
+        if w == 64 {
+            u64::MAX
+        } else {
+            (1u64 << w) - 1
+        }
+    }
+
+    fn check_address(&self, address: usize) -> Result<(), ArrayError> {
+        if address >= self.words.len() {
+            return Err(ArrayError::InvalidParameter {
+                name: "address",
+                constraint: format!(
+                    "address {address} out of range (word count {})",
+                    self.words.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads the word at `address`, charging one read cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::InvalidParameter`] for an out-of-range address
+    /// (no cost is charged).
+    pub fn read(&mut self, address: usize) -> Result<u64, ArrayError> {
+        self.check_address(address)?;
+        self.ledger.reads += 1;
+        self.ledger.elapsed += self.metrics.delay;
+        self.ledger.energy +=
+            self.metrics.read_energy_breakdown.total() + self.metrics.leakage_energy;
+        Ok(self.words[address])
+    }
+
+    /// Writes `value` (masked to the word width) at `address`, charging
+    /// one write cycle. Returns the previous word.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::InvalidParameter`] for an out-of-range address
+    /// (no cost is charged).
+    pub fn write(&mut self, address: usize, value: u64) -> Result<u64, ArrayError> {
+        self.check_address(address)?;
+        self.ledger.writes += 1;
+        self.ledger.elapsed += self.metrics.delay;
+        self.ledger.energy +=
+            self.metrics.write_energy_breakdown.total() + self.metrics.leakage_energy;
+        let old = self.words[address];
+        self.words[address] = value & self.word_mask();
+        Ok(old)
+    }
+
+    /// Advances `cycles` idle cycles: only leakage is charged.
+    pub fn idle(&mut self, cycles: usize) {
+        self.ledger.idle_cycles += cycles;
+        self.ledger.elapsed += self.metrics.delay * cycles as f64;
+        self.ledger.energy += self.metrics.leakage_energy * cycles as f64;
+    }
+
+    /// Average power over everything done so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics before any operation (no elapsed time).
+    #[must_use]
+    pub fn average_power(&self) -> sram_units::Power {
+        assert!(
+            self.ledger.elapsed.seconds() > 0.0,
+            "no operations performed yet"
+        );
+        self.ledger.energy / self.ledger.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayModel, ArrayParams, Periphery};
+    use sram_cell::CellCharacterization;
+    use sram_device::DeviceLibrary;
+
+    fn make(rows: u32, cols: u32, word: u32) -> SramMacro {
+        let lib = DeviceLibrary::sevennm();
+        let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+        let periphery = Periphery::new(&lib);
+        let params = ArrayParams::paper_defaults();
+        let org = ArrayOrganization::new(rows, cols, word).unwrap();
+        let metrics = ArrayModel::new(org, &cell, &periphery, &params)
+            .with_precharge_fins(10)
+            .evaluate()
+            .unwrap();
+        SramMacro::new(org, metrics)
+    }
+
+    #[test]
+    fn stores_and_recalls_every_word() {
+        let mut mem = make(128, 64, 64);
+        assert_eq!(mem.word_count(), 128);
+        for a in 0..mem.word_count() {
+            mem.write(a, (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).unwrap();
+        }
+        for a in 0..mem.word_count() {
+            assert_eq!(mem.read(a).unwrap(), (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        assert_eq!(mem.ledger().reads, 128);
+        assert_eq!(mem.ledger().writes, 128);
+    }
+
+    #[test]
+    fn narrow_words_are_masked() {
+        // 128x64 with W=16: 512 words of 16 bits.
+        let mut mem = make(128, 64, 16);
+        assert_eq!(mem.word_count(), 512);
+        mem.write(7, 0xffff_ffff).unwrap();
+        assert_eq!(mem.read(7).unwrap(), 0xffff);
+    }
+
+    #[test]
+    fn out_of_range_addresses_cost_nothing() {
+        let mut mem = make(64, 64, 64);
+        let before = *mem.ledger();
+        assert!(mem.read(64).is_err());
+        assert!(mem.write(9999, 1).is_err());
+        assert_eq!(*mem.ledger(), before);
+    }
+
+    #[test]
+    fn ledger_matches_trace_accounting() {
+        // The macro's ledger must agree with AccessTrace::energy for the
+        // same operation mix.
+        use crate::AccessTrace;
+        let mut mem = make(128, 64, 64);
+        for a in 0..10 {
+            mem.write(a, 1).unwrap();
+        }
+        for a in 0..30 {
+            mem.read(a % 10).unwrap();
+        }
+        mem.idle(60);
+        let trace = AccessTrace::from_counts(30, 10, 60);
+        let lib = DeviceLibrary::sevennm();
+        let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+        let periphery = Periphery::new(&lib);
+        let params = ArrayParams::paper_defaults();
+        let metrics = ArrayModel::new(mem.organization(), &cell, &periphery, &params)
+            .with_precharge_fins(10)
+            .evaluate()
+            .unwrap();
+        let expected = trace.energy(&metrics);
+        assert!(
+            (mem.ledger().energy.joules() - expected.joules()).abs()
+                < 1e-9 * expected.joules(),
+            "ledger {} vs trace {}",
+            mem.ledger().energy,
+            expected
+        );
+        assert_eq!(mem.ledger().idle_cycles, 60);
+    }
+
+    #[test]
+    fn average_power_is_sane() {
+        let mut mem = make(128, 64, 64);
+        for a in 0..50 {
+            mem.write(a, a as u64).unwrap();
+        }
+        let p = mem.average_power();
+        assert!(p.microwatts() > 1.0 && p.milliwatts() < 10.0, "P = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "u64")]
+    fn wide_words_are_rejected() {
+        let _ = make(128, 128, 128);
+    }
+}

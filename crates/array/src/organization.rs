@@ -1,0 +1,250 @@
+//! Array organization: rows, columns, word width.
+
+use crate::ArrayError;
+
+/// Memory capacity, counted in bits.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::Capacity;
+///
+/// let c = Capacity::from_bytes(4096);
+/// assert_eq!(c.bits(), 32_768);
+/// assert_eq!(c.to_string(), "4 KB");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Capacity(usize);
+
+impl Capacity {
+    /// Capacity of `bits` bits.
+    #[must_use]
+    pub const fn from_bits(bits: usize) -> Self {
+        Self(bits)
+    }
+
+    /// Capacity of `bytes` bytes.
+    #[must_use]
+    pub const fn from_bytes(bytes: usize) -> Self {
+        Self(bytes * 8)
+    }
+
+    /// Total bit count `M`.
+    #[must_use]
+    pub const fn bits(self) -> usize {
+        self.0
+    }
+
+    /// Total byte count (rounded down).
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        self.0 / 8
+    }
+}
+
+impl core::fmt::Display for Capacity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let bytes = self.bytes();
+        if bytes >= 1024 && bytes.is_multiple_of(1024) {
+            write!(f, "{} KB", bytes / 1024)
+        } else {
+            write!(f, "{bytes} B")
+        }
+    }
+}
+
+/// An SRAM array organized as `n_r × n_c` bits accessing `W` bits per
+/// cycle.
+///
+/// Invariants (paper Section 4): `n_r` and `n_c` are powers of two; a
+/// column multiplexer exists exactly when `n_c > W`.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::ArrayOrganization;
+///
+/// # fn main() -> Result<(), sram_array::ArrayError> {
+/// let org = ArrayOrganization::new(256, 128, 64)?;
+/// assert_eq!(org.capacity().bits(), 32_768);
+/// assert!(org.has_column_mux());
+/// assert_eq!(org.row_address_bits(), 8);
+/// assert_eq!(org.column_address_bits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ArrayOrganization {
+    rows: u32,
+    cols: u32,
+    word_bits: u32,
+}
+
+impl ArrayOrganization {
+    /// Creates an organization with `rows × cols` cells and `W = word_bits`
+    /// bits per access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidOrganization`] unless all three values
+    /// are powers of two, non-zero, and `word_bits ≤ cols` is *not*
+    /// required (an array narrower than the word is invalid though:
+    /// `cols ≥ word_bits` must hold, since `W` bits are accessed per
+    /// cycle).
+    pub fn new(rows: u32, cols: u32, word_bits: u32) -> Result<Self, ArrayError> {
+        for (name, v) in [("rows", rows), ("cols", cols), ("word_bits", word_bits)] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ArrayError::InvalidOrganization(format!(
+                    "{name} must be a non-zero power of two, got {v}"
+                )));
+            }
+        }
+        if cols < word_bits {
+            return Err(ArrayError::InvalidOrganization(format!(
+                "cols ({cols}) must be at least the word width ({word_bits})"
+            )));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            word_bits,
+        })
+    }
+
+    /// Enumerates every valid organization of `capacity` with row counts
+    /// in `rows_range` (inclusive of powers of two within the range) —
+    /// the paper's `n_r ∈ {2^1 … 2^10}` sweep.
+    #[must_use]
+    pub fn enumerate(
+        capacity: Capacity,
+        word_bits: u32,
+        rows_range: (u32, u32),
+    ) -> Vec<ArrayOrganization> {
+        let mut out = Vec::new();
+        let mut rows = rows_range.0.next_power_of_two().max(1);
+        while rows <= rows_range.1 {
+            let bits = capacity.bits();
+            if bits.is_multiple_of(rows as usize) {
+                let cols = bits / rows as usize;
+                if cols <= u32::MAX as usize {
+                    if let Ok(org) = ArrayOrganization::new(rows, cols as u32, word_bits) {
+                        out.push(org);
+                    }
+                }
+            }
+            rows *= 2;
+        }
+        out
+    }
+
+    /// Number of rows `n_r`.
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns `n_c`.
+    #[must_use]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Word width `W` in bits.
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Total capacity `M = n_r · n_c`.
+    #[must_use]
+    pub fn capacity(&self) -> Capacity {
+        Capacity::from_bits(self.rows as usize * self.cols as usize)
+    }
+
+    /// `true` when `n_c > W`: a column decoder/multiplexer is required and
+    /// data passes through two series transmission gates (Section 4).
+    #[must_use]
+    pub fn has_column_mux(&self) -> bool {
+        self.cols > self.word_bits
+    }
+
+    /// Row-decoder address width, `log2(n_r)`.
+    #[must_use]
+    pub fn row_address_bits(&self) -> u32 {
+        self.rows.trailing_zeros()
+    }
+
+    /// Column-decoder address width, `log2(n_c / W)` (0 without a mux).
+    #[must_use]
+    pub fn column_address_bits(&self) -> u32 {
+        if self.has_column_mux() {
+            (self.cols / self.word_bits).trailing_zeros()
+        } else {
+            0
+        }
+    }
+}
+
+impl core::fmt::Display for ArrayOrganization {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{} (W={})", self.rows, self.cols, self.word_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_powers_of_two() {
+        assert!(ArrayOrganization::new(100, 64, 64).is_err());
+        assert!(ArrayOrganization::new(128, 0, 64).is_err());
+        assert!(ArrayOrganization::new(128, 48, 16).is_err());
+    }
+
+    #[test]
+    fn rejects_cols_narrower_than_word() {
+        assert!(ArrayOrganization::new(128, 32, 64).is_err());
+    }
+
+    #[test]
+    fn address_bits() {
+        let org = ArrayOrganization::new(512, 256, 64).unwrap();
+        assert_eq!(org.row_address_bits(), 9);
+        assert_eq!(org.column_address_bits(), 2);
+        assert!(org.has_column_mux());
+
+        let flat = ArrayOrganization::new(64, 64, 64).unwrap();
+        assert_eq!(flat.column_address_bits(), 0);
+        assert!(!flat.has_column_mux());
+    }
+
+    #[test]
+    fn capacity_arithmetic_and_display() {
+        assert_eq!(Capacity::from_bytes(128).bits(), 1024);
+        assert_eq!(Capacity::from_bytes(128).to_string(), "128 B");
+        assert_eq!(Capacity::from_bytes(16 * 1024).to_string(), "16 KB");
+        let org = ArrayOrganization::new(512, 256, 64).unwrap();
+        assert_eq!(org.capacity(), Capacity::from_bytes(16 * 1024));
+    }
+
+    #[test]
+    fn enumerate_covers_the_paper_sweep() {
+        // 1 KB = 8192 bits; n_r in 2..1024.
+        let orgs = ArrayOrganization::enumerate(Capacity::from_bytes(1024), 64, (2, 1024));
+        // Valid: rows in {2..1024}, cols = 8192/rows >= 64 -> rows <= 128.
+        let rows: Vec<u32> = orgs.iter().map(|o| o.rows()).collect();
+        assert_eq!(rows, vec![2, 4, 8, 16, 32, 64, 128]);
+        for org in &orgs {
+            assert_eq!(org.capacity().bits(), 8192);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let org = ArrayOrganization::new(128, 64, 64).unwrap();
+        assert_eq!(org.to_string(), "128x64 (W=64)");
+    }
+}

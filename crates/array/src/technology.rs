@@ -1,0 +1,90 @@
+//! Technology-level constants: wire geometry and converter efficiency.
+
+use sram_units::Capacitance;
+
+/// Layout and interconnect constants of the 7 nm node, as the paper uses
+/// them in Section 5.
+///
+/// * `P_Metal = 43 nm` — metal pitch, scaled from Intel's 14 nm node;
+/// * `C_w = 0.17 fF/µm` — wire capacitance per micron (ITRS 2012, 7 nm);
+/// * cell width spans 5 metal pitches (`C_width = 5·P_Metal·C_w`), cell
+///   height is 0.4× the width (Fig. 1(b) layout) — the 2.5:1 aspect ratio
+///   that biases optimal arrays toward fewer columns;
+/// * a DC-DC inefficiency factor multiplying assist-rail energies.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::TechnologyParams;
+///
+/// let tech = TechnologyParams::sevennm();
+/// assert!((tech.cell_width_cap().attofarads() - 36.55).abs() < 0.01);
+/// assert!((tech.cell_height_cap().attofarads() - 14.62).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TechnologyParams {
+    /// Metal pitch in meters.
+    pub metal_pitch: f64,
+    /// Wire capacitance per meter (F/m).
+    pub wire_cap_per_meter: f64,
+    /// Cell width in metal pitches (5 for the 6T layout of Fig. 1(b)).
+    pub cell_width_pitches: f64,
+    /// Cell height as a fraction of the width (0.4).
+    pub cell_height_ratio: f64,
+    /// Multiplier on assist-rail energies accounting for DC-DC converter
+    /// inefficiency (Section 5; 1.25 ≙ 80 % efficiency).
+    pub dcdc_overhead: f64,
+}
+
+impl TechnologyParams {
+    /// The paper's 7 nm constants.
+    #[must_use]
+    pub fn sevennm() -> Self {
+        Self {
+            metal_pitch: 43e-9,
+            wire_cap_per_meter: 0.17e-15 / 1e-6,
+            cell_width_pitches: 5.0,
+            cell_height_ratio: 0.4,
+            dcdc_overhead: 1.25,
+        }
+    }
+
+    /// Wire capacitance across one cell width,
+    /// `C_width = 5 · P_Metal · C_w`.
+    #[must_use]
+    pub fn cell_width_cap(&self) -> Capacitance {
+        Capacitance::from_farads(self.cell_width_pitches * self.metal_pitch * self.wire_cap_per_meter)
+    }
+
+    /// Wire capacitance across one cell height,
+    /// `C_height = 0.4 · C_width`.
+    #[must_use]
+    pub fn cell_height_cap(&self) -> Capacitance {
+        self.cell_width_cap() * self.cell_height_ratio
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self::sevennm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let t = TechnologyParams::sevennm();
+        // C_width = 5 * 43 nm * 0.17 fF/um = 36.55 aF.
+        assert!((t.cell_width_cap().attofarads() - 36.55).abs() < 0.01);
+        assert!((t.cell_height_cap().attofarads() - 0.4 * 36.55).abs() < 0.01);
+        assert!(t.dcdc_overhead > 1.0);
+    }
+
+    #[test]
+    fn default_is_sevennm() {
+        assert_eq!(TechnologyParams::default(), TechnologyParams::sevennm());
+    }
+}

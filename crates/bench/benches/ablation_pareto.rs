@@ -1,0 +1,25 @@
+//! Benchmark A2: full-space evaluation with Pareto-front maintenance —
+//! the cost basis for a dominance-pruned search variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sram_array::Capacity;
+
+fn pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("pareto_front_4kb", |b| {
+        b.iter(|| sram_bench::ablation::pareto_ablation(Capacity::from_bytes(4096)).expect("ok"));
+    });
+
+    group.bench_function("rail_pinning_sweep_1kb", |b| {
+        b.iter(|| {
+            sram_bench::ablation::rail_pinning_sweep(Capacity::from_bytes(1024)).expect("ok")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pareto);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks of the extension experiments: banking search, coordinate
+//! descent, Monte Carlo yield.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sram_array::{ArrayParams, Capacity, Periphery};
+use sram_cell::{AssistVoltages, CellCharacterization, CellCharacterizer, MonteCarloConfig, YieldAnalyzer};
+use sram_coopt::{optimize_banked, CoordinateDescent, DesignSpace, EnergyDelayProduct, YieldConstraint};
+use sram_device::{DeviceLibrary, VtFlavor};
+use sram_units::Voltage;
+
+fn extensions(c: &mut Criterion) {
+    let lib = DeviceLibrary::sevennm();
+    let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+    let periphery = Periphery::new(&lib);
+    let params = ArrayParams::paper_defaults();
+    let space = DesignSpace::coarse();
+    let constraint = YieldConstraint::paper_delta(lib.nominal_vdd());
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    group.bench_function("banked_search_16kb", |b| {
+        b.iter(|| {
+            optimize_banked(
+                Capacity::from_bytes(16 * 1024),
+                &cell,
+                &periphery,
+                &params,
+                &space,
+                constraint,
+                64,
+                3,
+            )
+            .expect("banked search")
+        });
+    });
+
+    let full_space = DesignSpace::paper_default();
+    group.bench_function("coordinate_descent_4kb_full_space", |b| {
+        b.iter(|| {
+            CoordinateDescent::new(&cell, &periphery, &params, &full_space, constraint, 64)
+                .run(Capacity::from_bytes(4096), &EnergyDelayProduct)
+                .expect("descent")
+        });
+    });
+
+    group.bench_function("monte_carlo_8_samples", |b| {
+        let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt);
+        let bias = AssistVoltages::nominal(lib.nominal_vdd())
+            .with_vddc(Voltage::from_millivolts(550.0))
+            .with_vwl(Voltage::from_millivolts(540.0));
+        b.iter(|| {
+            YieldAnalyzer::new(
+                chr.clone(),
+                MonteCarloConfig {
+                    samples: 8,
+                    seed: 7,
+                    vtc_points: 21,
+                },
+            )
+            .run(&bias)
+            .expect("mc")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, extensions);
+criterion_main!(benches);

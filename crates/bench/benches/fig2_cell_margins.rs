@@ -1,0 +1,27 @@
+//! Benchmark E1/E2: the simulated cell-margin measurements behind Fig. 2
+//! (one HSNM butterfly and one leakage operating point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sram_cell::{AssistVoltages, CellCharacterizer};
+use sram_device::{DeviceLibrary, VtFlavor};
+
+fn cell_margins(c: &mut Criterion) {
+    let lib = DeviceLibrary::sevennm();
+    let bias = AssistVoltages::nominal(lib.nominal_vdd());
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(20);
+
+    for (name, flavor) in [("hvt", VtFlavor::Hvt), ("lvt", VtFlavor::Lvt)] {
+        let chr = CellCharacterizer::new(&lib, flavor).with_vtc_points(41);
+        group.bench_function(format!("hold_snm_{name}"), |b| {
+            b.iter(|| chr.hold_snm(&bias).expect("snm"));
+        });
+        group.bench_function(format!("leakage_{name}"), |b| {
+            b.iter(|| chr.leakage_power(&bias).expect("leakage"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cell_margins);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmark E3–E8: the read/write assist characterization sweeps of
+//! Figs. 3 and 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sram_cell::{AssistVoltages, CellCharacterizer};
+use sram_device::{DeviceLibrary, VtFlavor};
+use sram_units::Voltage;
+
+fn assist_sweeps(c: &mut Criterion) {
+    let lib = DeviceLibrary::sevennm();
+    let vdd = lib.nominal_vdd();
+    let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt).with_vtc_points(31);
+    let mut group = c.benchmark_group("fig3_fig5");
+    group.sample_size(10);
+
+    group.bench_function("rsnm_with_assists", |b| {
+        let bias = AssistVoltages::nominal(vdd)
+            .with_vddc(Voltage::from_millivolts(550.0))
+            .with_vssc(Voltage::from_millivolts(-240.0));
+        b.iter(|| chr.read_snm(&bias).expect("rsnm"));
+    });
+
+    group.bench_function("read_current", |b| {
+        let bias = AssistVoltages::nominal(vdd).with_vssc(Voltage::from_millivolts(-120.0));
+        b.iter(|| chr.read_current(&bias).expect("iread"));
+    });
+
+    group.bench_function("write_margin_bisection", |b| {
+        let bias = AssistVoltages::nominal(vdd).with_vwl(Voltage::from_millivolts(540.0));
+        b.iter(|| chr.write_margin(&bias).expect("wm"));
+    });
+
+    group.bench_function("write_delay_transient", |b| {
+        let bias = AssistVoltages::nominal(vdd).with_vwl(Voltage::from_millivolts(540.0));
+        b.iter(|| chr.write_delay(&bias).expect("write delay"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, assist_sweeps);
+criterion_main!(benches);

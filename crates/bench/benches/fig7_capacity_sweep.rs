@@ -1,0 +1,50 @@
+//! Benchmark E10–E13: the Fig. 7 capacity sweep (full Table-4 equivalent
+//! workload) and the per-design-point array-model evaluation kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sram_array::{ArrayModel, ArrayOrganization, ArrayParams, Periphery};
+use sram_cell::CellCharacterization;
+use sram_device::DeviceLibrary;
+use sram_units::Voltage;
+
+fn capacity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+
+    group.bench_function("full_capacity_sweep_coarse", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                // Coarse version of the Fig. 7 computation (the full one
+                // is the table4 bench).
+                let mut fw = sram_coopt::CoOptimizationFramework::paper_mode()
+                    .with_space(sram_coopt::DesignSpace::coarse());
+                fw.optimize_table4().expect("table4")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // The inner kernel the exhaustive search amortizes: one design-point
+    // evaluation through Tables 1-3 and Eqs. (2)-(5).
+    let lib = DeviceLibrary::sevennm();
+    let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+    let periphery = Periphery::new(&lib);
+    let params = ArrayParams::paper_defaults();
+    let org = ArrayOrganization::new(512, 64, 64).expect("org");
+    group.bench_function("array_model_evaluate", |b| {
+        b.iter(|| {
+            ArrayModel::new(org, &cell, &periphery, &params)
+                .with_precharge_fins(25)
+                .with_write_fins(3)
+                .with_vssc(Voltage::from_millivolts(-240.0))
+                .evaluate()
+                .expect("evaluate")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, capacity_sweep);
+criterion_main!(benches);

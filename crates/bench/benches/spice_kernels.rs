@@ -1,0 +1,47 @@
+//! Benchmarks of the circuit-simulation substrate itself: DC operating
+//! points, butterfly sweeps, and write transients on the 6T cell — the
+//! kernels every characterization experiment is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sram_cell::{AssistVoltages, Sram6t};
+use sram_device::{DeviceLibrary, VtFlavor};
+use sram_spice::{DcSolver, DcSweep};
+use sram_units::Voltage;
+
+fn spice_kernels(c: &mut Criterion) {
+    let lib = DeviceLibrary::sevennm();
+    let vdd = lib.nominal_vdd();
+    let cell = Sram6t::new(&lib, VtFlavor::Hvt);
+    let bias = AssistVoltages::nominal(vdd);
+    let mut group = c.benchmark_group("spice");
+
+    group.bench_function("dc_op_6t_hold", |b| {
+        let (ckt, nodes) = cell.hold_circuit(&bias, vdd);
+        b.iter(|| {
+            DcSolver::new()
+                .nodeset(nodes.q, Voltage::ZERO)
+                .nodeset(nodes.qb, vdd)
+                .solve(&ckt)
+                .expect("op")
+        });
+    });
+
+    group.bench_function("vtc_sweep_41pts", |b| {
+        let (ckt, _u, _out) = cell.vtc_circuit(
+            sram_cell::VtcHalf::Left,
+            sram_cell::VtcMode::Read,
+            &bias,
+            vdd,
+        );
+        b.iter(|| {
+            DcSweep::new("VU", Voltage::ZERO, vdd, 41)
+                .run(&ckt)
+                .expect("sweep")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, spice_kernels);
+criterion_main!(benches);

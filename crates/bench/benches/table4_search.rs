@@ -1,0 +1,53 @@
+//! Benchmark E9/E15: the exhaustive Table-4 search.
+//!
+//! The paper reports that all its results are produced "in less than two
+//! minutes" on an Intel E7-8837 server; this bench measures our per-search
+//! and full-table throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sram_array::Capacity;
+use sram_coopt::{CoOptimizationFramework, DesignSpace, Method};
+use sram_device::VtFlavor;
+
+fn single_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+
+    group.bench_function("search_4kb_hvt_m2", |b| {
+        b.iter_batched(
+            CoOptimizationFramework::paper_mode,
+            |mut fw| {
+                fw.optimize(Capacity::from_bytes(4096), VtFlavor::Hvt, Method::M2)
+                    .expect("search succeeds")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("search_4kb_hvt_m2_parallel", |b| {
+        b.iter_batched(
+            || CoOptimizationFramework::paper_mode().with_threads(8),
+            |mut fw| {
+                fw.optimize(Capacity::from_bytes(4096), VtFlavor::Hvt, Method::M2)
+                    .expect("search succeeds")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("search_16kb_coarse", |b| {
+        b.iter_batched(
+            || CoOptimizationFramework::paper_mode().with_space(DesignSpace::coarse()),
+            |mut fw| {
+                fw.optimize(Capacity::from_bytes(16 * 1024), VtFlavor::Hvt, Method::M2)
+                    .expect("search succeeds")
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, single_search);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [experiment]
+//!
+//! experiments:
+//!   fig2      HSNM + leakage vs Vdd (simulated)
+//!   fig3      read-assist sweeps (simulated)
+//!   fig5      write-assist sweeps (simulated)
+//!   table4    optimal design parameters (paper-mode optimizer)
+//!   fig7      delay/energy/EDP vs capacity + BL decomposition
+//!   readfit   read-current power-law regression
+//!   yield     mu - k*sigma statistical constraint (Monte Carlo)
+//!   ablation  rail-pinning, Pareto, heuristic, accounting ablations
+//!   extensions banking, drowsy standby, derated optimization
+//!   all       everything above (default)
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+
+    type Runner = Box<dyn Fn() -> Result<String, String>>;
+    let experiments: Vec<(&str, Runner)> = vec![
+        (
+            "fig2",
+            Box::new(|| sram_bench::fig2::run().map_err(|e| e.to_string())),
+        ),
+        (
+            "fig3",
+            Box::new(|| sram_bench::fig3::run().map_err(|e| e.to_string())),
+        ),
+        (
+            "fig5",
+            Box::new(|| sram_bench::fig5::run().map_err(|e| e.to_string())),
+        ),
+        (
+            "table4",
+            Box::new(move || sram_bench::table4::run(threads).map_err(|e| e.to_string())),
+        ),
+        (
+            "fig7",
+            Box::new(move || sram_bench::fig7::run(threads).map_err(|e| e.to_string())),
+        ),
+        (
+            "readfit",
+            Box::new(|| sram_bench::readfit::run().map_err(|e| e.to_string())),
+        ),
+        (
+            "yield",
+            Box::new(|| sram_bench::yieldk::run(60).map_err(|e| e.to_string())),
+        ),
+        (
+            "ablation",
+            Box::new(|| sram_bench::ablation::run().map_err(|e| e.to_string())),
+        ),
+        (
+            "extensions",
+            Box::new(|| sram_bench::extensions::run().map_err(|e| e.to_string())),
+        ),
+        (
+            "rails-sim",
+            Box::new(|| {
+                sram_bench::extensions::simulated_rail_ablation().map_err(|e| e.to_string())
+            }),
+        ),
+    ];
+
+    let selected: Vec<_> = experiments
+        .iter()
+        .filter(|(name, _)| (which == "all" && *name != "rails-sim") || which == *name)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment `{which}`");
+        eprintln!(
+            "available: all, {}",
+            experiments
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    for (name, runner) in selected {
+        println!("==================== {name} ====================");
+        match runner() {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! Table 4: optimal design parameters for every capacity/configuration.
+
+use sram_coopt::{CoOptimizationFramework, CooptError, OptimalDesign};
+
+/// Runs the full Table 4 optimization (20 exhaustive searches) in
+/// paper-model mode with `threads` workers.
+///
+/// # Errors
+///
+/// Propagates framework failures.
+pub fn compute(threads: usize) -> Result<Vec<OptimalDesign>, CooptError> {
+    CoOptimizationFramework::paper_mode()
+        .with_threads(threads)
+        .optimize_table4()
+}
+
+/// Formats Table 4 plus the per-design evaluated metrics.
+///
+/// # Errors
+///
+/// Propagates framework failures.
+pub fn run(threads: usize) -> Result<String, CooptError> {
+    let designs = compute(threads)?;
+    let mut out = String::from("Table 4 — SRAM array design parameters at the minimum-EDP point\n\n");
+    out.push_str(&sram_coopt::format_table4(&designs));
+    out.push_str("\nEvaluated metrics:\n");
+    for d in &designs {
+        out.push_str(&format!("  {d}\n"));
+    }
+    out.push_str("\nCSV:\n");
+    out.push_str(&sram_coopt::csv_table(&designs));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_coopt::Method;
+    use sram_device::VtFlavor;
+
+    #[test]
+    fn table4_has_twenty_rows_with_paper_patterns() {
+        let designs = compute(4).unwrap();
+        assert_eq!(designs.len(), 20);
+
+        // Pattern 1 (Table 4): M2 designs at >= 1 KB exploit deep
+        // negative Gnd.
+        for d in &designs {
+            if d.method == Method::M2 && d.capacity.bytes() >= 1024 && d.capacity.bytes() <= 4096 {
+                assert!(
+                    d.vssc.millivolts() <= -100.0,
+                    "{}: V_SSC = {}",
+                    d,
+                    d.vssc
+                );
+            }
+            // Pattern 2: M1 never uses a negative rail.
+            if d.method == Method::M1 {
+                assert_eq!(d.vssc.millivolts(), 0.0);
+            }
+            // Pattern 3: N_wr stays small relative to N_pre ("smaller
+            // N_wr values are used which ... allows N_pre to be larger").
+            assert!(d.n_wr <= d.n_pre, "{d}");
+        }
+
+        // Pattern 4: HVT-M1 has the highest delay of the four configs at
+        // every capacity (Fig. 7(a)).
+        for bytes in [128usize, 256, 1024, 4096, 16384] {
+            let of = |f: VtFlavor, m: Method| {
+                designs
+                    .iter()
+                    .find(|d| d.capacity.bytes() == bytes && d.flavor == f && d.method == m)
+                    .expect("row exists")
+            };
+            let hvt_m1 = of(VtFlavor::Hvt, Method::M1);
+            for (f, m) in [
+                (VtFlavor::Lvt, Method::M1),
+                (VtFlavor::Lvt, Method::M2),
+                (VtFlavor::Hvt, Method::M2),
+            ] {
+                assert!(
+                    hvt_m1.delay() >= of(f, m).delay(),
+                    "at {bytes} B: HVT-M1 not slowest"
+                );
+            }
+        }
+    }
+}

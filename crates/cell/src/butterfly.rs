@@ -1,0 +1,311 @@
+//! Butterfly curves and the Seevinck maximum-square SNM.
+//!
+//! The static noise margin of a cross-coupled cell is the side of the
+//! largest square that fits inside a lobe of the butterfly plot formed by
+//! the two inverter voltage-transfer curves, one of them mirrored about
+//! the `y = x` diagonal (Seevinck, List, Lohstroh — JSSC 1987, the
+//! paper's reference [12]).
+//!
+//! For monotone-decreasing VTCs the largest inscribed square has two
+//! binding corners, one on each curve:
+//!
+//! * **upper lobe** — bottom-left corner `(x₁, y₁)` on the mirrored curve
+//!   (`x₁ = g(y₁)`), top-right corner on the forward curve
+//!   (`y₁ + s = f(x₁ + s)`);
+//! * **lower lobe** — the mirror image: bottom-left corner on the forward
+//!   curve (`y₁ = f(x₁)`), top-right on the mirrored curve
+//!   (`x₁ + s = g(y₁ + s)`).
+//!
+//! Each lobe's side `s` is maximized over the free corner coordinate;
+//! the cell SNM is the smaller lobe's side.
+
+use crate::CellError;
+use sram_units::Voltage;
+
+/// A voltage-transfer curve: monotone samples of `vout` versus `vin`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vtc {
+    points: Vec<(f64, f64)>,
+}
+
+impl Vtc {
+    /// Creates a VTC from `(vin, vout)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::MeasurementFailed`] when fewer than two points
+    /// are supplied or the inputs are not strictly increasing.
+    pub fn new(points: Vec<(Voltage, Voltage)>) -> Result<Self, CellError> {
+        let raw: Vec<(f64, f64)> = points
+            .iter()
+            .map(|&(x, y)| (x.volts(), y.volts()))
+            .collect();
+        if raw.len() < 2 {
+            return Err(CellError::MeasurementFailed {
+                what: "VTC",
+                reason: "need at least two samples".into(),
+            });
+        }
+        if !raw.windows(2).all(|w| w[1].0 > w[0].0) {
+            return Err(CellError::MeasurementFailed {
+                what: "VTC",
+                reason: "input samples must be strictly increasing".into(),
+            });
+        }
+        Ok(Self { points: raw })
+    }
+
+    /// The sample points as `(vin, vout)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (Voltage, Voltage)> + '_ {
+        self.points
+            .iter()
+            .map(|&(x, y)| (Voltage::from_volts(x), Voltage::from_volts(y)))
+    }
+
+    /// Output at `vin` (linear interpolation, clamped at the ends).
+    #[must_use]
+    pub fn output_at(&self, vin: Voltage) -> Voltage {
+        Voltage::from_volts(self.eval(vin.volts()))
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.points[0].0, self.points[self.points.len() - 1].0)
+    }
+}
+
+/// The two curves of a butterfly plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ButterflyCurves {
+    /// VTC of inverter 1 (`QB = f(Q)` axes).
+    pub forward: Vtc,
+    /// VTC of inverter 2 (mirrored about the diagonal when plotted).
+    pub mirrored: Vtc,
+}
+
+impl ButterflyCurves {
+    /// Computes the SNM of the butterfly via the maximum-square method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::MeasurementFailed`] when either lobe has
+    /// collapsed (the cell has lost bistability under this bias).
+    pub fn snm(&self) -> Result<Voltage, CellError> {
+        butterfly_snm(&self.forward, &self.mirrored)
+    }
+}
+
+/// Largest square side with bottom-left corner `(g(y1), y1)` on curve `g`
+/// and top-right corner satisfying `y1 + s = f(x1 + s)`, maximized over
+/// `y1`. `f` must be non-increasing for the bisection to be valid.
+fn lobe_side<F, G>(f: F, g: G, range: (f64, f64)) -> f64
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    const CORNER_SAMPLES: usize = 256;
+    const BISECTIONS: usize = 40;
+    let (lo, hi) = range;
+    let span = hi - lo;
+    let mut best: f64 = 0.0;
+    for k in 0..=CORNER_SAMPLES {
+        let y1 = lo + span * k as f64 / CORNER_SAMPLES as f64;
+        let x1 = g(y1);
+        // h(s) = f(x1 + s) - (y1 + s): strictly decreasing in s; a root
+        // exists iff h(0) > 0 (the corner lies strictly below curve f).
+        // The 1 nV floor rejects rounding noise on collapsed lobes, where
+        // end-clamped interpolation would otherwise sustain a fake square.
+        if f(x1) <= y1 + 1e-9 {
+            continue;
+        }
+        let (mut s_lo, mut s_hi) = (0.0, span);
+        if f(x1 + s_hi) - (y1 + s_hi) > 0.0 {
+            best = best.max(s_hi);
+            continue;
+        }
+        for _ in 0..BISECTIONS {
+            let mid = 0.5 * (s_lo + s_hi);
+            if f(x1 + mid) - (y1 + mid) > 0.0 {
+                s_lo = mid;
+            } else {
+                s_hi = mid;
+            }
+        }
+        best = best.max(s_lo);
+    }
+    best
+}
+
+/// Computes the static noise margin from the two inverter VTCs.
+///
+/// `forward` maps node A to node B; `mirrored` maps node B to node A (it
+/// is mirrored about the diagonal internally — pass both curves in their
+/// natural input→output orientation).
+///
+/// # Errors
+///
+/// Returns [`CellError::MeasurementFailed`] if either lobe has collapsed
+/// (non-positive side — the cell is not bistable under this bias).
+pub fn butterfly_snm(forward: &Vtc, mirrored: &Vtc) -> Result<Voltage, CellError> {
+    let (f_lo, f_hi) = forward.domain();
+    let (g_lo, g_hi) = mirrored.domain();
+    let range = (f_lo.min(g_lo), f_hi.max(g_hi));
+
+    // Upper lobe: bottom-left corner on the mirrored curve, top-right on
+    // the forward curve.
+    let upper = lobe_side(|x| forward.eval(x), |y| mirrored.eval(y), range);
+    // Lower lobe: the transposed picture (swap the axes): bottom-left
+    // corner on the forward curve, top-right on the mirrored curve.
+    let lower = lobe_side(|y| mirrored.eval(y), |x| forward.eval(x), range);
+
+    if upper <= 0.0 || lower <= 0.0 {
+        return Err(CellError::MeasurementFailed {
+            what: "SNM",
+            reason: "a butterfly lobe has collapsed (cell not bistable)".into(),
+        });
+    }
+    Ok(Voltage::from_volts(upper.min(lower)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_inverter(vdd: f64, trip: f64, n: usize) -> Vtc {
+        // A steep, idealized VTC: vout = vdd for vin < trip, 0 after.
+        let pts: Vec<(Voltage, Voltage)> = (0..=n)
+            .map(|k| {
+                let x = vdd * k as f64 / n as f64;
+                let y = vdd / (1.0 + ((x - trip) / 0.005).exp());
+                (Voltage::from_volts(x), Voltage::from_volts(y))
+            })
+            .collect();
+        Vtc::new(pts).unwrap()
+    }
+
+    #[test]
+    fn vtc_rejects_non_monotone_inputs() {
+        let err = Vtc::new(vec![
+            (Voltage::from_volts(0.2), Voltage::ZERO),
+            (Voltage::from_volts(0.1), Voltage::ZERO),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CellError::MeasurementFailed { .. }));
+    }
+
+    #[test]
+    fn vtc_interpolates() {
+        let vtc = Vtc::new(vec![
+            (Voltage::ZERO, Voltage::from_volts(1.0)),
+            (Voltage::from_volts(1.0), Voltage::ZERO),
+        ])
+        .unwrap();
+        let mid = vtc.output_at(Voltage::from_volts(0.5));
+        assert!((mid.volts() - 0.5).abs() < 1e-12);
+        // Clamped outside the range.
+        assert_eq!(vtc.output_at(Voltage::from_volts(2.0)).volts(), 0.0);
+    }
+
+    #[test]
+    fn ideal_symmetric_butterfly_snm_is_half_vdd() {
+        // Two ideal inverters tripping at Vdd/2: each lobe is a
+        // (Vdd/2)-sided square.
+        let vdd = 1.0;
+        let inv = ideal_inverter(vdd, 0.5, 400);
+        let snm = butterfly_snm(&inv, &inv).unwrap();
+        assert!(
+            (snm.volts() - 0.5).abs() < 0.05,
+            "ideal SNM = {} (expected ~0.5)",
+            snm
+        );
+    }
+
+    #[test]
+    fn skewed_trip_points_shrink_the_lobes() {
+        // Both inverters tripping at 0.3: lobes are 0.3x0.7 and 0.7x0.3
+        // rectangles; max inscribed square side = 0.3.
+        let vdd = 1.0;
+        let skewed = butterfly_snm(
+            &ideal_inverter(vdd, 0.3, 400),
+            &ideal_inverter(vdd, 0.3, 400),
+        )
+        .unwrap();
+        assert!(
+            (skewed.volts() - 0.3).abs() < 0.03,
+            "skewed SNM = {skewed} (expected ~0.3)"
+        );
+        let centered = butterfly_snm(
+            &ideal_inverter(vdd, 0.5, 400),
+            &ideal_inverter(vdd, 0.5, 400),
+        )
+        .unwrap();
+        assert!(skewed < centered);
+    }
+
+    #[test]
+    fn mismatched_trips_take_the_smaller_lobe() {
+        // Inverter 1 trips at 0.4, inverter 2 at 0.6: upper lobe square
+        // bounded by min(0.4 legs...) — strictly smaller than symmetric.
+        let a = ideal_inverter(1.0, 0.4, 400);
+        let b = ideal_inverter(1.0, 0.6, 400);
+        let snm_ab = butterfly_snm(&a, &b).unwrap();
+        let snm_sym = butterfly_snm(
+            &ideal_inverter(1.0, 0.5, 400),
+            &ideal_inverter(1.0, 0.5, 400),
+        )
+        .unwrap();
+        assert!(snm_ab < snm_sym, "{snm_ab} vs {snm_sym}");
+        assert!(snm_ab.volts() > 0.1);
+    }
+
+    #[test]
+    fn degenerate_curve_reports_collapse() {
+        // An "inverter" that is a wire (y = x) produces no lobes.
+        let wire = Vtc::new(
+            (0..=10)
+                .map(|k| {
+                    let v = Voltage::from_volts(k as f64 / 10.0);
+                    (v, v)
+                })
+                .collect(),
+        )
+        .unwrap();
+        let err = butterfly_snm(&wire, &wire).unwrap_err();
+        assert!(matches!(err, CellError::MeasurementFailed { .. }));
+    }
+
+    #[test]
+    fn butterfly_curves_struct_round_trips() {
+        let inv = ideal_inverter(1.0, 0.5, 200);
+        let b = ButterflyCurves {
+            forward: inv.clone(),
+            mirrored: inv,
+        };
+        assert!(b.snm().unwrap().volts() > 0.4);
+    }
+
+    #[test]
+    fn snm_is_symmetric_in_curve_order() {
+        let a = ideal_inverter(1.0, 0.42, 300);
+        let b = ideal_inverter(1.0, 0.58, 300);
+        let ab = butterfly_snm(&a, &b).unwrap();
+        let ba = butterfly_snm(&b, &a).unwrap();
+        assert!(
+            (ab.volts() - ba.volts()).abs() < 2e-3,
+            "asymmetry: {ab} vs {ba}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Cell leakage power.
+//!
+//! Measured in the hold state (wordline low, bitlines precharged) as the
+//! total power delivered by all bias sources. The paper's anchors:
+//! 1.692 nW for 6T-LVT and 0.082 nW for 6T-HVT at the nominal 450 mV —
+//! a 20× reduction that is the entire premise of adopting HVT cells.
+
+use crate::{AssistVoltages, CellCharacterizer, CellError};
+use sram_spice::DcSolver;
+use sram_units::{Power, Voltage};
+
+impl CellCharacterizer {
+    /// Leakage power of the cell in the hold state under `bias`, holding
+    /// `Q = 0`. Returns the summed power delivered by every bias source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn leakage_power(&self, bias: &AssistVoltages) -> Result<Power, CellError> {
+        bias.validate().map_err(CellError::InvalidBias)?;
+        let (ckt, nodes) = self.cell().hold_circuit(bias, self.vdd());
+        let sol = DcSolver::new()
+            .nodeset(nodes.q, bias.vssc)
+            .nodeset(nodes.qb, bias.vddc)
+            .solve(&ckt)?;
+        // Power delivered by a source = -V * I (branch current is defined
+        // into the + terminal, so a delivering supply has I < 0).
+        let mut total = 0.0;
+        for (name, level) in [
+            ("VDDC", bias.vddc),
+            ("VSSC", bias.vssc),
+            ("VWL", Voltage::ZERO),
+            ("VBL", self.vdd()),
+            ("VBLB", self.vdd()),
+        ] {
+            let i = sol.source_current(&ckt, name)?;
+            total -= level.volts() * i.amps();
+        }
+        Ok(Power::from_watts(total))
+    }
+
+    /// Leakage power in the *unassisted* hold state at supply `vdd`
+    /// (rails at `Vdd`/0): the quantity plotted in the paper's Fig. 2(b)
+    /// and used as `P_leak,sram` in Eq. (4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn hold_leakage_at(&self, vdd: Voltage) -> Result<Power, CellError> {
+        let scaled = self.clone().with_vdd(vdd);
+        scaled.leakage_power(&AssistVoltages::nominal(vdd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::{DeviceLibrary, VtFlavor};
+
+    fn chr(flavor: VtFlavor) -> CellCharacterizer {
+        CellCharacterizer::new(&DeviceLibrary::sevennm(), flavor)
+    }
+
+    #[test]
+    fn leakage_is_positive_and_tiny() {
+        let p = chr(VtFlavor::Hvt)
+            .leakage_power(&AssistVoltages::nominal(Voltage::from_millivolts(450.0)))
+            .unwrap();
+        assert!(p.watts() > 0.0);
+        assert!(p.nanowatts() < 10.0, "HVT leakage = {p}");
+    }
+
+    #[test]
+    fn hvt_leaks_roughly_twenty_x_less() {
+        let vdd = Voltage::from_millivolts(450.0);
+        let lvt = chr(VtFlavor::Lvt).hold_leakage_at(vdd).unwrap();
+        let hvt = chr(VtFlavor::Hvt).hold_leakage_at(vdd).unwrap();
+        let ratio = lvt.watts() / hvt.watts();
+        assert!(
+            ratio > 10.0 && ratio < 40.0,
+            "LVT/HVT leakage ratio = {ratio:.1} (paper: 20x)"
+        );
+    }
+
+    #[test]
+    fn leakage_drops_with_supply_scaling() {
+        let c = chr(VtFlavor::Lvt);
+        let high = c.hold_leakage_at(Voltage::from_millivolts(450.0)).unwrap();
+        let low = c.hold_leakage_at(Voltage::from_millivolts(200.0)).unwrap();
+        assert!(low < high, "Fig. 2(b) trend: {low} vs {high}");
+    }
+
+    #[test]
+    fn lvt_at_100mv_still_leaks_more_than_hvt_at_nominal() {
+        // The paper's sharpest Fig. 2(b) claim (about 5x).
+        let lvt_low = chr(VtFlavor::Lvt)
+            .hold_leakage_at(Voltage::from_millivolts(100.0))
+            .unwrap();
+        let hvt_nom = chr(VtFlavor::Hvt)
+            .hold_leakage_at(Voltage::from_millivolts(450.0))
+            .unwrap();
+        assert!(
+            lvt_low.watts() > hvt_nom.watts(),
+            "LVT@100mV {lvt_low} should exceed HVT@450mV {hvt_nom}"
+        );
+    }
+}

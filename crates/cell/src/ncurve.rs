@@ -1,0 +1,187 @@
+//! N-curve metrics: the current-domain stability view.
+//!
+//! The butterfly SNM (paper reference [12]) is the voltage-domain
+//! stability metric; the N-curve is its current-domain complement and a
+//! standard cross-check in SRAM characterization. With the cell in the
+//! read configuration (wordline asserted, bitlines clamped), a probe
+//! source sweeps the internal node `Q` and records the current it must
+//! inject:
+//!
+//! * the curve crosses zero three times — the two stable states and the
+//!   metastable point;
+//! * **SVNM** (static voltage noise margin) = voltage between the first
+//!   and second zero crossings;
+//! * **SINM** (static current noise margin) = peak injected current
+//!   between those crossings — the charge barrier a disturbance must
+//!   supply to flip the cell.
+
+use crate::{AssistVoltages, CellCharacterizer, CellError};
+use sram_spice::{Circuit, DcSweep, Waveform};
+use sram_units::{Current, Voltage};
+
+/// A measured N-curve: injected current versus probed node voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NCurve {
+    points: Vec<(f64, f64)>, // (volts, amps injected into Q)
+}
+
+impl NCurve {
+    /// The sample points as `(probe voltage, injected current)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (Voltage, Current)> + '_ {
+        self.points
+            .iter()
+            .map(|&(v, i)| (Voltage::from_volts(v), Current::from_amps(i)))
+    }
+
+    /// Zero crossings of the curve, in sweep order (linear interpolation).
+    #[must_use]
+    pub fn zero_crossings(&self) -> Vec<Voltage> {
+        let mut out = Vec::new();
+        for w in self.points.windows(2) {
+            let (v0, i0) = w[0];
+            let (v1, i1) = w[1];
+            if i0 == 0.0 {
+                out.push(Voltage::from_volts(v0));
+            } else if i0 * i1 < 0.0 {
+                let f = i0 / (i0 - i1);
+                out.push(Voltage::from_volts(v0 + (v1 - v0) * f));
+            }
+        }
+        out
+    }
+
+    /// Static voltage noise margin: distance between the first two zero
+    /// crossings.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::MeasurementFailed`] when fewer than two crossings
+    /// exist (the cell is not bistable under this bias).
+    pub fn svnm(&self) -> Result<Voltage, CellError> {
+        let z = self.zero_crossings();
+        if z.len() < 2 {
+            return Err(CellError::MeasurementFailed {
+                what: "SVNM",
+                reason: format!("expected >=2 N-curve zero crossings, found {}", z.len()),
+            });
+        }
+        Ok(z[1] - z[0])
+    }
+
+    /// Static current noise margin: peak injected current between the
+    /// first two zero crossings.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NCurve::svnm`].
+    pub fn sinm(&self) -> Result<Current, CellError> {
+        let z = self.zero_crossings();
+        if z.len() < 2 {
+            return Err(CellError::MeasurementFailed {
+                what: "SINM",
+                reason: format!("expected >=2 N-curve zero crossings, found {}", z.len()),
+            });
+        }
+        let (lo, hi) = (z[0].volts(), z[1].volts());
+        let peak = self
+            .points
+            .iter()
+            .filter(|&&(v, _)| v >= lo && v <= hi)
+            .map(|&(_, i)| i)
+            .fold(0.0f64, f64::max);
+        Ok(Current::from_amps(peak))
+    }
+}
+
+impl CellCharacterizer {
+    /// Measures the read-configuration N-curve by sweeping a probe source
+    /// on node `Q` from `V_SSC` to `V_DDC`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn n_curve(&self, bias: &AssistVoltages) -> Result<NCurve, CellError> {
+        bias.validate().map_err(CellError::InvalidBias)?;
+        let (mut ckt, nodes) = self.cell().read_circuit(bias, self.vdd());
+        // Probe source pinning Q; its branch current is the injection.
+        ckt.vsource("VPROBE", nodes.q, Circuit::GROUND, Waveform::dc(bias.vssc));
+        let sweep = DcSweep::new("VPROBE", bias.vssc, bias.vddc, 81);
+        let points = sweep.run(&ckt)?;
+        let branch = ckt.source_branch("VPROBE")?;
+        Ok(NCurve {
+            points: points
+                .into_iter()
+                // Branch current flows *into* the probe's + terminal; the
+                // injected current into Q is its negation.
+                .map(|p| (p.value.volts(), -p.solution.branch_current(branch).amps()))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::{DeviceLibrary, VtFlavor};
+
+    fn nominal() -> AssistVoltages {
+        AssistVoltages::nominal(Voltage::from_millivolts(450.0))
+    }
+
+    #[test]
+    fn n_curve_has_three_zero_crossings() {
+        let lib = DeviceLibrary::sevennm();
+        let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt);
+        let curve = chr.n_curve(&nominal()).unwrap();
+        let z = curve.zero_crossings();
+        assert!(
+            z.len() == 3,
+            "bistable read cell should cross zero thrice, found {:?}",
+            z.iter().map(|v| v.millivolts()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn svnm_and_sinm_are_positive_and_track_rsnm() {
+        let lib = DeviceLibrary::sevennm();
+        let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt).with_vtc_points(31);
+        let base = chr.n_curve(&nominal()).unwrap();
+        assert!(base.svnm().unwrap().volts() > 0.0);
+        assert!(base.sinm().unwrap().amps() > 0.0);
+
+        // The Vdd-boost assist improves current-domain stability too.
+        let boosted = chr
+            .n_curve(&nominal().with_vddc(Voltage::from_millivolts(600.0)))
+            .unwrap();
+        assert!(
+            boosted.sinm().unwrap() > base.sinm().unwrap(),
+            "boost should raise SINM"
+        );
+    }
+
+    #[test]
+    fn synthetic_curve_crossings() {
+        // i(v) = sin-like cubic with zeros at 0.1, 0.2, 0.4.
+        let pts: Vec<(f64, f64)> = (0..=50)
+            .map(|k| {
+                let v = k as f64 / 100.0;
+                (v, (v - 0.1) * (v - 0.2) * (v - 0.4))
+            })
+            .collect();
+        let c = NCurve { points: pts };
+        let z = c.zero_crossings();
+        assert_eq!(z.len(), 3);
+        assert!((z[0].volts() - 0.1).abs() < 1e-6);
+        assert!((c.svnm().unwrap().volts() - 0.1).abs() < 1e-6);
+        assert!(c.sinm().unwrap().amps() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_curve_reports_failure() {
+        let c = NCurve {
+            points: vec![(0.0, 1.0), (1.0, 2.0)],
+        };
+        assert!(c.svnm().is_err());
+        assert!(c.sinm().is_err());
+    }
+}

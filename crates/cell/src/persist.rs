@@ -1,0 +1,166 @@
+//! Plain-text persistence for characterization snapshots.
+//!
+//! Simulated characterization takes seconds to minutes; a snapshot is a
+//! few hundred bytes. This module serializes a
+//! [`CellCharacterization`] to a simple versioned TSV document (no
+//! external format crates needed) so expensive runs can be cached on
+//! disk and shipped alongside results.
+
+use crate::{CellCharacterization, CellError, Lut1d};
+use sram_device::VtFlavor;
+use sram_units::{Power, Voltage};
+
+const FORMAT_TAG: &str = "sram-cell-characterization";
+const FORMAT_VERSION: u32 = 1;
+
+impl CellCharacterization {
+    /// Serializes the snapshot to the versioned TSV document.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!("{FORMAT_TAG}\tv{FORMAT_VERSION}\n");
+        out.push_str(&format!(
+            "meta\t{}\t{:.9}\t{:.9}\t{:.9}\t{:.6e}\t{:.9}\t{:.9}\n",
+            match self.flavor() {
+                VtFlavor::Lvt => "LVT",
+                VtFlavor::Hvt => "HVT",
+            },
+            self.vdd().volts(),
+            self.vddc().volts(),
+            self.vwl().volts(),
+            self.leakage().watts(),
+            self.hsnm().volts(),
+            self.write_margin().volts(),
+        ));
+        let dump = |name: &str, lut: &Lut1d, out: &mut String| {
+            out.push_str(&format!("lut\t{name}\t{}\n", lut.breakpoints().len()));
+            for &(x, y) in lut.breakpoints() {
+                out.push_str(&format!("{x:.9}\t{y:.9e}\n"));
+            }
+        };
+        dump("rsnm_vs_vssc", self.rsnm_lut(), &mut out);
+        dump("read_current_vs_vssc", self.read_current_lut(), &mut out);
+        dump("write_delay_vs_vwl", self.write_delay_lut(), &mut out);
+        out
+    }
+
+    /// Parses a snapshot from [`CellCharacterization::to_tsv`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::MeasurementFailed`] describing the first
+    /// structural problem (wrong tag/version, malformed numbers, missing
+    /// tables).
+    pub fn from_tsv(text: &str) -> Result<Self, CellError> {
+        let bad = |reason: String| CellError::MeasurementFailed {
+            what: "snapshot parse",
+            reason,
+        };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| bad("empty document".into()))?;
+        if header != format!("{FORMAT_TAG}\tv{FORMAT_VERSION}") {
+            return Err(bad(format!("unrecognized header `{header}`")));
+        }
+        let meta = lines.next().ok_or_else(|| bad("missing meta line".into()))?;
+        let f: Vec<&str> = meta.split('\t').collect();
+        if f.len() != 8 || f[0] != "meta" {
+            return Err(bad(format!("malformed meta line `{meta}`")));
+        }
+        let flavor = match f[1] {
+            "LVT" => VtFlavor::Lvt,
+            "HVT" => VtFlavor::Hvt,
+            other => return Err(bad(format!("unknown flavor `{other}`"))),
+        };
+        let num = |s: &str| -> Result<f64, CellError> {
+            s.parse::<f64>().map_err(|e| bad(format!("bad number `{s}`: {e}")))
+        };
+        let (vdd, vddc, vwl) = (num(f[2])?, num(f[3])?, num(f[4])?);
+        let (leakage, hsnm, wm) = (num(f[5])?, num(f[6])?, num(f[7])?);
+
+        let mut luts: Vec<(String, Lut1d)> = Vec::new();
+        let mut lines = lines.peekable();
+        while let Some(line) = lines.next() {
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.len() != 3 || f[0] != "lut" {
+                return Err(bad(format!("expected lut header, got `{line}`")));
+            }
+            let name = f[1].to_owned();
+            let n: usize = f[2]
+                .parse()
+                .map_err(|e| bad(format!("bad lut length: {e}")))?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                let row = lines
+                    .next()
+                    .ok_or_else(|| bad(format!("truncated lut `{name}`")))?;
+                let xy: Vec<&str> = row.split('\t').collect();
+                if xy.len() != 2 {
+                    return Err(bad(format!("malformed lut row `{row}`")));
+                }
+                points.push((num(xy[0])?, num(xy[1])?));
+            }
+            luts.push((name, Lut1d::new(points)?));
+        }
+        let mut take = |name: &str| -> Result<Lut1d, CellError> {
+            luts.iter()
+                .position(|(n, _)| n == name)
+                .map(|i| luts.remove(i).1)
+                .ok_or_else(|| bad(format!("missing table `{name}`")))
+        };
+
+        Ok(Self::from_parts(
+            flavor,
+            Voltage::from_volts(vdd),
+            Voltage::from_volts(vddc),
+            Voltage::from_volts(vwl),
+            Power::from_watts(leakage),
+            Voltage::from_volts(hsnm),
+            take("rsnm_vs_vssc")?,
+            take("read_current_vs_vssc")?,
+            Voltage::from_volts(wm),
+            take("write_delay_vs_vwl")?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly_enough() {
+        let original = CellCharacterization::paper_hvt(Voltage::from_millivolts(450.0));
+        let text = original.to_tsv();
+        let parsed = CellCharacterization::from_tsv(&text).unwrap();
+        assert_eq!(parsed.flavor(), original.flavor());
+        assert!((parsed.vdd().volts() - original.vdd().volts()).abs() < 1e-9);
+        assert!((parsed.leakage().watts() - original.leakage().watts()).abs() < 1e-18);
+        for mv in [0.0, -60.0, -120.0, -240.0] {
+            let v = Voltage::from_millivolts(mv);
+            assert!(
+                (parsed.rsnm(v).volts() - original.rsnm(v).volts()).abs() < 1e-8,
+                "rsnm mismatch at {v}"
+            );
+            assert!(
+                (parsed.read_current(v).amps() - original.read_current(v).amps()).abs()
+                    < 1e-12
+            );
+        }
+        assert!(
+            (parsed.write_delay(Voltage::from_millivolts(540.0)).seconds()
+                - original.write_delay(Voltage::from_millivolts(540.0)).seconds())
+            .abs()
+                < 1e-18
+        );
+    }
+
+    #[test]
+    fn rejects_corrupted_documents() {
+        let good = CellCharacterization::paper_lvt(Voltage::from_millivolts(450.0)).to_tsv();
+        assert!(CellCharacterization::from_tsv("").is_err());
+        assert!(CellCharacterization::from_tsv("wrong\theader\n").is_err());
+        let truncated: String = good.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(CellCharacterization::from_tsv(&truncated).is_err());
+        let corrupted = good.replace("meta\tLVT", "meta\tXVT");
+        assert!(CellCharacterization::from_tsv(&corrupted).is_err());
+    }
+}

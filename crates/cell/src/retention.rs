@@ -1,0 +1,152 @@
+//! Data-retention voltage and write energy.
+//!
+//! * **DRV** — the minimum supply at which the cell still holds data
+//!   (hold SNM > 0). The paper's Fig. 2 discussion motivates it: scaling
+//!   6T-LVT to 100 mV "is difficult to realize due to the increased
+//!   susceptibility to noises and process variations"; DRV is the hard
+//!   floor under that statement.
+//! * **Cell write energy** — the energy drawn from all cell sources over
+//!   a write transient, integrating `v(t)·i(t)` per source. Used by the
+//!   array model's `E_write_sram` cross-check.
+
+use crate::{AssistVoltages, CellCharacterizer, CellError};
+use sram_spice::Transient;
+use sram_units::{Energy, Time, Voltage};
+
+impl CellCharacterizer {
+    /// Data-retention voltage: the minimum `Vdd` (to `resolution`)
+    /// at which the hold butterfly still has two lobes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures; [`CellError::BracketingFailed`]
+    /// when the cell cannot hold data even at the nominal supply.
+    pub fn data_retention_voltage(&self, resolution: Voltage) -> Result<Voltage, CellError> {
+        let holds = |vdd: Voltage| -> Result<bool, CellError> {
+            let chr = self.clone().with_vdd(vdd).with_vtc_points(31);
+            match chr.hold_snm(&AssistVoltages::nominal(vdd)) {
+                Ok(snm) => Ok(snm.volts() > 1e-4),
+                Err(CellError::MeasurementFailed { .. }) => Ok(false),
+                Err(e) => Err(e),
+            }
+        };
+        let mut hi = self.vdd();
+        if !holds(hi)? {
+            return Err(CellError::BracketingFailed {
+                what: "data retention voltage",
+            });
+        }
+        let mut lo = Voltage::from_millivolts(10.0);
+        if holds(lo)? {
+            return Ok(lo);
+        }
+        while (hi - lo) > resolution {
+            let mid = lo.lerp(hi, 0.5);
+            if holds(mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// Energy drawn from all bias sources over one `1 → 0` write
+    /// transient (the wordline pulse plus bitline/rail recharge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures; [`CellError::MeasurementFailed`]
+    /// when the write does not complete.
+    pub fn write_energy(&self, bias: &AssistVoltages) -> Result<Energy, CellError> {
+        bias.validate().map_err(CellError::InvalidBias)?;
+        let t_start = Time::from_picoseconds(2.0);
+        let t_rise = Time::from_picoseconds(0.5);
+        let (ckt, nodes) = self
+            .cell()
+            .write_transient_circuit(bias, self.vdd(), t_start, t_rise);
+        let result = Transient::new(Time::from_picoseconds(60.0), Time::from_picoseconds(0.25))
+            .with_initial_solver(
+                sram_spice::DcSolver::new()
+                    .nodeset(nodes.q, bias.vddc)
+                    .nodeset(nodes.qb, bias.vssc),
+            )
+            .run(&ckt)?;
+        let trace = result.trace();
+        if trace.meeting_time(nodes.q, nodes.qb, t_start).is_none() {
+            return Err(CellError::MeasurementFailed {
+                what: "write energy",
+                reason: "write did not complete within the transient window".into(),
+            });
+        }
+
+        // Sum delivered energy over every source; the WL source is
+        // time-varying (its step waveform), the rest are DC.
+        let vdd = self.vdd();
+        let wl_wave = sram_spice::Waveform::step(Voltage::ZERO, bias.vwl, t_start, t_rise);
+        let mut total = Energy::ZERO;
+        for (name, level) in [
+            ("VDDC", bias.vddc),
+            ("VSSC", bias.vssc),
+            ("VBL", bias.vbl),
+            ("VBLB", vdd),
+        ] {
+            let branch = ckt.source_branch(name)?;
+            total += trace.delivered_energy(branch, |_| level);
+        }
+        let wl_branch = ckt.source_branch("VWL")?;
+        total += trace.delivered_energy(wl_branch, |t| {
+            Voltage::from_volts(wl_wave.value_at(t.seconds()))
+        });
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::{DeviceLibrary, VtFlavor};
+
+    fn chr(flavor: VtFlavor) -> CellCharacterizer {
+        CellCharacterizer::new(&DeviceLibrary::sevennm(), flavor)
+    }
+
+    #[test]
+    fn drv_is_below_nominal_and_hvt_retains_lower() {
+        let res = Voltage::from_millivolts(20.0);
+        let lvt = chr(VtFlavor::Lvt).data_retention_voltage(res).unwrap();
+        let hvt = chr(VtFlavor::Hvt).data_retention_voltage(res).unwrap();
+        assert!(lvt.millivolts() < 450.0);
+        assert!(hvt.millivolts() < 450.0);
+        // HVT's better ON/OFF ratio retains data at least as deep.
+        assert!(
+            hvt <= lvt + res,
+            "DRV: HVT {hvt} should not exceed LVT {lvt}"
+        );
+    }
+
+    #[test]
+    fn write_energy_is_femtojoule_scale_and_positive() {
+        let c = chr(VtFlavor::Hvt);
+        let bias = AssistVoltages::nominal(Voltage::from_millivolts(450.0))
+            .with_vwl(Voltage::from_millivolts(540.0));
+        let e = c.write_energy(&bias).unwrap();
+        assert!(e.joules() > 0.0, "write must consume energy, got {e}");
+        assert!(e.femtojoules() < 10.0, "implausibly large write energy {e}");
+    }
+
+    #[test]
+    fn overdriven_write_costs_more_energy() {
+        let c = chr(VtFlavor::Hvt);
+        let nominal_bias = AssistVoltages::nominal(Voltage::from_millivolts(450.0))
+            .with_vwl(Voltage::from_millivolts(500.0));
+        let overdriven = AssistVoltages::nominal(Voltage::from_millivolts(450.0))
+            .with_vwl(Voltage::from_millivolts(650.0));
+        let e_nom = c.write_energy(&nominal_bias).unwrap();
+        let e_od = c.write_energy(&overdriven).unwrap();
+        assert!(
+            e_od > e_nom,
+            "WL overdrive energy {e_od} should exceed nominal {e_nom}"
+        );
+    }
+}

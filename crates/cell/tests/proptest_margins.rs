@@ -1,0 +1,81 @@
+//! Property tests on the SNM geometry and characterization invariances.
+
+use proptest::prelude::*;
+use sram_cell::{butterfly_snm, Vtc};
+use sram_units::Voltage;
+
+/// A parametrized smooth inverter VTC.
+fn inverter(vdd: f64, trip: f64, steepness: f64, n: usize) -> Vtc {
+    let pts: Vec<(Voltage, Voltage)> = (0..=n)
+        .map(|k| {
+            let x = vdd * k as f64 / n as f64;
+            let y = vdd / (1.0 + ((x - trip) / steepness).exp());
+            (Voltage::from_volts(x), Voltage::from_volts(y))
+        })
+        .collect();
+    Vtc::new(pts).expect("monotone inputs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SNM is symmetric in the two curves.
+    #[test]
+    fn snm_symmetric_in_curves(
+        trip_a in 0.3f64..0.7,
+        trip_b in 0.3f64..0.7,
+        steep in 0.005f64..0.05,
+    ) {
+        let a = inverter(1.0, trip_a, steep, 200);
+        let b = inverter(1.0, trip_b, steep, 200);
+        let ab = butterfly_snm(&a, &b);
+        let ba = butterfly_snm(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert!((x.volts() - y.volts()).abs() < 5e-3),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "asymmetric outcome: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Scaling both curves (axes and values) scales the SNM by the same
+    /// factor — the geometry is homogeneous.
+    #[test]
+    fn snm_scales_with_supply(
+        trip_frac in 0.35f64..0.65,
+        steep in 0.005f64..0.03,
+        scale in 0.5f64..2.0,
+    ) {
+        let base = inverter(1.0, trip_frac, steep, 300);
+        let scaled = inverter(scale, trip_frac * scale, steep * scale, 300);
+        let s1 = butterfly_snm(&base, &base).unwrap().volts();
+        let s2 = butterfly_snm(&scaled, &scaled).unwrap().volts();
+        prop_assert!(
+            (s2 - s1 * scale).abs() < 0.02 * scale,
+            "snm {s1} scaled to {s2}, expected {}",
+            s1 * scale
+        );
+    }
+
+    /// Steeper inverters have no smaller SNM (gain helps stability).
+    #[test]
+    fn steeper_is_no_worse(trip in 0.4f64..0.6, steep in 0.01f64..0.05) {
+        let soft = inverter(1.0, trip, steep, 300);
+        let sharp = inverter(1.0, trip, steep / 2.0, 300);
+        let s_soft = butterfly_snm(&soft, &soft).unwrap();
+        let s_sharp = butterfly_snm(&sharp, &sharp).unwrap();
+        prop_assert!(s_sharp.volts() >= s_soft.volts() - 5e-3);
+    }
+
+    /// SNM never exceeds half the swing (the lobes partition the square).
+    #[test]
+    fn snm_bounded_by_half_swing(
+        trip in 0.2f64..0.8,
+        steep in 0.004f64..0.08,
+    ) {
+        let inv = inverter(1.0, trip, steep, 300);
+        if let Ok(snm) = butterfly_snm(&inv, &inv) {
+            prop_assert!(snm.volts() <= 0.5 + 1e-6, "snm = {snm}");
+            prop_assert!(snm.volts() > 0.0);
+        }
+    }
+}

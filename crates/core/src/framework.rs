@@ -1,0 +1,387 @@
+//! The end-to-end framework: device → circuit → architecture.
+
+use crate::rails::{minimize_vddc, minimize_vwl};
+use crate::{
+    CooptError, DesignSpace, EnergyDelayProduct, ExhaustiveSearch, Method, Objective,
+    OptimalDesign, RailSelection, YieldConstraint,
+};
+use sram_array::{ArrayParams, Capacity, Periphery};
+use sram_cell::{CellCharacterization, CellCharacterizer, CharacterizationGrid};
+use sram_device::{DeviceLibrary, VtFlavor};
+use sram_units::Voltage;
+use std::collections::HashMap;
+
+/// Where cell look-up tables come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CharacterizationMode {
+    /// Build tables from the constants the paper publishes (fast,
+    /// reproduces the paper's numbers independently of our device card).
+    PaperModel,
+    /// Measure tables with the `sram-spice` simulator, including the
+    /// rail-minimization searches (the full-stack reproduction; slower).
+    Simulated,
+}
+
+/// The co-optimization framework (paper Fig. "framework" = Sections 2–5
+/// combined): owns the device library, characterizes cells per
+/// `(flavor, method)`, and searches the architecture space.
+///
+/// # Examples
+///
+/// ```
+/// use sram_array::Capacity;
+/// use sram_coopt::{CoOptimizationFramework, Method};
+/// use sram_device::VtFlavor;
+///
+/// # fn main() -> Result<(), sram_coopt::CooptError> {
+/// let mut fw = CoOptimizationFramework::paper_mode();
+/// let lvt = fw.optimize(Capacity::from_bytes(16 * 1024), VtFlavor::Lvt, Method::M2)?;
+/// let hvt = fw.optimize(Capacity::from_bytes(16 * 1024), VtFlavor::Hvt, Method::M2)?;
+/// assert!(hvt.edp() < lvt.edp()); // the paper's headline for 16 KB
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CoOptimizationFramework {
+    library: DeviceLibrary,
+    vdd: Voltage,
+    periphery: Periphery,
+    params: ArrayParams,
+    space: DesignSpace,
+    mode: CharacterizationMode,
+    word_bits: u32,
+    threads: usize,
+    cache: HashMap<(VtFlavor, Method), CellCharacterization>,
+}
+
+impl CoOptimizationFramework {
+    /// Framework in paper-model mode with the Section 5 defaults.
+    #[must_use]
+    pub fn paper_mode() -> Self {
+        Self::new(DeviceLibrary::sevennm(), CharacterizationMode::PaperModel)
+    }
+
+    /// Framework in full-simulation mode.
+    #[must_use]
+    pub fn simulated_mode() -> Self {
+        Self::new(DeviceLibrary::sevennm(), CharacterizationMode::Simulated)
+    }
+
+    /// Framework over an explicit device library and mode.
+    #[must_use]
+    pub fn new(library: DeviceLibrary, mode: CharacterizationMode) -> Self {
+        let periphery = Periphery::new(&library);
+        Self {
+            vdd: library.nominal_vdd(),
+            library,
+            periphery,
+            params: ArrayParams::paper_defaults(),
+            space: DesignSpace::paper_default(),
+            mode,
+            word_bits: 64,
+            threads: 1,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Replaces the design space (e.g. [`DesignSpace::coarse`] for smoke
+    /// tests).
+    #[must_use]
+    pub fn with_space(mut self, space: DesignSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Replaces the workload parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: ArrayParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables parallel search with `n` threads.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Overrides the array supply voltage (dynamic-voltage-scaling
+    /// studies). Rebuilds the peripheral figures and clears the cell
+    /// cache. Note the paper-model rail constants are only published for
+    /// the 450 mV nominal; use [`CharacterizationMode::Simulated`] when
+    /// scaling the supply.
+    #[must_use]
+    pub fn with_supply(mut self, vdd: Voltage) -> Self {
+        self.vdd = vdd;
+        self.periphery = Periphery::at_supply(&self.library, vdd);
+        self.cache.clear();
+        self
+    }
+
+    /// The array supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// The minimum acceptable margin `δ = 0.35 · Vdd`.
+    #[must_use]
+    pub fn delta(&self) -> Voltage {
+        self.vdd() * 0.35
+    }
+
+    /// Rail levels for a `(flavor, method)` pair: published values in
+    /// paper mode; measured by simulation otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rail-search failures in simulated mode.
+    pub fn rails(&self, flavor: VtFlavor, method: Method) -> Result<RailSelection, CooptError> {
+        let (vddc_min, vwl_min) = match self.mode {
+            CharacterizationMode::PaperModel => RailSelection::paper_minimums(flavor),
+            CharacterizationMode::Simulated => {
+                let chr = CellCharacterizer::new(&self.library, flavor)
+                    .with_vdd(self.vdd)
+                    .with_vtc_points(31);
+                (
+                    minimize_vddc(&chr, self.delta())?,
+                    minimize_vwl(&chr, self.delta())?,
+                )
+            }
+        };
+        Ok(RailSelection::from_minimums(method, vddc_min, vwl_min))
+    }
+
+    /// Returns (building and caching on first use) the cell look-up
+    /// tables for a `(flavor, method)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterization(
+        &mut self,
+        flavor: VtFlavor,
+        method: Method,
+    ) -> Result<&CellCharacterization, CooptError> {
+        if !self.cache.contains_key(&(flavor, method)) {
+            let rails = self.rails(flavor, method)?;
+            let cell = match self.mode {
+                CharacterizationMode::PaperModel => CellCharacterization::paper_with_rails(
+                    flavor,
+                    self.vdd(),
+                    rails.vddc,
+                    rails.vwl,
+                ),
+                CharacterizationMode::Simulated => {
+                    let chr = CellCharacterizer::new(&self.library, flavor)
+                        .with_vdd(self.vdd)
+                        .with_vtc_points(31);
+                    let grid = CharacterizationGrid::paper_default(rails.vddc, rails.vwl);
+                    CellCharacterization::characterize(&chr, &grid)?
+                }
+            };
+            self.cache.insert((flavor, method), cell);
+        }
+        Ok(&self.cache[&(flavor, method)])
+    }
+
+    /// Optimizes one `(capacity, flavor, method)` combination under the
+    /// EDP objective — one row of Table 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization and search failures.
+    pub fn optimize(
+        &mut self,
+        capacity: Capacity,
+        flavor: VtFlavor,
+        method: Method,
+    ) -> Result<OptimalDesign, CooptError> {
+        self.optimize_with(capacity, flavor, method, &EnergyDelayProduct)
+    }
+
+    /// Optimizes under an arbitrary objective.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization and search failures.
+    pub fn optimize_with(
+        &mut self,
+        capacity: Capacity,
+        flavor: VtFlavor,
+        method: Method,
+        objective: &(impl Objective + Sync + ?Sized),
+    ) -> Result<OptimalDesign, CooptError> {
+        let rails = self.rails(flavor, method)?;
+        let threads = self.threads;
+        let word_bits = self.word_bits;
+        let delta = self.delta();
+        let space = match method {
+            Method::M1 => self.space.clone().without_negative_gnd(),
+            Method::M2 => self.space.clone(),
+        };
+        self.characterization(flavor, method)?;
+        let cell = &self.cache[&(flavor, method)];
+
+        let search = ExhaustiveSearch::new(
+            cell,
+            &self.periphery,
+            &self.params,
+            &space,
+            YieldConstraint::MinMargin { delta },
+            word_bits,
+        )
+        .with_threads(threads);
+        let outcome = search.run(capacity, objective)?;
+
+        Ok(OptimalDesign {
+            capacity,
+            flavor,
+            method,
+            organization: outcome.best.organization,
+            n_pre: outcome.best.n_pre,
+            n_wr: outcome.best.n_wr,
+            vddc: rails.vddc,
+            vssc: outcome.best.vssc,
+            vwl: rails.vwl,
+            metrics: outcome.metrics,
+            stats: outcome.stats,
+        })
+    }
+
+    /// Verifies a winning design against the paper's *accurate* yield
+    /// constraint (`min over margins of (μ − kσ) ≥ 0`, Section 4) by
+    /// Monte Carlo simulation of `samples` varied cells at the design's
+    /// operating point — the statistical cross-check the deterministic
+    /// `δ` rule approximates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn verify_statistical_yield(
+        &self,
+        design: &crate::OptimalDesign,
+        samples: usize,
+    ) -> Result<sram_cell::YieldAnalysis, CooptError> {
+        use sram_cell::{AssistVoltages, MonteCarloConfig, YieldAnalyzer};
+        let chr = CellCharacterizer::new(&self.library, design.flavor);
+        let bias = AssistVoltages::nominal(self.vdd())
+            .with_vddc(design.vddc)
+            .with_vssc(design.vssc)
+            .with_vwl(design.vwl);
+        YieldAnalyzer::new(
+            chr,
+            MonteCarloConfig {
+                samples,
+                seed: 0x51a7,
+                vtc_points: 25,
+            },
+        )
+        .run(&bias)
+        .map_err(CooptError::Cell)
+    }
+
+    /// Reproduces the paper's full Table 4: every capacity in
+    /// `{128 B, 256 B, 1 KB, 4 KB, 16 KB}` × `{LVT, HVT}` × `{M1, M2}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing optimization.
+    pub fn optimize_table4(&mut self) -> Result<Vec<OptimalDesign>, CooptError> {
+        let mut out = Vec::new();
+        for bytes in [128, 256, 1024, 4096, 16 * 1024] {
+            for flavor in [VtFlavor::Lvt, VtFlavor::Hvt] {
+                for method in [Method::M1, Method::M2] {
+                    out.push(self.optimize(Capacity::from_bytes(bytes), flavor, method)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coarse_framework() -> CoOptimizationFramework {
+        CoOptimizationFramework::paper_mode().with_space(DesignSpace::coarse())
+    }
+
+    #[test]
+    fn m1_never_uses_negative_gnd() {
+        let mut fw = coarse_framework();
+        let d = fw
+            .optimize(Capacity::from_bytes(4096), VtFlavor::Hvt, Method::M1)
+            .unwrap();
+        assert_eq!(d.vssc, Voltage::ZERO);
+        assert_eq!(d.vddc.millivolts(), 550.0);
+        assert_eq!(d.vwl.millivolts(), 550.0);
+    }
+
+    #[test]
+    fn m2_beats_m1_on_edp_for_hvt() {
+        let mut fw = coarse_framework();
+        let m1 = fw
+            .optimize(Capacity::from_bytes(4096), VtFlavor::Hvt, Method::M1)
+            .unwrap();
+        let m2 = fw
+            .optimize(Capacity::from_bytes(4096), VtFlavor::Hvt, Method::M2)
+            .unwrap();
+        assert!(
+            m2.edp() <= m1.edp(),
+            "M2 ({}) must not lose to M1 ({}) — its space is a superset",
+            m2.edp(),
+            m1.edp()
+        );
+        assert!(m2.vssc.volts() < 0.0, "HVT-M2 should exploit negative Gnd");
+    }
+
+    #[test]
+    fn hvt_m2_wins_edp_at_large_capacity() {
+        let mut fw = coarse_framework();
+        let lvt = fw
+            .optimize(Capacity::from_bytes(16 * 1024), VtFlavor::Lvt, Method::M2)
+            .unwrap();
+        let hvt = fw
+            .optimize(Capacity::from_bytes(16 * 1024), VtFlavor::Hvt, Method::M2)
+            .unwrap();
+        assert!(hvt.edp() < lvt.edp(), "paper headline: HVT-M2 wins at 16 KB");
+        // ... at a bounded performance penalty:
+        let penalty = hvt.delay() / lvt.delay() - 1.0;
+        assert!(penalty < 0.5, "delay penalty {penalty:.2} looks wrong");
+    }
+
+    #[test]
+    fn characterizations_are_cached() {
+        let mut fw = coarse_framework();
+        fw.optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M2)
+            .unwrap();
+        let before = fw.cache.len();
+        fw.optimize(Capacity::from_bytes(4096), VtFlavor::Hvt, Method::M2)
+            .unwrap();
+        assert_eq!(fw.cache.len(), before);
+    }
+
+    #[test]
+    fn statistical_yield_verifies_a_winner() {
+        let mut fw = coarse_framework();
+        let design = fw
+            .optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M2)
+            .unwrap();
+        let analysis = fw.verify_statistical_yield(&design, 8).unwrap();
+        assert_eq!(analysis.hsnm.samples, 8);
+        // The delta-rule winner holds at least the k = 1 statistical bar.
+        assert!(analysis.passes(1.0));
+    }
+
+    #[test]
+    fn rails_follow_method_policy() {
+        let fw = CoOptimizationFramework::paper_mode();
+        let m1 = fw.rails(VtFlavor::Lvt, Method::M1).unwrap();
+        assert_eq!(m1.vwl.millivolts(), 640.0);
+        let m2 = fw.rails(VtFlavor::Lvt, Method::M2).unwrap();
+        assert_eq!(m2.vwl.millivolts(), 490.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Optimization objectives.
+//!
+//! The paper minimizes the energy-delay product; alternative objectives
+//! are provided for the ablation benches (what changes when the target is
+//! ED²P or delay under an energy cap is a natural reviewer question).
+
+use sram_array::ArrayMetrics;
+
+/// Scores a design point; lower is better.
+pub trait Objective {
+    /// Scalar score of the metrics (lower wins).
+    fn score(&self, metrics: &ArrayMetrics) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// `E × D` — the paper's objective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyDelayProduct;
+
+impl Objective for EnergyDelayProduct {
+    fn score(&self, metrics: &ArrayMetrics) -> f64 {
+        metrics.edp().joule_seconds()
+    }
+
+    fn name(&self) -> &'static str {
+        "energy-delay product"
+    }
+}
+
+/// `E × D²` — weights performance more heavily.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyDelaySquared;
+
+impl Objective for EnergyDelaySquared {
+    fn score(&self, metrics: &ArrayMetrics) -> f64 {
+        metrics.energy.joules() * metrics.delay.seconds().powi(2)
+    }
+
+    fn name(&self) -> &'static str {
+        "energy-delay-squared product"
+    }
+}
+
+/// Pure delay minimization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayOnly;
+
+impl Objective for DelayOnly {
+    fn score(&self, metrics: &ArrayMetrics) -> f64 {
+        metrics.delay.seconds()
+    }
+
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+}
+
+/// Pure energy minimization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyOnly;
+
+impl Objective for EnergyOnly {
+    fn score(&self, metrics: &ArrayMetrics) -> f64 {
+        metrics.energy.joules()
+    }
+
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+}
+
+/// Log-domain weighted blend: `w·ln E + (1−w)·ln D`; `w = 0.5` ranks
+/// identically to EDP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedEnergyDelay {
+    /// Energy weight in `[0, 1]`.
+    pub energy_weight: f64,
+}
+
+impl Objective for WeightedEnergyDelay {
+    fn score(&self, metrics: &ArrayMetrics) -> f64 {
+        let w = self.energy_weight.clamp(0.0, 1.0);
+        w * metrics.energy.joules().ln() + (1.0 - w) * metrics.delay.seconds().ln()
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted energy-delay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_array::{ArrayModel, ArrayOrganization, ArrayParams, Periphery};
+    use sram_cell::CellCharacterization;
+    use sram_device::DeviceLibrary;
+
+    fn metrics(rows: u32, cols: u32) -> ArrayMetrics {
+        let lib = DeviceLibrary::sevennm();
+        let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+        let periphery = Periphery::new(&lib);
+        let params = ArrayParams::paper_defaults();
+        ArrayModel::new(
+            ArrayOrganization::new(rows, cols, 64).unwrap(),
+            &cell,
+            &periphery,
+            &params,
+        )
+        .with_precharge_fins(10)
+        .evaluate()
+        .unwrap()
+    }
+
+    #[test]
+    fn edp_score_equals_metrics_edp() {
+        let m = metrics(128, 64);
+        assert_eq!(EnergyDelayProduct.score(&m), m.edp().joule_seconds());
+    }
+
+    #[test]
+    fn ed2p_punishes_delay_harder() {
+        let fast = metrics(64, 128);
+        let slow = metrics(1024, 64);
+        // The slower design loses more ground under ED2P than under EDP.
+        let edp_ratio = EnergyDelayProduct.score(&slow) / EnergyDelayProduct.score(&fast);
+        let ed2p_ratio = EnergyDelaySquared.score(&slow) / EnergyDelaySquared.score(&fast);
+        if slow.delay > fast.delay {
+            assert!(ed2p_ratio > edp_ratio);
+        }
+    }
+
+    #[test]
+    fn weighted_half_ranks_like_edp() {
+        let a = metrics(64, 128);
+        let b = metrics(512, 64);
+        let w = WeightedEnergyDelay { energy_weight: 0.5 };
+        let edp_order = EnergyDelayProduct.score(&a) < EnergyDelayProduct.score(&b);
+        let w_order = w.score(&a) < w.score(&b);
+        assert_eq!(edp_order, w_order);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EnergyDelayProduct.name(), "energy-delay product");
+        assert_eq!(DelayOnly.name(), "delay");
+        assert_eq!(EnergyOnly.name(), "energy");
+    }
+}

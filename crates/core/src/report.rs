@@ -1,0 +1,93 @@
+//! Report formatting: Table-4-style text tables and CSV emission.
+
+use crate::OptimalDesign;
+
+/// Formats optimization results as the paper's Table 4 (design parameters
+/// of the minimum-EDP point, voltages in mV).
+#[must_use]
+pub fn format_table4(designs: &[OptimalDesign]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| M     | SRAM       | n_r  | n_c  | N_pre | N_wr | V_DDC | V_SSC | V_WL |\n",
+    );
+    out.push_str(
+        "|-------|------------|------|------|-------|------|-------|-------|------|\n",
+    );
+    for d in designs {
+        out.push_str(&format!(
+            "| {:<5} | {:<10} | {:>4} | {:>4} | {:>5} | {:>4} | {:>5.0} | {:>5.0} | {:>4.0} |\n",
+            d.capacity.to_string(),
+            d.label(),
+            d.organization.rows(),
+            d.organization.cols(),
+            d.n_pre,
+            d.n_wr,
+            d.vddc.millivolts(),
+            d.vssc.millivolts(),
+            d.vwl.millivolts(),
+        ));
+    }
+    out
+}
+
+/// Emits results as CSV with delay/energy/EDP columns (for plotting the
+/// Fig. 7 series).
+#[must_use]
+pub fn csv_table(designs: &[OptimalDesign]) -> String {
+    let mut out = String::from(
+        "capacity_bytes,config,n_r,n_c,n_pre,n_wr,vddc_mv,vssc_mv,vwl_mv,delay_ps,energy_fj,edp_fj_ps\n",
+    );
+    for d in designs {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.0},{:.0},{:.0},{:.4},{:.4},{:.4}\n",
+            d.capacity.bytes(),
+            d.label(),
+            d.organization.rows(),
+            d.organization.cols(),
+            d.n_pre,
+            d.n_wr,
+            d.vddc.millivolts(),
+            d.vssc.millivolts(),
+            d.vwl.millivolts(),
+            d.delay().picoseconds(),
+            d.energy().femtojoules(),
+            d.edp().joule_seconds() * 1e27,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoOptimizationFramework, DesignSpace, Method};
+    use sram_array::Capacity;
+    use sram_device::VtFlavor;
+
+    fn sample() -> Vec<OptimalDesign> {
+        let mut fw = CoOptimizationFramework::paper_mode().with_space(DesignSpace::coarse());
+        vec![
+            fw.optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M1)
+                .unwrap(),
+            fw.optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M2)
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn table4_layout() {
+        let text = format_table4(&sample());
+        assert!(text.contains("6T-HVT-M1"));
+        assert!(text.contains("6T-HVT-M2"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = csv_table(&sample());
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("capacity_bytes,"));
+        assert_eq!(lines.count(), 2);
+        assert!(csv.contains("1024,6T-HVT-M2"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Exhaustive (and parallel) search over the design space.
+
+use crate::{CooptError, DesignSpace, Objective, SearchStatistics, YieldConstraint};
+use sram_array::{ArrayMetrics, ArrayModel, ArrayOrganization, ArrayParams, Capacity, Periphery};
+use sram_cell::CellCharacterization;
+use sram_units::Voltage;
+
+/// One candidate assignment of the searched variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Organization (`n_r`, `n_c`).
+    pub organization: ArrayOrganization,
+    /// Negative-Gnd level.
+    pub vssc: Voltage,
+    /// Precharger fins.
+    pub n_pre: u32,
+    /// Write-buffer fins.
+    pub n_wr: u32,
+}
+
+/// Result of a search: the winner plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The minimum-objective feasible candidate.
+    pub best: DesignPoint,
+    /// Its evaluated metrics.
+    pub metrics: ArrayMetrics,
+    /// Its objective score.
+    pub score: f64,
+    /// Statistics over the whole space.
+    pub stats: SearchStatistics,
+}
+
+/// A feasible candidate with its evaluated metrics and objective score.
+type ScoredCandidate = (DesignPoint, ArrayMetrics, f64);
+
+/// Exhaustive search over [`DesignSpace`] (Section 5: "we can derive the
+/// minimum energy-delay product point of the array using an exhaustive
+/// search").
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch<'a> {
+    cell: &'a CellCharacterization,
+    periphery: &'a Periphery,
+    params: &'a ArrayParams,
+    space: &'a DesignSpace,
+    constraint: YieldConstraint,
+    word_bits: u32,
+    threads: usize,
+}
+
+impl<'a> ExhaustiveSearch<'a> {
+    /// Creates a search bound to a characterized cell and the shared
+    /// array parameters. `word_bits` is the paper's `W = 64`.
+    #[must_use]
+    pub fn new(
+        cell: &'a CellCharacterization,
+        periphery: &'a Periphery,
+        params: &'a ArrayParams,
+        space: &'a DesignSpace,
+        constraint: YieldConstraint,
+        word_bits: u32,
+    ) -> Self {
+        Self {
+            cell,
+            periphery,
+            params,
+            space,
+            constraint,
+            word_bits,
+            threads: 1,
+        }
+    }
+
+    /// Enables a crossbeam-scoped thread pool of `n` workers, splitting
+    /// the space by `(organization, V_SSC)` slice.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Enumerates the candidate `(organization, V_SSC)` slices for a
+    /// capacity (the fin loops run inside each slice).
+    fn slices(&self, capacity: Capacity) -> Vec<(ArrayOrganization, Voltage)> {
+        let orgs =
+            ArrayOrganization::enumerate(capacity, self.word_bits, self.space.rows_range());
+        let mut out = Vec::with_capacity(orgs.len() * self.space.vssc_values().len());
+        for org in orgs {
+            for &vssc in self.space.vssc_values() {
+                out.push((org, vssc));
+            }
+        }
+        out
+    }
+
+    /// Evaluates one slice, returning the best feasible candidate in it.
+    fn best_in_slice(
+        &self,
+        org: ArrayOrganization,
+        vssc: Voltage,
+        objective: &(impl Objective + ?Sized),
+    ) -> (Option<ScoredCandidate>, SearchStatistics) {
+        let mut stats = SearchStatistics::default();
+        let npre_values = self.space.npre_values();
+        let nwr_values = self.space.nwr_values();
+        stats.examined = npre_values.len() * nwr_values.len();
+
+        // The yield constraint depends only on V_SSC (through the cell
+        // tables), so it gates the whole slice.
+        if !self.constraint.check_snapshot(self.cell, vssc) {
+            return (None, stats);
+        }
+        stats.feasible = stats.examined;
+
+        let mut best: Option<ScoredCandidate> = None;
+        for &n_pre in &npre_values {
+            for &n_wr in &nwr_values {
+                let metrics = match ArrayModel::new(org, self.cell, self.periphery, self.params)
+                    .with_precharge_fins(n_pre)
+                    .with_write_fins(n_wr)
+                    .with_vssc(vssc)
+                    .evaluate()
+                {
+                    Ok(m) => m,
+                    Err(_) => continue,
+                };
+                let score = objective.score(&metrics);
+                if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
+                    best = Some((
+                        DesignPoint {
+                            organization: org,
+                            vssc,
+                            n_pre,
+                            n_wr,
+                        },
+                        metrics,
+                        score,
+                    ));
+                }
+            }
+        }
+        (best, stats)
+    }
+
+    /// Runs the search for `capacity` under `objective`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CooptError::EmptyDesignSpace`] when the capacity admits no
+    ///   organization within the row range;
+    /// * [`CooptError::Infeasible`] when no candidate meets the yield
+    ///   constraint.
+    pub fn run(
+        &self,
+        capacity: Capacity,
+        objective: &(impl Objective + Sync + ?Sized),
+    ) -> Result<SearchOutcome, CooptError> {
+        let slices = self.slices(capacity);
+        if slices.is_empty() {
+            return Err(CooptError::EmptyDesignSpace {
+                capacity_bits: capacity.bits(),
+            });
+        }
+
+        let results: Vec<(Option<ScoredCandidate>, SearchStatistics)> =
+            if self.threads <= 1 {
+                slices
+                    .iter()
+                    .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
+                    .collect()
+            } else {
+                let chunks: Vec<&[(ArrayOrganization, Voltage)]> =
+                    slices.chunks(slices.len().div_ceil(self.threads)).collect();
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move |_| {
+                                chunk
+                                    .iter()
+                                    .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("search worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope failed")
+            };
+
+        let mut stats = SearchStatistics::default();
+        let mut best: Option<ScoredCandidate> = None;
+        for (candidate, slice_stats) in results {
+            stats.examined += slice_stats.examined;
+            stats.feasible += slice_stats.feasible;
+            if let Some((point, metrics, score)) = candidate {
+                if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
+                    best = Some((point, metrics, score));
+                }
+            }
+        }
+
+        let (best, metrics, score) = best.ok_or(CooptError::Infeasible {
+            capacity_bits: capacity.bits(),
+            examined: stats.examined,
+        })?;
+        Ok(SearchOutcome {
+            best,
+            metrics,
+            score,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyDelayProduct;
+    use sram_device::DeviceLibrary;
+
+    struct Fixture {
+        cell: CellCharacterization,
+        periphery: Periphery,
+        params: ArrayParams,
+        space: DesignSpace,
+    }
+
+    fn fixture() -> Fixture {
+        let lib = DeviceLibrary::sevennm();
+        Fixture {
+            cell: CellCharacterization::paper_hvt(lib.nominal_vdd()),
+            periphery: Periphery::new(&lib),
+            params: ArrayParams::paper_defaults(),
+            space: DesignSpace::coarse(),
+        }
+    }
+
+    fn search(fx: &Fixture) -> ExhaustiveSearch<'_> {
+        ExhaustiveSearch::new(
+            &fx.cell,
+            &fx.periphery,
+            &fx.params,
+            &fx.space,
+            YieldConstraint::paper_delta(fx.cell.vdd()),
+            64,
+        )
+    }
+
+    #[test]
+    fn finds_a_feasible_minimum() {
+        let fx = fixture();
+        let out = search(&fx)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        assert!(out.stats.examined > 0);
+        assert!(out.stats.feasible > 0);
+        assert_eq!(out.best.organization.capacity().bits(), 8192);
+        assert!(out.score > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let fx = fixture();
+        let serial = search(&fx)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        let parallel = search(&fx)
+            .with_threads(4)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        assert_eq!(serial.best, parallel.best);
+        assert_eq!(serial.stats, parallel.stats);
+        assert!((serial.score - parallel.score).abs() < 1e-30);
+    }
+
+    #[test]
+    fn infeasible_constraint_is_reported() {
+        let fx = fixture();
+        let strict = ExhaustiveSearch::new(
+            &fx.cell,
+            &fx.periphery,
+            &fx.params,
+            &fx.space,
+            YieldConstraint::MinMargin {
+                delta: Voltage::from_volts(1.0),
+            },
+            64,
+        );
+        let err = strict
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap_err();
+        assert!(matches!(err, CooptError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn impossible_capacity_is_empty() {
+        let fx = fixture();
+        // 8 bits cannot form any org with W = 64 columns minimum.
+        let err = search(&fx)
+            .run(Capacity::from_bits(8), &EnergyDelayProduct)
+            .unwrap_err();
+        assert!(matches!(err, CooptError::EmptyDesignSpace { .. }));
+    }
+
+    #[test]
+    fn winner_beats_a_baseline_point() {
+        let fx = fixture();
+        let out = search(&fx)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        // Compare against the no-assist, minimum-fins baseline.
+        let org = ArrayOrganization::new(128, 64, 64).unwrap();
+        let baseline = ArrayModel::new(org, &fx.cell, &fx.periphery, &fx.params)
+            .evaluate()
+            .unwrap();
+        assert!(out.score <= baseline.edp().joule_seconds());
+    }
+}

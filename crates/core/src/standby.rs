@@ -1,0 +1,131 @@
+//! Standby (drowsy) supply optimization — a device-circuit extension.
+//!
+//! The paper's Fig. 2 analysis shows leakage falling with `Vdd` while
+//! hold margins collapse — and argues HVT cells tolerate deeper scaling.
+//! This module turns that analysis into a design procedure: find the
+//! lowest *standby* supply whose simulated hold SNM still clears a
+//! retention margin, and report the leakage saved relative to idling at
+//! the nominal supply. (Active accesses still run at nominal; drowsy
+//! periods only hold data.)
+
+use crate::CooptError;
+use sram_cell::{AssistVoltages, CellCharacterizer, CellError};
+use sram_units::{Power, Voltage};
+
+/// Result of a standby-supply search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StandbyPolicy {
+    /// Chosen standby supply.
+    pub vdd_hold: Voltage,
+    /// Hold SNM at the standby supply.
+    pub hold_snm: Voltage,
+    /// Cell leakage power at the standby supply.
+    pub leakage: Power,
+    /// Cell leakage power at the nominal supply.
+    pub nominal_leakage: Power,
+}
+
+impl StandbyPolicy {
+    /// Fractional leakage saving of drowsy standby vs. idling at nominal.
+    #[must_use]
+    pub fn leakage_saving(&self) -> f64 {
+        1.0 - self.leakage.watts() / self.nominal_leakage.watts()
+    }
+}
+
+/// Finds the lowest standby supply (on a 25 mV grid down from nominal)
+/// whose hold SNM is at least `margin_fraction × Vdd_hold` — the same
+/// relative-margin form as the paper's `δ = 0.35·Vdd` rule, applied to
+/// retention.
+///
+/// # Errors
+///
+/// * [`CooptError::RailSearchFailed`] when even the nominal supply fails
+///   the retention margin;
+/// * propagates simulation failures.
+pub fn optimize_standby(
+    characterizer: &CellCharacterizer,
+    margin_fraction: f64,
+) -> Result<StandbyPolicy, CooptError> {
+    let nominal_vdd = characterizer.vdd();
+    let nominal_leakage = characterizer
+        .hold_leakage_at(nominal_vdd)
+        .map_err(CooptError::Cell)?;
+
+    let snm_at = |vdd: Voltage| -> Result<Option<Voltage>, CellError> {
+        let chr = characterizer.clone().with_vdd(vdd).with_vtc_points(31);
+        match chr.hold_snm(&AssistVoltages::nominal(vdd)) {
+            Ok(snm) => Ok(Some(snm)),
+            Err(CellError::MeasurementFailed { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    let mut best: Option<StandbyPolicy> = None;
+    let mut mv = nominal_vdd.millivolts();
+    while mv >= 100.0 {
+        let vdd = Voltage::from_millivolts(mv);
+        let ok = match snm_at(vdd).map_err(CooptError::Cell)? {
+            Some(snm) if snm.volts() >= margin_fraction * vdd.volts() => Some(snm),
+            _ => None,
+        };
+        match ok {
+            Some(snm) => {
+                best = Some(StandbyPolicy {
+                    vdd_hold: vdd,
+                    hold_snm: snm,
+                    leakage: characterizer
+                        .hold_leakage_at(vdd)
+                        .map_err(CooptError::Cell)?,
+                    nominal_leakage,
+                });
+            }
+            // Margins are monotone in Vdd here: the first failure ends
+            // the descent.
+            None => break,
+        }
+        mv -= 25.0;
+    }
+    best.ok_or(CooptError::RailSearchFailed { rail: "V_DD,hold" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::{DeviceLibrary, VtFlavor};
+
+    fn chr(flavor: VtFlavor) -> CellCharacterizer {
+        CellCharacterizer::new(&DeviceLibrary::sevennm(), flavor)
+    }
+
+    #[test]
+    fn drowsy_standby_saves_leakage() {
+        let policy = optimize_standby(&chr(VtFlavor::Hvt), 0.30).unwrap();
+        assert!(policy.vdd_hold < Voltage::from_millivolts(450.0));
+        assert!(
+            policy.leakage_saving() > 0.1,
+            "saving = {:.1}%",
+            policy.leakage_saving() * 100.0
+        );
+        // The margin rule is respected at the chosen supply.
+        assert!(policy.hold_snm.volts() >= 0.30 * policy.vdd_hold.volts());
+    }
+
+    #[test]
+    fn hvt_retains_deeper_than_lvt() {
+        let hvt = optimize_standby(&chr(VtFlavor::Hvt), 0.30).unwrap();
+        let lvt = optimize_standby(&chr(VtFlavor::Lvt), 0.30).unwrap();
+        assert!(
+            hvt.vdd_hold <= lvt.vdd_hold,
+            "HVT hold {} vs LVT hold {} — Fig. 2's ordering",
+            hvt.vdd_hold,
+            lvt.vdd_hold
+        );
+    }
+
+    #[test]
+    fn impossible_margin_is_reported() {
+        let err = optimize_standby(&chr(VtFlavor::Lvt), 0.49).unwrap_err();
+        assert!(matches!(err, CooptError::RailSearchFailed { .. }));
+    }
+}

@@ -1,0 +1,52 @@
+//! Terminal capacitances of a device instance.
+
+use sram_units::Capacitance;
+
+/// Terminal capacitances of one FinFET instance (already scaled by its fin
+/// count).
+///
+/// Table 1 of the paper composes interconnect loads out of these: e.g.
+/// `C_BL = n_r (C_height + C_dn) + (N_pre + 1) C_dp + …`.
+///
+/// # Examples
+///
+/// ```
+/// use sram_device::{DeviceLibrary, FinFet, VtFlavor};
+///
+/// let lib = DeviceLibrary::sevennm();
+/// let pre = FinFet::new(lib.pfet(VtFlavor::Lvt).clone(), 7);
+/// let caps = pre.capacitances();
+/// assert!(caps.drain.farads() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceCapacitances {
+    /// Gate terminal capacitance.
+    pub gate: Capacitance,
+    /// Drain terminal capacitance (junction + fringe).
+    pub drain: Capacitance,
+    /// Source terminal capacitance (symmetric with the drain).
+    pub source: Capacitance,
+}
+
+impl DeviceCapacitances {
+    /// Sum of all terminal capacitances (useful as a crude self-load bound).
+    #[must_use]
+    pub fn total(&self) -> Capacitance {
+        self.gate + self.drain + self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_terminals() {
+        let c = DeviceCapacitances {
+            gate: Capacitance::from_attofarads(45.0),
+            drain: Capacitance::from_attofarads(30.0),
+            source: Capacitance::from_attofarads(30.0),
+        };
+        assert!((c.total().attofarads() - 105.0).abs() < 1e-9);
+    }
+}

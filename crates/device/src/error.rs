@@ -1,0 +1,51 @@
+//! Device-layer error type.
+
+use core::fmt;
+
+/// Errors produced when constructing or evaluating device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A device parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// A fin count of zero was requested (width quantization requires at
+    /// least one fin).
+    ZeroFins,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid device parameter `{name}`: {constraint}")
+            }
+            DeviceError::ZeroFins => write!(f, "fin count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DeviceError::ZeroFins;
+        let msg = e.to_string();
+        assert!(msg.starts_with("fin count"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! FinFET instances: a parameter card plus quantized width (fin count).
+
+use crate::{DeviceCapacitances, DeviceError, DeviceParams, IvModel};
+use sram_units::{Current, Voltage};
+
+/// Channel polarity of a FinFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Polarity {
+    /// N-channel device (pull-down / access transistors).
+    N,
+    /// P-channel device (pull-up / precharge transistors).
+    P,
+}
+
+impl core::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Polarity::N => f.write_str("NFET"),
+            Polarity::P => f.write_str("PFET"),
+        }
+    }
+}
+
+/// Threshold-voltage flavor of the 7 nm library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum VtFlavor {
+    /// Low threshold voltage: fast, leaky. Used for all peripherals.
+    Lvt,
+    /// High threshold voltage: ~2× lower ION, ~20× lower IOFF. The paper's
+    /// candidate for the cell transistors.
+    Hvt,
+}
+
+impl core::fmt::Display for VtFlavor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VtFlavor::Lvt => f.write_str("LVT"),
+            VtFlavor::Hvt => f.write_str("HVT"),
+        }
+    }
+}
+
+/// A FinFET instance: a device card with a quantized width.
+///
+/// FinFET width quantization means drive strength only scales with the
+/// integer number of fins — the property that forces the paper to treat
+/// `N_pre` and `N_wr` as discrete architecture-level optimization
+/// variables rather than continuously sizing the periphery.
+///
+/// # Examples
+///
+/// ```
+/// use sram_device::{DeviceLibrary, FinFet, VtFlavor};
+/// use sram_units::Voltage;
+///
+/// let lib = DeviceLibrary::sevennm();
+/// let one_fin = FinFet::new(lib.nfet(VtFlavor::Lvt).clone(), 1);
+/// let four_fin = FinFet::new(lib.nfet(VtFlavor::Lvt).clone(), 4);
+///
+/// let v = Voltage::from_millivolts(450.0);
+/// let ratio = four_fin.ids(v, v).amps() / one_fin.ids(v, v).amps();
+/// assert!((ratio - 4.0).abs() < 1e-9); // exactly 4x: width quantization
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FinFet {
+    params: DeviceParams,
+    fins: u32,
+    delta_vt: Voltage,
+}
+
+impl FinFet {
+    /// Creates a FinFET with `fins` parallel fins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fins` is zero; use [`FinFet::try_new`] for a fallible
+    /// variant.
+    #[must_use]
+    pub fn new(params: DeviceParams, fins: u32) -> Self {
+        Self::try_new(params, fins).expect("fin count must be at least 1")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ZeroFins`] when `fins == 0` and propagates
+    /// [`DeviceParams::validate`] failures.
+    pub fn try_new(params: DeviceParams, fins: u32) -> Result<Self, DeviceError> {
+        if fins == 0 {
+            return Err(DeviceError::ZeroFins);
+        }
+        params.validate()?;
+        Ok(Self {
+            params,
+            fins,
+            delta_vt: Voltage::ZERO,
+        })
+    }
+
+    /// Returns a copy with an additional threshold shift (Monte Carlo
+    /// process variation).
+    #[must_use]
+    pub fn with_vt_shift(mut self, delta_vt: Voltage) -> Self {
+        self.delta_vt = delta_vt;
+        self
+    }
+
+    /// The device parameter card.
+    #[must_use]
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Number of fins (quantized width).
+    #[must_use]
+    pub fn fins(&self) -> u32 {
+        self.fins
+    }
+
+    /// Channel polarity.
+    #[must_use]
+    pub fn polarity(&self) -> Polarity {
+        self.params.polarity
+    }
+
+    /// Applied threshold shift.
+    #[must_use]
+    pub fn vt_shift(&self) -> Voltage {
+        self.delta_vt
+    }
+
+    /// Drain current for polarity-normalized terminal voltages.
+    ///
+    /// For N-type devices `vgs`/`vds` are the usual gate-source and
+    /// drain-source voltages and positive current flows drain→source.
+    /// For P-type devices pass **source-referenced magnitudes** `vsg`/`vsd`
+    /// and the returned positive current flows source→drain. Use
+    /// [`FinFet::current_into_drain`] for raw node voltages.
+    #[must_use]
+    pub fn ids(&self, vgs: Voltage, vds: Voltage) -> Current {
+        let model = IvModel::new(&self.params, self.delta_vt);
+        model.ids_per_fin(vgs, vds) * f64::from(self.fins)
+    }
+
+    /// Current flowing *into the drain terminal* given absolute node
+    /// voltages `(vg, vd, vs)`, handling polarity internally.
+    ///
+    /// This is the sign convention the MNA stamping in `sram-spice` uses:
+    /// for an NFET in normal operation the returned value is positive (the
+    /// drain sinks current); for a PFET pulling its drain high it is
+    /// negative.
+    #[must_use]
+    pub fn current_into_drain(&self, vg: Voltage, vd: Voltage, vs: Voltage) -> Current {
+        match self.params.polarity {
+            Polarity::N => self.ids(vg - vs, vd - vs),
+            Polarity::P => -self.ids(vs - vg, vs - vd),
+        }
+    }
+
+    /// Total gate capacitance (`fins × c_gate_per_fin`).
+    #[must_use]
+    pub fn c_gate(&self) -> sram_units::Capacitance {
+        self.params.c_gate_per_fin * f64::from(self.fins)
+    }
+
+    /// Total drain capacitance (`fins × c_drain_per_fin`).
+    #[must_use]
+    pub fn c_drain(&self) -> sram_units::Capacitance {
+        self.params.c_drain_per_fin * f64::from(self.fins)
+    }
+
+    /// All capacitances bundled.
+    #[must_use]
+    pub fn capacitances(&self) -> DeviceCapacitances {
+        DeviceCapacitances {
+            gate: self.c_gate(),
+            drain: self.c_drain(),
+            source: self.c_drain(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::sevennm_card;
+
+    fn nfet(fins: u32) -> FinFet {
+        FinFet::new(sevennm_card(Polarity::N, VtFlavor::Hvt), fins)
+    }
+
+    fn pfet(fins: u32) -> FinFet {
+        FinFet::new(sevennm_card(Polarity::P, VtFlavor::Hvt), fins)
+    }
+
+    #[test]
+    fn zero_fins_rejected() {
+        let err = FinFet::try_new(sevennm_card(Polarity::N, VtFlavor::Lvt), 0).unwrap_err();
+        assert_eq!(err, DeviceError::ZeroFins);
+    }
+
+    #[test]
+    fn current_scales_exactly_with_fins() {
+        let v = Voltage::from_volts(0.45);
+        let i1 = nfet(1).ids(v, v).amps();
+        let i3 = nfet(3).ids(v, v).amps();
+        assert!((i3 / i1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nfet_drain_sinks_current_when_on() {
+        let d = nfet(1).current_into_drain(
+            Voltage::from_volts(0.45), // gate high
+            Voltage::from_volts(0.45), // drain high
+            Voltage::ZERO,             // source at ground
+        );
+        assert!(d.amps() > 0.0);
+    }
+
+    #[test]
+    fn pfet_drain_sources_current_when_on() {
+        let d = pfet(1).current_into_drain(
+            Voltage::ZERO,             // gate low: PFET on
+            Voltage::ZERO,             // drain at ground
+            Voltage::from_volts(0.45), // source at Vdd
+        );
+        assert!(d.amps() < 0.0, "PFET should push current out of its drain");
+    }
+
+    #[test]
+    fn off_pfet_leaks_little() {
+        let on = pfet(1)
+            .current_into_drain(Voltage::ZERO, Voltage::ZERO, Voltage::from_volts(0.45))
+            .amps()
+            .abs();
+        let off = pfet(1)
+            .current_into_drain(
+                Voltage::from_volts(0.45),
+                Voltage::ZERO,
+                Voltage::from_volts(0.45),
+            )
+            .amps()
+            .abs();
+        assert!(off < on / 1e3);
+    }
+
+    #[test]
+    fn capacitances_scale_with_fins() {
+        let c1 = nfet(1).c_gate();
+        let c5 = nfet(5).c_gate();
+        assert!((c5 / c1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vt_shift_reduces_on_current() {
+        let v = Voltage::from_volts(0.45);
+        let nominal = nfet(1);
+        let shifted = nfet(1).with_vt_shift(Voltage::from_millivolts(50.0));
+        assert!(shifted.ids(v, v) < nominal.ids(v, v));
+    }
+
+    #[test]
+    fn display_of_enums() {
+        assert_eq!(Polarity::N.to_string(), "NFET");
+        assert_eq!(VtFlavor::Hvt.to_string(), "HVT");
+    }
+}

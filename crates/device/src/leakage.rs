@@ -1,0 +1,66 @@
+//! Device-level ON/OFF current figures of merit.
+//!
+//! The paper's Section 2 characterizes the library by three ratios:
+//! HVT devices have **2× lower ION**, **20× lower IOFF**, and **10× higher
+//! ION/IOFF** than LVT. These helpers extract those figures from a device
+//! instance at an arbitrary supply so the claims can be checked (and are,
+//! in this module's tests and in the Fig. 2 reproduction).
+
+use crate::FinFet;
+use sram_units::{Current, Voltage};
+
+/// ON current: `Ids` at `Vgs = Vds = vdd`.
+#[must_use]
+pub fn ion(device: &FinFet, vdd: Voltage) -> Current {
+    device.ids(vdd, vdd)
+}
+
+/// OFF current: `Ids` at `Vgs = 0, Vds = vdd`.
+#[must_use]
+pub fn ioff(device: &FinFet, vdd: Voltage) -> Current {
+    device.ids(Voltage::ZERO, vdd)
+}
+
+/// Dimensionless ION/IOFF ratio at `vdd`.
+#[must_use]
+pub fn on_off_ratio(device: &FinFet, vdd: Voltage) -> f64 {
+    ion(device, vdd) / ioff(device, vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{sevennm_card, NOMINAL_VDD};
+    use crate::{Polarity, VtFlavor};
+
+    fn dev(flavor: VtFlavor) -> FinFet {
+        FinFet::new(sevennm_card(Polarity::N, flavor), 1)
+    }
+
+    #[test]
+    fn hvt_has_roughly_half_the_on_current() {
+        let r = ion(&dev(VtFlavor::Lvt), NOMINAL_VDD) / ion(&dev(VtFlavor::Hvt), NOMINAL_VDD);
+        assert!(r > 1.6 && r < 2.4, "ION(LVT)/ION(HVT) = {r}");
+    }
+
+    #[test]
+    fn hvt_has_roughly_twenty_x_lower_off_current() {
+        let r = ioff(&dev(VtFlavor::Lvt), NOMINAL_VDD) / ioff(&dev(VtFlavor::Hvt), NOMINAL_VDD);
+        assert!(r > 14.0 && r < 28.0, "IOFF(LVT)/IOFF(HVT) = {r}");
+    }
+
+    #[test]
+    fn hvt_has_roughly_ten_x_better_on_off_ratio() {
+        let r = on_off_ratio(&dev(VtFlavor::Hvt), NOMINAL_VDD)
+            / on_off_ratio(&dev(VtFlavor::Lvt), NOMINAL_VDD);
+        assert!(r > 6.0 && r < 16.0, "(ION/IOFF) HVT / LVT = {r}");
+    }
+
+    #[test]
+    fn off_current_grows_with_supply() {
+        let d = dev(VtFlavor::Hvt);
+        let low = ioff(&d, Voltage::from_millivolts(100.0));
+        let high = ioff(&d, NOMINAL_VDD);
+        assert!(high > low); // DIBL + saturation factor
+    }
+}

@@ -1,0 +1,127 @@
+//! The device library: all four `(polarity, flavor)` cards.
+
+use crate::params::{sevennm_card, NOMINAL_VDD};
+use crate::{DeviceParams, Polarity, VtFlavor};
+use sram_units::Voltage;
+
+/// A coherent set of device cards for one technology node.
+///
+/// The paper adopts a 7 nm FinFET library with 450 mV nominal supply; the
+/// [`DeviceLibrary::sevennm`] constructor returns our calibrated substitute
+/// (see [`crate::params`] for the calibration anchors).
+///
+/// # Examples
+///
+/// ```
+/// use sram_device::{DeviceLibrary, VtFlavor};
+///
+/// let lib = DeviceLibrary::sevennm();
+/// assert!(lib.nfet(VtFlavor::Hvt).vt > lib.nfet(VtFlavor::Lvt).vt);
+/// assert_eq!(lib.nominal_vdd().millivolts(), 450.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceLibrary {
+    nominal_vdd: Voltage,
+    nfet_lvt: DeviceParams,
+    nfet_hvt: DeviceParams,
+    pfet_lvt: DeviceParams,
+    pfet_hvt: DeviceParams,
+}
+
+impl DeviceLibrary {
+    /// The calibrated 7 nm FinFET library (450 mV nominal).
+    #[must_use]
+    pub fn sevennm() -> Self {
+        Self {
+            nominal_vdd: NOMINAL_VDD,
+            nfet_lvt: sevennm_card(Polarity::N, VtFlavor::Lvt),
+            nfet_hvt: sevennm_card(Polarity::N, VtFlavor::Hvt),
+            pfet_lvt: sevennm_card(Polarity::P, VtFlavor::Lvt),
+            pfet_hvt: sevennm_card(Polarity::P, VtFlavor::Hvt),
+        }
+    }
+
+    /// Nominal supply voltage of the library.
+    #[must_use]
+    pub fn nominal_vdd(&self) -> Voltage {
+        self.nominal_vdd
+    }
+
+    /// N-channel card of the requested flavor.
+    #[must_use]
+    pub fn nfet(&self, flavor: VtFlavor) -> &DeviceParams {
+        match flavor {
+            VtFlavor::Lvt => &self.nfet_lvt,
+            VtFlavor::Hvt => &self.nfet_hvt,
+        }
+    }
+
+    /// P-channel card of the requested flavor.
+    #[must_use]
+    pub fn pfet(&self, flavor: VtFlavor) -> &DeviceParams {
+        match flavor {
+            VtFlavor::Lvt => &self.pfet_lvt,
+            VtFlavor::Hvt => &self.pfet_hvt,
+        }
+    }
+
+    /// Card for an explicit `(polarity, flavor)` pair.
+    #[must_use]
+    pub fn device(&self, polarity: Polarity, flavor: VtFlavor) -> &DeviceParams {
+        match polarity {
+            Polarity::N => self.nfet(flavor),
+            Polarity::P => self.pfet(flavor),
+        }
+    }
+
+    /// Re-derives every card at an absolute temperature (see
+    /// [`DeviceParams::at_temperature`]); the base library is 300 K.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive temperatures.
+    #[must_use]
+    pub fn at_temperature(&self, kelvin: f64) -> Self {
+        Self {
+            nominal_vdd: self.nominal_vdd,
+            nfet_lvt: self.nfet_lvt.at_temperature(kelvin),
+            nfet_hvt: self.nfet_hvt.at_temperature(kelvin),
+            pfet_lvt: self.pfet_lvt.at_temperature(kelvin),
+            pfet_hvt: self.pfet_hvt.at_temperature(kelvin),
+        }
+    }
+}
+
+impl Default for DeviceLibrary {
+    fn default() -> Self {
+        Self::sevennm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cards_have_matching_metadata() {
+        let lib = DeviceLibrary::sevennm();
+        assert_eq!(lib.nfet(VtFlavor::Lvt).polarity, Polarity::N);
+        assert_eq!(lib.nfet(VtFlavor::Lvt).flavor, VtFlavor::Lvt);
+        assert_eq!(lib.pfet(VtFlavor::Hvt).polarity, Polarity::P);
+        assert_eq!(lib.pfet(VtFlavor::Hvt).flavor, VtFlavor::Hvt);
+    }
+
+    #[test]
+    fn device_dispatches_by_polarity() {
+        let lib = DeviceLibrary::sevennm();
+        assert_eq!(
+            lib.device(Polarity::P, VtFlavor::Lvt),
+            lib.pfet(VtFlavor::Lvt)
+        );
+    }
+
+    #[test]
+    fn default_is_sevennm() {
+        assert_eq!(DeviceLibrary::default(), DeviceLibrary::sevennm());
+    }
+}

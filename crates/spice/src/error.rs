@@ -1,0 +1,82 @@
+//! Simulator error type.
+
+use core::fmt;
+
+/// Errors produced by netlist construction and analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The MNA matrix was singular (floating node, voltage-source loop, …).
+    SingularMatrix,
+    /// Newton-Raphson failed to converge within the iteration budget, even
+    /// after homotopy fallbacks.
+    NonConvergent {
+        /// Analysis that failed (`"dc"`, `"transient"`, …).
+        analysis: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+    /// A referenced node does not belong to the circuit.
+    UnknownNode,
+    /// A referenced element name does not exist.
+    UnknownElement(String),
+    /// The netlist is structurally invalid.
+    InvalidNetlist(String),
+    /// Transient step control shrank the timestep below the resolvable
+    /// minimum without achieving convergence.
+    TimestepTooSmall {
+        /// Simulation time at which the failure occurred, in seconds.
+        at_seconds: f64,
+    },
+    /// An analysis was configured with an invalid parameter.
+    InvalidAnalysis(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix => {
+                write!(f, "singular MNA matrix (floating node or source loop)")
+            }
+            SpiceError::NonConvergent {
+                analysis,
+                iterations,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge after {iterations} iterations"
+            ),
+            SpiceError::UnknownNode => write!(f, "node does not belong to this circuit"),
+            SpiceError::UnknownElement(name) => write!(f, "unknown element `{name}`"),
+            SpiceError::InvalidNetlist(msg) => write!(f, "invalid netlist: {msg}"),
+            SpiceError::TimestepTooSmall { at_seconds } => {
+                write!(f, "timestep underflow at t = {at_seconds:.3e} s")
+            }
+            SpiceError::InvalidAnalysis(msg) => write!(f, "invalid analysis setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SpiceError::NonConvergent {
+            analysis: "dc",
+            iterations: 200,
+        };
+        assert!(e.to_string().contains("200"));
+        assert!(SpiceError::UnknownElement("Vdd".into())
+            .to_string()
+            .contains("Vdd"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + std::error::Error + 'static>() {}
+        check::<SpiceError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! SPICE-netlist export.
+//!
+//! Dumps a [`Circuit`] in SPICE-deck syntax so characterization netlists
+//! can be inspected, diffed, or re-run in an external simulator.
+//! FinFETs are emitted as `M…` cards with a comment carrying the compact
+//! model card (polarity/flavor/fins/Vt), since the analytic model has no
+//! `.model` equivalent.
+
+use crate::{Circuit, Element, Waveform};
+use core::fmt::Write as _;
+
+/// Renders the circuit as a SPICE deck.
+///
+/// # Examples
+///
+/// ```
+/// use sram_spice::{netlist_to_spice, Circuit, Waveform};
+/// use sram_units::Voltage;
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.vsource("V1", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.45)));
+/// ckt.resistor("R1", a, Circuit::GROUND, 1e3);
+/// let deck = netlist_to_spice(&ckt, "divider");
+/// assert!(deck.contains("V1 a 0 DC 0.45"));
+/// assert!(deck.ends_with(".end\n"));
+/// ```
+#[must_use]
+pub fn netlist_to_spice(circuit: &Circuit, title: &str) -> String {
+    let mut out = format!("* {title}\n");
+    let node = |n: crate::NodeId| circuit.node_name(n).to_owned();
+    for (name, element) in circuit.elements() {
+        match element {
+            Element::Resistor { a, b, ohms } => {
+                let _ = writeln!(out, "{name} {} {} {ohms:.6e}", node(*a), node(*b));
+            }
+            Element::Capacitor { a, b, farads } => {
+                let _ = writeln!(out, "{name} {} {} {farads:.6e}", node(*a), node(*b));
+            }
+            Element::VoltageSource { pos, neg, waveform } => {
+                let value = waveform_to_spice(waveform);
+                let _ = writeln!(out, "{name} {} {} {value}", node(*pos), node(*neg));
+            }
+            Element::CurrentSource { from, to, amps } => {
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} DC {:.6e}",
+                    node(*from),
+                    node(*to),
+                    amps.amps()
+                );
+            }
+            Element::Fet {
+                gate,
+                drain,
+                source,
+                device,
+            } => {
+                let model = match device.polarity() {
+                    sram_device::Polarity::N => "nfin",
+                    sram_device::Polarity::P => "pfin",
+                };
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {} {} {model} * {} {} fins={} vt={:.0}mV",
+                    node(*drain),
+                    node(*gate),
+                    node(*source),
+                    node(*source), // bulk tied to source (FinFET body)
+                    device.polarity(),
+                    device.params().flavor,
+                    device.fins(),
+                    device.params().vt.millivolts(),
+                );
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn waveform_to_spice(waveform: &Waveform) -> String {
+    match waveform {
+        Waveform::Dc(v) => format!("DC {v}"),
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall,
+            width,
+        } => format!("PULSE({v0} {v1} {delay:.4e} {rise:.4e} {fall:.4e} {width:.4e})"),
+        Waveform::Pwl(points) => {
+            let mut s = String::from("PWL(");
+            for (k, (t, v)) in points.iter().enumerate() {
+                if k > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{t:.4e} {v}");
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_device::{DeviceLibrary, FinFet, VtFlavor};
+    use sram_units::{Time, Voltage};
+
+    #[test]
+    fn exports_all_element_kinds() {
+        let lib = DeviceLibrary::sevennm();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(
+            "Vin",
+            a,
+            Circuit::GROUND,
+            Waveform::step(
+                Voltage::ZERO,
+                Voltage::from_volts(0.45),
+                Time::from_picoseconds(1.0),
+                Time::from_picoseconds(0.5),
+            ),
+        );
+        ckt.resistor("R1", a, b, 1234.0);
+        ckt.capacitor("C1", b, Circuit::GROUND, 2e-15);
+        ckt.isource("I1", a, b, sram_units::Current::from_microamps(1.0));
+        ckt.fet(
+            "MN1",
+            a,
+            b,
+            Circuit::GROUND,
+            FinFet::new(lib.nfet(VtFlavor::Hvt).clone(), 3),
+        );
+        let deck = netlist_to_spice(&ckt, "kinds");
+        assert!(deck.starts_with("* kinds\n"));
+        assert!(deck.contains("Vin a 0 PULSE(0 0.45"));
+        assert!(deck.contains("R1 a b 1.234000e3"));
+        assert!(deck.contains("C1 b 0 2.000000e-15"));
+        assert!(deck.contains("I1 a b DC 1.000000e-6"));
+        assert!(deck.contains("MN1 b a 0 0 nfin"));
+        assert!(deck.contains("fins=3"));
+        assert!(deck.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn pwl_waveform_renders() {
+        let w = Waveform::pwl([
+            (Time::ZERO, Voltage::ZERO),
+            (Time::from_picoseconds(5.0), Voltage::from_volts(0.45)),
+        ]);
+        let s = waveform_to_spice(&w);
+        assert!(s.starts_with("PWL(0.0000e0 0"));
+        assert!(s.contains("0.45"));
+    }
+
+    #[test]
+    fn pfet_model_name_differs() {
+        let lib = DeviceLibrary::sevennm();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V", a, Circuit::GROUND, Waveform::Dc(0.45));
+        ckt.fet(
+            "MP1",
+            a,
+            Circuit::GROUND,
+            a,
+            FinFet::new(lib.pfet(VtFlavor::Lvt).clone(), 2),
+        );
+        let deck = netlist_to_spice(&ckt, "p");
+        assert!(deck.contains("pfin"));
+        assert!(deck.contains("LVT"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! Circuits in this workspace are tiny (a 6T cell plus periphery is well
+//! under 50 unknowns), so a dense solver beats any sparse machinery and
+//! keeps the crate dependency-free.
+
+use crate::SpiceError;
+
+/// A dense square matrix in row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub(crate) fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Dimension of the (square) matrix.
+    pub(crate) fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub(crate) fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    #[inline]
+    pub(crate) fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] += value;
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Solves `A x = b` in place (`b` becomes `x`), destroying `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when no usable pivot exists.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+        // Forward elimination with partial pivoting.
+        for col in 0..n {
+            // Pivot search.
+            let mut pivot_row = col;
+            let mut pivot_mag = self.get(col, col).abs();
+            for row in (col + 1)..n {
+                let mag = self.get(row, col).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = row;
+                }
+            }
+            if pivot_mag < 1e-300 || !pivot_mag.is_finite() {
+                return Err(SpiceError::SingularMatrix);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    let a = self.get(col, k);
+                    let b2 = self.get(pivot_row, k);
+                    self.set(col, k, b2);
+                    self.set(pivot_row, k, a);
+                }
+                b.swap(col, pivot_row);
+            }
+            let pivot = self.get(col, col);
+            for row in (col + 1)..n {
+                let factor = self.get(row, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    let v = self.get(row, k) - factor * self.get(col, k);
+                    self.set(row, k, v);
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = b[col];
+            for k in (col + 1)..n {
+                sum -= self.get(col, k) * b[k];
+            }
+            b[col] = sum / self.get(col, col);
+            if !b[col].is_finite() {
+                return Err(SpiceError::SingularMatrix);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(a: &[&[f64]], b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        let n = b.len();
+        let mut m = Matrix::zeros(n);
+        for (i, row) in a.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        let mut x = b.to_vec();
+        m.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let x = solve(&[&[1.0, 0.0], &[0.0, 1.0]], &[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_2x2_requiring_pivot() {
+        // First pivot is zero; partial pivoting must swap rows.
+        let x = solve(&[&[0.0, 1.0], &[2.0, 1.0]], &[1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        let x = solve(
+            &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]],
+            &[8.0, -11.0, -3.0],
+        )
+        .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let err = solve(&[&[1.0, 2.0], &[2.0, 4.0]], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, SpiceError::SingularMatrix);
+    }
+
+    #[test]
+    fn clear_preserves_dimension() {
+        let mut m = Matrix::zeros(3);
+        m.set(1, 1, 5.0);
+        m.clear();
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn random_diagonally_dominant_systems_round_trip() {
+        // Deterministic pseudo-random systems: A x_true = b, solve, compare.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        for n in [1usize, 2, 5, 9, 17] {
+            let mut a = Matrix::zeros(n);
+            for i in 0..n {
+                let mut row_sum = 0.0;
+                for j in 0..n {
+                    let v = next();
+                    a.set(i, j, v);
+                    row_sum += v.abs();
+                }
+                a.add(i, i, row_sum + 1.0); // dominance => well conditioned
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a.get(i, j) * x_true[j];
+                }
+            }
+            let mut a_fact = a.clone();
+            a_fact.solve_in_place(&mut b).unwrap();
+            for i in 0..n {
+                assert!(
+                    (b[i] - x_true[i]).abs() < 1e-8,
+                    "n={n} i={i}: {} vs {}",
+                    b[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+}

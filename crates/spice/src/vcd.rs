@@ -1,0 +1,125 @@
+//! VCD (value-change dump) export of transient traces.
+//!
+//! Renders a [`Trace`] as an IEEE-1364 VCD document with `real`
+//! variables, viewable in GTKWave & co. Timescale is 1 fs so
+//! picosecond-scale SRAM transients keep full resolution.
+
+use crate::{Circuit, Trace};
+use core::fmt::Write as _;
+
+/// Renders selected node waveforms as a VCD document.
+///
+/// `nodes` pairs display names with the circuit nodes to dump; names are
+/// sanitized to VCD identifier rules (whitespace → `_`).
+///
+/// # Examples
+///
+/// ```no_run
+/// use sram_spice::{trace_to_vcd, Circuit, Transient, Waveform};
+/// use sram_units::{Time, Voltage};
+///
+/// # fn main() -> Result<(), sram_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.vsource("V", a, Circuit::GROUND, Waveform::dc(Voltage::from_volts(0.45)));
+/// ckt.resistor("R", a, Circuit::GROUND, 1e3);
+/// let result = Transient::new(Time::from_picoseconds(10.0), Time::from_picoseconds(1.0))
+///     .run(&ckt)?;
+/// let vcd = trace_to_vcd(result.trace(), &ckt, &[("node_a", a)]);
+/// assert!(vcd.contains("$enddefinitions"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn trace_to_vcd(trace: &Trace, circuit: &Circuit, nodes: &[(&str, crate::NodeId)]) -> String {
+    let _ = circuit; // reserved for hierarchical scopes; names come from callers
+    let mut out = String::new();
+    out.push_str("$date sram-edp $end\n");
+    out.push_str("$version sram-spice $end\n");
+    out.push_str("$timescale 1fs $end\n");
+    out.push_str("$scope module sram $end\n");
+    // VCD id codes: printable ASCII starting at '!'.
+    let ids: Vec<char> = (0..nodes.len())
+        .map(|k| char::from(b'!' + u8::try_from(k).expect("at most ~90 dumped nodes")))
+        .collect();
+    for ((name, _), id) in nodes.iter().zip(&ids) {
+        let clean: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        let _ = writeln!(out, "$var real 64 {id} {clean} $end");
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let mut last: Vec<Option<f64>> = vec![None; nodes.len()];
+    for (k, t) in trace.times().enumerate() {
+        let fs = (t.femtoseconds()).round() as u64;
+        let mut emitted_time = false;
+        for (slot, ((_, node), id)) in nodes.iter().zip(&ids).enumerate() {
+            let v = trace.voltage_at(*node, t).volts();
+            if last[slot] != Some(v) || k == 0 {
+                if !emitted_time {
+                    let _ = writeln!(out, "#{fs}");
+                    emitted_time = true;
+                }
+                let _ = writeln!(out, "r{v:.6e} {id}");
+                last[slot] = Some(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Transient, Waveform};
+    use sram_units::{Time, Voltage};
+
+    #[test]
+    fn vcd_has_header_vars_and_changes() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.vsource(
+            "V",
+            a,
+            Circuit::GROUND,
+            Waveform::step(
+                Voltage::ZERO,
+                Voltage::from_volts(1.0),
+                Time::from_picoseconds(1.0),
+                Time::from_picoseconds(1.0),
+            ),
+        );
+        ckt.resistor("R", a, out, 1e3);
+        ckt.capacitor("C", out, Circuit::GROUND, 1e-15);
+        let result = Transient::new(Time::from_picoseconds(5.0), Time::from_picoseconds(0.5))
+            .run(&ckt)
+            .unwrap();
+        let vcd = trace_to_vcd(result.trace(), &ckt, &[("in node", a), ("out", out)]);
+        assert!(vcd.contains("$timescale 1fs $end"));
+        assert!(vcd.contains("$var real 64 ! in_node $end"));
+        assert!(vcd.contains("$var real 64 \" out $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        // Initial values at #0 and at least one later timestamp.
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.matches("\n#").count() >= 2, "no later timestamps");
+        assert!(vcd.contains("r0.000000e0 !"));
+    }
+
+    #[test]
+    fn unchanged_values_are_not_re_emitted() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V", a, Circuit::GROUND, Waveform::Dc(0.45));
+        ckt.resistor("R", a, Circuit::GROUND, 1e3);
+        let result = Transient::new(Time::from_picoseconds(5.0), Time::from_picoseconds(0.5))
+            .run(&ckt)
+            .unwrap();
+        let vcd = trace_to_vcd(result.trace(), &ckt, &[("a", a)]);
+        // The DC node changes once (its initial emission) and never again.
+        let emissions = vcd.matches(" !").count() - 1; // minus the $var line
+        assert_eq!(emissions, 1, "DC node re-emitted: {vcd}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the DC solver satisfies physical conservation laws on
+//! randomly generated circuits.
+
+use proptest::prelude::*;
+use sram_spice::{Circuit, DcSolver, Waveform};
+use sram_units::Voltage;
+
+/// A random resistive ladder: Vsrc -> R -> node1 -> R -> node2 ... with
+/// random rungs to ground.
+fn ladder(resistances: &[f64], rungs: &[f64], vin: f64) -> (Circuit, Vec<sram_spice::NodeId>) {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("in");
+    ckt.vsource("Vin", top, Circuit::GROUND, Waveform::Dc(vin));
+    let mut nodes = vec![top];
+    let mut prev = top;
+    for (k, (&r, &g)) in resistances.iter().zip(rungs).enumerate() {
+        let n = ckt.node(&format!("n{k}"));
+        ckt.resistor(&format!("Rs{k}"), prev, n, r);
+        ckt.resistor(&format!("Rg{k}"), n, Circuit::GROUND, g);
+        nodes.push(n);
+        prev = n;
+    }
+    (ckt, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every ladder node voltage lies between ground and the source
+    /// (passive network: no voltage can exceed the rails).
+    #[test]
+    fn ladder_voltages_bounded(
+        rs in proptest::collection::vec(1.0f64..1e6, 1..8),
+        gs in proptest::collection::vec(1.0f64..1e6, 8),
+        vin in 0.01f64..10.0,
+    ) {
+        let n = rs.len();
+        let (ckt, nodes) = ladder(&rs, &gs[..n], vin);
+        let sol = DcSolver::new().solve(&ckt).unwrap();
+        for &node in &nodes {
+            let v = sol.voltage(node).volts();
+            prop_assert!(v >= -1e-6 && v <= vin + 1e-6, "v = {v}");
+        }
+        // Monotone decay along the ladder.
+        for w in nodes.windows(2) {
+            prop_assert!(sol.voltage(w[1]) <= sol.voltage(w[0]) + Voltage::from_microvolts(1.0));
+        }
+    }
+
+    /// KCL at the source: the branch current equals the current into the
+    /// first series resistor (energy conservation at the boundary).
+    #[test]
+    fn source_current_matches_first_resistor(
+        rs in proptest::collection::vec(10.0f64..1e5, 2..6),
+        gs in proptest::collection::vec(10.0f64..1e5, 6),
+        vin in 0.1f64..5.0,
+    ) {
+        let n = rs.len();
+        let (ckt, nodes) = ladder(&rs, &gs[..n], vin);
+        let sol = DcSolver::new().solve(&ckt).unwrap();
+        let i_src = -sol.source_current(&ckt, "Vin").unwrap().amps();
+        let i_r0 = (vin - sol.voltage(nodes[1]).volts()) / rs[0];
+        prop_assert!(
+            (i_src - i_r0).abs() <= 1e-9 * i_r0.abs().max(1e-12) + 1e-9,
+            "src {i_src} vs R0 {i_r0}"
+        );
+    }
+
+    /// Superposition: scaling the only source scales every node voltage
+    /// linearly (the resistive network is linear).
+    #[test]
+    fn linear_network_superposition(
+        rs in proptest::collection::vec(10.0f64..1e5, 1..6),
+        gs in proptest::collection::vec(10.0f64..1e5, 6),
+        vin in 0.1f64..5.0,
+        scale in 0.1f64..3.0,
+    ) {
+        let n = rs.len();
+        let (mut ckt, nodes) = ladder(&rs, &gs[..n], vin);
+        let sol1 = DcSolver::new().solve(&ckt).unwrap();
+        ckt.set_source_voltage("Vin", Voltage::from_volts(vin * scale)).unwrap();
+        let sol2 = DcSolver::new().solve(&ckt).unwrap();
+        for &node in &nodes {
+            let v1 = sol1.voltage(node).volts();
+            let v2 = sol2.voltage(node).volts();
+            prop_assert!((v2 - v1 * scale).abs() <= 1e-7 * (v1.abs() + 1.0));
+        }
+    }
+
+    /// Warm starting from an unrelated prior solution converges to the
+    /// same operating point (solver is guess-independent on these
+    /// unimodal circuits).
+    #[test]
+    fn warm_start_is_guess_independent(
+        rs in proptest::collection::vec(10.0f64..1e5, 1..5),
+        gs in proptest::collection::vec(10.0f64..1e5, 5),
+        vin in 0.1f64..5.0,
+        junk in -2.0f64..2.0,
+    ) {
+        let n = rs.len();
+        let (ckt, nodes) = ladder(&rs, &gs[..n], vin);
+        let cold = DcSolver::new().solve(&ckt).unwrap();
+        let guess = vec![junk; ckt.unknown_count()];
+        let warm = DcSolver::new().solve_with_guess(&ckt, &guess).unwrap();
+        for &node in &nodes {
+            prop_assert!(
+                (cold.voltage(node).volts() - warm.voltage(node).volts()).abs() < 1e-7
+            );
+        }
+    }
+}

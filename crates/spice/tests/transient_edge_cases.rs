@@ -1,0 +1,195 @@
+//! Transient-analysis integration tests against analytic references.
+
+use sram_spice::{Circuit, CrossingEdge, Transient, Waveform};
+use sram_units::{Current, Time, Voltage};
+
+#[test]
+fn capacitive_divider_splits_a_step() {
+    // Vstep -> C1 -> node -> C2 -> gnd: the node jumps by C1/(C1+C2) of
+    // the step (pure charge sharing, no resistive path).
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let mid = ckt.node("mid");
+    ckt.vsource(
+        "V",
+        a,
+        Circuit::GROUND,
+        Waveform::step(
+            Voltage::ZERO,
+            Voltage::from_volts(1.0),
+            Time::from_picoseconds(1.0),
+            Time::from_picoseconds(1.0),
+        ),
+    );
+    ckt.capacitor("C1", a, mid, 3e-15);
+    ckt.capacitor("C2", mid, Circuit::GROUND, 1e-15);
+    // A weak bleeder keeps the DC matrix non-singular without disturbing
+    // the ps-scale dynamics (tau = 1 Gohm * 4 fF = 4 ms).
+    ckt.resistor("Rbleed", mid, Circuit::GROUND, 1e9);
+
+    let trace = Transient::new(Time::from_picoseconds(6.0), Time::from_picoseconds(0.1))
+        .run(&ckt)
+        .unwrap()
+        .into_trace();
+    let v_mid = trace.final_voltage(mid).volts();
+    assert!((v_mid - 0.75).abs() < 0.02, "divider landed at {v_mid}");
+}
+
+#[test]
+fn current_source_develops_ir_drop_and_holds_it_in_transient() {
+    // 1 uA through 100 kOhm: V = 0.1 V, held flat through a transient
+    // (the capacitor starts at the DC operating point).
+    let mut ckt = Circuit::new();
+    let n = ckt.node("n");
+    ckt.isource("I", Circuit::GROUND, n, Current::from_microamps(1.0));
+    ckt.resistor("R", n, Circuit::GROUND, 1e5);
+    ckt.capacitor("C", n, Circuit::GROUND, 1e-15);
+
+    let trace = Transient::new(Time::from_picoseconds(5.0), Time::from_femtoseconds(100.0))
+        .run(&ckt)
+        .unwrap()
+        .into_trace();
+    for (t, v) in trace.samples(n) {
+        assert!(
+            (v.volts() - 0.1).abs() < 1e-4,
+            "node drifted to {v} at {t}"
+        );
+    }
+}
+
+#[test]
+fn pwl_source_tracks_its_breakpoints() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.vsource(
+        "V",
+        a,
+        Circuit::GROUND,
+        Waveform::pwl([
+            (Time::ZERO, Voltage::ZERO),
+            (Time::from_picoseconds(2.0), Voltage::from_volts(0.45)),
+            (Time::from_picoseconds(4.0), Voltage::from_volts(0.45)),
+            (Time::from_picoseconds(6.0), Voltage::from_volts(0.1)),
+        ]),
+    );
+    ckt.resistor("R", a, Circuit::GROUND, 1e3);
+    let trace = Transient::new(Time::from_picoseconds(8.0), Time::from_picoseconds(0.1))
+        .run(&ckt)
+        .unwrap()
+        .into_trace();
+    assert!((trace.voltage_at(a, Time::from_picoseconds(1.0)).volts() - 0.225).abs() < 0.01);
+    assert!((trace.voltage_at(a, Time::from_picoseconds(3.0)).volts() - 0.45).abs() < 0.01);
+    assert!((trace.final_voltage(a).volts() - 0.1).abs() < 0.01);
+}
+
+#[test]
+fn two_stage_rc_delays_accumulate() {
+    // Two cascaded RC stages: the 50% point of the second stage lags the
+    // first (Elmore-ordered).
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let m = ckt.node("m");
+    let o = ckt.node("o");
+    ckt.vsource(
+        "V",
+        a,
+        Circuit::GROUND,
+        Waveform::step(
+            Voltage::ZERO,
+            Voltage::from_volts(1.0),
+            Time::from_femtoseconds(1.0),
+            Time::from_femtoseconds(1.0),
+        ),
+    );
+    ckt.resistor("R1", a, m, 1e3);
+    ckt.capacitor("C1", m, Circuit::GROUND, 1e-15);
+    ckt.resistor("R2", m, o, 1e3);
+    ckt.capacitor("C2", o, Circuit::GROUND, 1e-15);
+    let trace = Transient::new(Time::from_picoseconds(15.0), Time::from_femtoseconds(50.0))
+        .run(&ckt)
+        .unwrap()
+        .into_trace();
+    let half = Voltage::from_volts(0.5);
+    let t_m = trace
+        .crossing(m, half, CrossingEdge::Rising, Time::ZERO)
+        .unwrap();
+    let t_o = trace
+        .crossing(o, half, CrossingEdge::Rising, Time::ZERO)
+        .unwrap();
+    assert!(t_o > t_m, "second stage must lag: {t_m} vs {t_o}");
+    // Elmore for the second node: R1*(C1+C2) + R2*C2 = 3 ps; 50% point of
+    // a cascade is ~0.7-1.2x Elmore.
+    assert!(
+        t_o.picoseconds() > 1.5 && t_o.picoseconds() < 4.5,
+        "t50(o) = {t_o}"
+    );
+    // Energy bookkeeping: the source delivered the charge of both caps.
+    let q = trace.delivered_charge(0);
+    assert!((q + 2e-15).abs() < 2e-16, "delivered charge = {q}");
+}
+
+#[test]
+fn tight_dv_limit_still_completes() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let o = ckt.node("o");
+    ckt.vsource(
+        "V",
+        a,
+        Circuit::GROUND,
+        Waveform::step(
+            Voltage::ZERO,
+            Voltage::from_volts(0.45),
+            Time::from_picoseconds(1.0),
+            Time::from_picoseconds(0.2),
+        ),
+    );
+    ckt.resistor("R", a, o, 1e4);
+    ckt.capacitor("C", o, Circuit::GROUND, 1e-15);
+    let trace = Transient::new(Time::from_picoseconds(60.0), Time::from_picoseconds(1.0))
+        .with_max_dv_per_step(0.002) // forces hundreds of accepted steps
+        .run(&ckt)
+        .unwrap()
+        .into_trace();
+    assert!(trace.len() > 200, "only {} samples", trace.len());
+    assert!((trace.final_voltage(o).volts() - 0.45).abs() < 5e-3);
+}
+
+#[test]
+fn rc_charge_energy_conservation() {
+    // Charging C through R from a step source: the source delivers
+    // Q*V = C*V^2; exactly half ends up stored, half burns in R --
+    // independent of R. Checks delivered_energy against physics.
+    for r in [1e2, 1e3, 1e4] {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let o = ckt.node("o");
+        ckt.vsource(
+            "V",
+            a,
+            Circuit::GROUND,
+            Waveform::step(
+                Voltage::ZERO,
+                Voltage::from_volts(1.0),
+                Time::from_femtoseconds(1.0),
+                Time::from_femtoseconds(1.0),
+            ),
+        );
+        ckt.resistor("R", a, o, r);
+        ckt.capacitor("C", o, Circuit::GROUND, 1e-15);
+        // Run long enough to fully settle (10 tau for the largest R).
+        let t_stop = Time::from_seconds(10.0 * r * 1e-15);
+        let trace = Transient::new(t_stop, t_stop / 300.0)
+            .with_max_dv_per_step(0.02)
+            .run(&ckt)
+            .unwrap()
+            .into_trace();
+        assert!((trace.final_voltage(o).volts() - 1.0).abs() < 2e-3);
+        let delivered = trace.delivered_energy(0, |_| Voltage::from_volts(1.0));
+        // C*V^2 = 1e-15 J.
+        assert!(
+            (delivered.joules() - 1e-15).abs() < 3e-17,
+            "R = {r}: delivered {delivered} != C*V^2"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Capacitance.
+
+use crate::format::quantity;
+use crate::{Charge, Voltage};
+
+quantity! {
+    /// Capacitance in farads.
+    ///
+    /// Used for device gate/drain capacitances and the interconnect
+    /// capacitances of Table 1 (`C_CVDD`, `C_CVSS`, `C_WL`, `C_COL`,
+    /// `C_BL`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::{Capacitance, Voltage};
+    ///
+    /// let c_bl = Capacitance::from_femtofarads(4.2);
+    /// let q = c_bl * Voltage::from_millivolts(120.0);
+    /// assert!(q.coulombs() > 0.0);
+    /// ```
+    Capacitance, "F", farads, from_farads,
+    (1e-12, picofarads, from_picofarads),
+    (1e-15, femtofarads, from_femtofarads),
+    (1e-18, attofarads, from_attofarads),
+}
+
+impl core::ops::Mul<Voltage> for Capacitance {
+    type Output = Charge;
+    fn mul(self, rhs: Voltage) -> Charge {
+        Charge::from_coulombs(self.farads() * rhs.volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scales() {
+        let c = Capacitance::from_femtofarads(36.55);
+        assert!((c.farads() - 36.55e-15).abs() < 1e-27);
+        assert!((c.attofarads() - 36_550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn c_times_v_is_charge() {
+        let q = Capacitance::from_femtofarads(1.0) * Voltage::from_volts(1.0);
+        assert!((q.coulombs() - 1e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn accumulates_with_sum() {
+        let parts = [0.5, 0.25, 0.25].map(Capacitance::from_femtofarads);
+        let total: Capacitance = parts.iter().sum();
+        assert!((total.femtofarads() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Electric charge.
+
+use crate::format::quantity;
+use crate::{Current, Energy, Time, Voltage};
+
+quantity! {
+    /// Electric charge in coulombs.
+    ///
+    /// Appears as the intermediate `C·ΔV` product of Eq. (1): dividing a
+    /// charge by the driver current yields the interconnect delay.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::{Capacitance, Current, Voltage};
+    ///
+    /// let q = Capacitance::from_femtofarads(5.0) * Voltage::from_millivolts(120.0);
+    /// let d = q / Current::from_microamps(15.0);
+    /// assert!((d.picoseconds() - 40.0).abs() < 1e-9);
+    /// ```
+    Charge, "C", coulombs, from_coulombs,
+    (1e-15, femtocoulombs, from_femtocoulombs),
+}
+
+impl core::ops::Div<Current> for Charge {
+    type Output = Time;
+    fn div(self, rhs: Current) -> Time {
+        Time::from_seconds(self.coulombs() / rhs.amps())
+    }
+}
+
+impl core::ops::Div<Time> for Charge {
+    type Output = Current;
+    fn div(self, rhs: Time) -> Current {
+        Current::from_amps(self.coulombs() / rhs.seconds())
+    }
+}
+
+impl core::ops::Mul<Voltage> for Charge {
+    type Output = Energy;
+    fn mul(self, rhs: Voltage) -> Energy {
+        Energy::from_joules(self.coulombs() * rhs.volts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_over_current_is_time() {
+        let t = Charge::from_coulombs(1e-15) / Current::from_microamps(1.0);
+        assert!((t.nanoseconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_over_time_is_current() {
+        let i = Charge::from_coulombs(1e-12) / Time::from_nanoseconds(1.0);
+        assert!((i.milliamps() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_times_voltage_is_energy() {
+        let e = Charge::from_femtocoulombs(2.0) * Voltage::from_volts(0.5);
+        assert!((e.femtojoules() - 1.0).abs() < 1e-12);
+    }
+}

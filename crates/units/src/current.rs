@@ -1,0 +1,73 @@
+//! Electric current.
+
+use crate::format::quantity;
+use crate::{Charge, Power, Time, Voltage};
+
+quantity! {
+    /// Electric current in amperes.
+    ///
+    /// Used for device drive currents (ION), leakage (IOFF), and the cell
+    /// read current `I_read` central to bitline-delay analysis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::Current;
+    ///
+    /// let i_on = Current::from_microamps(30.0);
+    /// let i_off = Current::from_nanoamps(1.0);
+    /// assert!((i_on / i_off - 30_000.0).abs() < 1e-6);
+    /// ```
+    Current, "A", amps, from_amps,
+    (1e-3, milliamps, from_milliamps),
+    (1e-6, microamps, from_microamps),
+    (1e-9, nanoamps, from_nanoamps),
+    (1e-12, picoamps, from_picoamps),
+}
+
+impl core::ops::Mul<Voltage> for Current {
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        Power::from_watts(self.amps() * rhs.volts())
+    }
+}
+
+impl core::ops::Mul<Time> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::from_coulombs(self.amps() * rhs.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scales() {
+        let i = Current::from_microamps(12.5);
+        assert!((i.amps() - 12.5e-6).abs() < 1e-18);
+        assert!((i.nanoamps() - 12_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_times_voltage_is_power() {
+        let p = Current::from_nanoamps(3.76) * Voltage::from_volts(0.45);
+        assert!((p.nanowatts() - 1.692).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_times_time_is_charge() {
+        let q = Current::from_microamps(1.0) * Time::from_nanoseconds(1.0);
+        assert!((q.coulombs() - 1e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Current = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&x| Current::from_microamps(x))
+            .sum();
+        assert!((total.microamps() - 6.0).abs() < 1e-12);
+    }
+}

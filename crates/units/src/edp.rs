@@ -1,0 +1,60 @@
+//! Energy-delay product.
+
+use crate::format::quantity;
+use crate::{Energy, Time};
+
+quantity! {
+    /// Energy-delay product in joule-seconds.
+    ///
+    /// The objective the paper minimizes: `EDP = E_array × D_array`.
+    /// A dedicated type (rather than reusing a bare `f64`) keeps objective
+    /// values from being confused with energies or delays in optimizer code.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::{Energy, Time};
+    ///
+    /// let lvt = Energy::from_femtojoules(40.0) * Time::from_picoseconds(100.0);
+    /// let hvt = Energy::from_femtojoules(15.0) * Time::from_picoseconds(112.0);
+    /// assert!(hvt < lvt); // HVT wins on EDP despite the delay penalty
+    /// ```
+    EnergyDelay, "J·s", joule_seconds, from_joule_seconds,
+    (1e-27, femtojoule_picoseconds, from_femtojoule_picoseconds),
+}
+
+impl core::ops::Div<Time> for EnergyDelay {
+    type Output = Energy;
+    fn div(self, rhs: Time) -> Energy {
+        Energy::from_joules(self.joule_seconds() / rhs.seconds())
+    }
+}
+
+impl core::ops::Div<Energy> for EnergyDelay {
+    type Output = Time;
+    fn div(self, rhs: Energy) -> Time {
+        Time::from_seconds(self.joule_seconds() / rhs.joules())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizes_back_to_energy_and_delay() {
+        let e = Energy::from_femtojoules(12.0);
+        let d = Time::from_picoseconds(150.0);
+        let edp = e * d;
+        assert!(((edp / d).femtojoules() - 12.0).abs() < 1e-9);
+        assert!(((edp / e).picoseconds() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_ratio() {
+        let lvt = EnergyDelay::from_joule_seconds(1.0e-27);
+        let hvt = EnergyDelay::from_joule_seconds(0.41e-27);
+        let saving = 1.0 - hvt / lvt;
+        assert!((saving - 0.59).abs() < 1e-12); // the paper's 59% headline
+    }
+}

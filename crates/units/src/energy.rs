@@ -1,0 +1,74 @@
+//! Energy.
+
+use crate::format::quantity;
+use crate::{EnergyDelay, Power, Time};
+
+quantity! {
+    /// Energy in joules.
+    ///
+    /// Used for the switching/leakage energy components of Table 3 and the
+    /// total array energy `E_array` of Eq. (5).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::{Energy, Time};
+    ///
+    /// let e_array = Energy::from_femtojoules(12.0);
+    /// let d_array = Time::from_picoseconds(150.0);
+    /// let edp = e_array * d_array;
+    /// assert!(edp.joule_seconds() > 0.0);
+    /// ```
+    Energy, "J", joules, from_joules,
+    (1e-12, picojoules, from_picojoules),
+    (1e-15, femtojoules, from_femtojoules),
+    (1e-18, attojoules, from_attojoules),
+}
+
+impl core::ops::Mul<Time> for Energy {
+    type Output = EnergyDelay;
+    fn mul(self, rhs: Time) -> EnergyDelay {
+        EnergyDelay::from_joule_seconds(self.joules() * rhs.seconds())
+    }
+}
+
+impl core::ops::Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power::from_watts(self.joules() / rhs.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scales() {
+        let e = Energy::from_femtojoules(2.5);
+        assert!((e.joules() - 2.5e-15).abs() < 1e-27);
+        assert!((e.attojoules() - 2500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq3_weighted_mix() {
+        // E_sw = beta*E_rd + (1-beta)*E_wr
+        let e_rd = Energy::from_femtojoules(10.0);
+        let e_wr = Energy::from_femtojoules(6.0);
+        let beta = 0.5;
+        let mixed = e_rd * beta + e_wr * (1.0 - beta);
+        assert!((mixed.femtojoules() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_times_time_is_edp() {
+        let edp = Energy::from_femtojoules(1.0) * Time::from_picoseconds(1.0);
+        assert!((edp.joule_seconds() - 1e-27).abs() < 1e-39);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_femtojoules(1.0) / Time::from_nanoseconds(1.0);
+        assert!((p.microwatts() - 1.0).abs() < 1e-12);
+    }
+}

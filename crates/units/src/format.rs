@@ -1,0 +1,236 @@
+//! Engineering-notation formatting shared by all quantity newtypes.
+
+/// Formats `value` (in the SI base unit `unit`) using engineering notation,
+/// i.e. with an exponent that is a multiple of three and the matching SI
+/// prefix (`f`, `p`, `n`, `µ`, `m`, none, `k`, `M`, `G`).
+///
+/// Values that fall outside the covered prefix range fall back to plain
+/// scientific notation.
+pub(crate) fn engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 11] = [
+        (1e-18, "a"),
+        (1e-15, "f"),
+        (1e-12, "p"),
+        (1e-9, "n"),
+        (1e-6, "µ"),
+        (1e-3, "m"),
+        (1e0, ""),
+        (1e3, "k"),
+        (1e6, "M"),
+        (1e9, "G"),
+        (1e12, "T"),
+    ];
+    let magnitude = value.abs();
+    for &(scale, prefix) in PREFIXES.iter().rev() {
+        if magnitude >= scale {
+            let scaled = value / scale;
+            return format!("{scaled:.4} {prefix}{unit}");
+        }
+    }
+    format!("{value:e} {unit}")
+}
+
+/// Declares a physical-quantity newtype over `f64` with the shared
+/// constructor/accessor/arithmetic boilerplate.
+///
+/// Generated API per quantity `Q` with base unit `base`:
+/// * `Q::from_<base>(f64) -> Q`, `q.<base>() -> f64` plus one pair per
+///   extra `(scale, name)` provided,
+/// * `Q::ZERO`, `q.abs()`, `q.is_finite()`, `q.min(other)`, `q.max(other)`,
+/// * `Add`, `Sub`, `Neg`, `Mul<f64>`, `f64 * Q`, `Div<f64>`,
+///   `Div<Q> -> f64` (dimensionless ratio), `Sum`,
+/// * `Display` in engineering notation, `Debug`, `Default`,
+///   `PartialEq`/`PartialOrd`, serde `Serialize`/`Deserialize`.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $symbol:literal, $base:ident, $from_base:ident
+        $(, ($scale:expr, $unit:ident, $from_unit:ident))* $(,)?
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, Debug, Default, PartialEq, PartialOrd,
+            serde::Serialize, serde::Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a value from its magnitude in the SI base unit (", $symbol, ").")]
+            #[must_use]
+            pub const fn $from_base(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the magnitude in the SI base unit (", $symbol, ").")]
+            #[must_use]
+            pub const fn $base(self) -> f64 {
+                self.0
+            }
+
+            $(
+                #[doc = concat!("Creates a value from the scaled unit (×", stringify!($scale), " ", $symbol, ").")]
+                #[must_use]
+                pub fn $from_unit(value: f64) -> Self {
+                    Self(value * $scale)
+                }
+
+                #[doc = concat!("Returns the magnitude in the scaled unit (×", stringify!($scale), " ", $symbol, ").")]
+                #[must_use]
+                pub fn $unit(self) -> f64 {
+                    self.0 / $scale
+                }
+            )*
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` when the magnitude is neither NaN nor infinite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the smaller of the two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of the two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Linear interpolation between `self` (at `t = 0`) and `other`
+            /// (at `t = 1`).
+            #[must_use]
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + (other.0 - self.0) * t)
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                f.write_str(&crate::engineering(self.0, $symbol))
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::engineering;
+
+    #[test]
+    fn zero_formats_plainly() {
+        assert_eq!(engineering(0.0, "V"), "0 V");
+    }
+
+    #[test]
+    fn prefixes_are_selected() {
+        assert_eq!(engineering(0.45, "V"), "450.0000 mV");
+        assert_eq!(engineering(1.692e-9, "W"), "1.6920 nW");
+        assert_eq!(engineering(3.2e-14, "F"), "32.0000 fF");
+        assert_eq!(engineering(1.5e3, "Hz"), "1.5000 kHz");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(engineering(-0.1, "V"), "-100.0000 mV");
+    }
+
+    #[test]
+    fn non_finite_values_do_not_panic() {
+        assert!(engineering(f64::NAN, "V").contains("NaN"));
+        assert!(engineering(f64::INFINITY, "V").contains("inf"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Frequency.
+
+use crate::format::quantity;
+use crate::Time;
+
+quantity! {
+    /// Frequency in hertz.
+    ///
+    /// Convenience view of array delays as access rates (the paper's
+    /// comparison SRAMs are specified in GHz).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::Time;
+    ///
+    /// let delay = Time::from_picoseconds(400.0);
+    /// assert!((delay.to_frequency().gigahertz() - 2.5).abs() < 1e-9);
+    /// ```
+    Frequency, "Hz", hertz, from_hertz,
+    (1e3, kilohertz, from_kilohertz),
+    (1e6, megahertz, from_megahertz),
+    (1e9, gigahertz, from_gigahertz),
+}
+
+impl Frequency {
+    /// The period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero frequency.
+    #[must_use]
+    pub fn to_period(self) -> Time {
+        assert!(self.hertz() != 0.0, "zero frequency has no period");
+        Time::from_seconds(1.0 / self.hertz())
+    }
+}
+
+impl Time {
+    /// The access rate `1/t` a delay supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero time.
+    #[must_use]
+    pub fn to_frequency(self) -> Frequency {
+        assert!(self.seconds() != 0.0, "zero time has no frequency");
+        Frequency::from_hertz(1.0 / self.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_with_time() {
+        let t = Time::from_nanoseconds(2.0);
+        let f = t.to_frequency();
+        assert!((f.megahertz() - 500.0).abs() < 1e-9);
+        assert!((f.to_period().nanoseconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero time")]
+    fn zero_time_panics() {
+        let _ = Time::ZERO.to_frequency();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Frequency::from_gigahertz(1.5).to_string(), "1.5000 GHz");
+    }
+}

@@ -1,0 +1,60 @@
+//! Power.
+
+use crate::format::quantity;
+use crate::{Energy, Time};
+
+quantity! {
+    /// Power in watts.
+    ///
+    /// Used for SRAM cell leakage (`P_leak,sram` — 1.692 nW for 6T-LVT and
+    /// 0.082 nW for 6T-HVT at the nominal 450 mV in the paper).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::{Power, Time};
+    ///
+    /// let p_leak = Power::from_nanowatts(0.082);
+    /// let e_leak = p_leak * Time::from_nanoseconds(0.5);
+    /// assert!(e_leak.joules() > 0.0);
+    /// ```
+    Power, "W", watts, from_watts,
+    (1e-3, milliwatts, from_milliwatts),
+    (1e-6, microwatts, from_microwatts),
+    (1e-9, nanowatts, from_nanowatts),
+    (1e-12, picowatts, from_picowatts),
+}
+
+impl core::ops::Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::from_joules(self.watts() * rhs.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scales() {
+        let p = Power::from_nanowatts(1.692);
+        assert!((p.watts() - 1.692e-9).abs() < 1e-21);
+        assert!((p.picowatts() - 1692.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_energy_eq4() {
+        // E_leak = M * P_leak * D_array (Eq. 4) for a 1-bit array.
+        let e = Power::from_nanowatts(0.082) * Time::from_nanoseconds(1.0);
+        assert!((e.joules() - 0.082e-18).abs() < 1e-30);
+    }
+
+    #[test]
+    fn scalar_scaling() {
+        // M cells leak M times as much.
+        let cell = Power::from_nanowatts(0.082);
+        let array = cell * 8192.0;
+        assert!((array.microwatts() - 0.082 * 8.192).abs() < 1e-9);
+    }
+}

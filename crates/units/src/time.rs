@@ -1,0 +1,72 @@
+//! Time / delay.
+
+use crate::format::quantity;
+use crate::{Energy, EnergyDelay, Power};
+
+quantity! {
+    /// Time (delay) in seconds.
+    ///
+    /// Used for every delay component of Table 3 (`D_rd`, `D_wr`, bitline,
+    /// wordline, decoder, sense-amplifier, precharge delays).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::Time;
+    ///
+    /// let d_bl = Time::from_picoseconds(35.0);
+    /// let d_sa = Time::from_picoseconds(12.0);
+    /// assert!(((d_bl + d_sa).picoseconds() - 47.0).abs() < 1e-9);
+    /// ```
+    Time, "s", seconds, from_seconds,
+    (1e-3, milliseconds, from_milliseconds),
+    (1e-6, microseconds, from_microseconds),
+    (1e-9, nanoseconds, from_nanoseconds),
+    (1e-12, picoseconds, from_picoseconds),
+    (1e-15, femtoseconds, from_femtoseconds),
+}
+
+impl core::ops::Mul<Power> for Time {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        Energy::from_joules(self.seconds() * rhs.watts())
+    }
+}
+
+impl core::ops::Mul<Energy> for Time {
+    type Output = EnergyDelay;
+    fn mul(self, rhs: Energy) -> EnergyDelay {
+        EnergyDelay::from_joule_seconds(self.seconds() * rhs.joules())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scales() {
+        let t = Time::from_picoseconds(1.5);
+        assert!((t.seconds() - 1.5e-12).abs() < 1e-24);
+        assert!((t.femtoseconds() - 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_times_power_is_energy() {
+        let e = Time::from_nanoseconds(2.0) * Power::from_nanowatts(0.5);
+        assert!((e.joules() - 1e-18).abs() < 1e-30);
+    }
+
+    #[test]
+    fn time_times_energy_is_edp() {
+        let edp = Time::from_nanoseconds(1.0) * Energy::from_femtojoules(3.0);
+        assert!((edp.joule_seconds() - 3e-24).abs() < 1e-36);
+    }
+
+    #[test]
+    fn max_picks_worst_case_delay() {
+        let read = Time::from_picoseconds(120.0);
+        let write = Time::from_picoseconds(90.0);
+        assert_eq!(read.max(write), read); // D_array = max(D_rd, D_wr)
+    }
+}

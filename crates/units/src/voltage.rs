@@ -1,0 +1,83 @@
+//! Electric potential.
+
+use crate::format::quantity;
+use crate::{Current, Power};
+
+quantity! {
+    /// Electric potential in volts.
+    ///
+    /// Used for supply rails (`Vdd`), assist levels (`V_DDC`, `V_SSC`,
+    /// `V_WL`, `V_BL`), node voltages, and noise margins.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sram_units::Voltage;
+    ///
+    /// let vdd = Voltage::from_millivolts(450.0);
+    /// let vssc = Voltage::from_millivolts(-100.0);
+    /// assert_eq!((vdd - vssc).millivolts(), 550.0);
+    /// ```
+    Voltage, "V", volts, from_volts,
+    (1e-3, millivolts, from_millivolts),
+    (1e-6, microvolts, from_microvolts),
+}
+
+impl core::ops::Mul<Current> for Voltage {
+    type Output = Power;
+    fn mul(self, rhs: Current) -> Power {
+        Power::from_watts(self.volts() * rhs.amps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Voltage::from_millivolts(450.0);
+        assert!((v.volts() - 0.45).abs() < 1e-15);
+        assert!((v.microvolts() - 450_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Voltage::from_volts(0.45);
+        let b = Voltage::from_volts(0.1);
+        assert!(((a + b).volts() - 0.55).abs() < 1e-15);
+        assert!(((a - b).volts() - 0.35).abs() < 1e-15);
+        assert!(((-b).volts() + 0.1).abs() < 1e-15);
+        assert!(((a * 2.0).volts() - 0.9).abs() < 1e-15);
+        assert!(((a / 2.0).volts() - 0.225).abs() < 1e-15);
+        assert!((a / b - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Voltage::from_millivolts(-240.0);
+        let b = Voltage::ZERO;
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.abs(), Voltage::from_millivolts(240.0));
+    }
+
+    #[test]
+    fn times_current_is_power() {
+        let p = Voltage::from_volts(0.45) * Current::from_microamps(10.0);
+        assert!((p.watts() - 4.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(Voltage::from_millivolts(-100.0).to_string(), "-100.0000 mV");
+    }
+
+    #[test]
+    fn lerp_interpolates() {
+        let a = Voltage::ZERO;
+        let b = Voltage::from_volts(1.0);
+        assert_eq!(a.lerp(b, 0.25), Voltage::from_volts(0.25));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: the quantity algebra obeys the usual laws.
+
+use proptest::prelude::*;
+use sram_units::{Capacitance, Current, Energy, Power, Time, Voltage};
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e3f64..1e3
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-6f64..1e3
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in finite(), b in finite()) {
+        let x = Voltage::from_volts(a);
+        let y = Voltage::from_volts(b);
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn addition_associates_to_fp_tolerance(a in finite(), b in finite(), c in finite()) {
+        let (x, y, z) = (
+            Energy::from_joules(a),
+            Energy::from_joules(b),
+            Energy::from_joules(c),
+        );
+        let l = ((x + y) + z).joules();
+        let r = (x + (y + z)).joules();
+        prop_assert!((l - r).abs() <= 1e-12 * (l.abs() + r.abs() + 1.0));
+    }
+
+    #[test]
+    fn scalar_distributes(a in finite(), b in finite(), k in finite()) {
+        let x = Time::from_seconds(a);
+        let y = Time::from_seconds(b);
+        let l = ((x + y) * k).seconds();
+        let r = (x * k + y * k).seconds();
+        prop_assert!((l - r).abs() <= 1e-9 * (l.abs() + r.abs() + 1.0));
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in finite(), b in finite()) {
+        let x = Current::from_amps(a);
+        let y = Current::from_amps(b);
+        prop_assert!(((x + y - y).amps() - a).abs() <= 1e-9 * (a.abs() + b.abs() + 1.0));
+    }
+
+    #[test]
+    fn eq1_delay_energy_consistency(c in positive(), v in positive(), dv in positive(), i in positive()) {
+        // D = C dV / I and E = C V dV imply E = V * I * D.
+        let cap = Capacitance::from_femtofarads(c);
+        let vv = Voltage::from_volts(v);
+        let dvv = Voltage::from_volts(dv);
+        let ii = Current::from_microamps(i);
+        let d = cap * dvv / ii;
+        let e = cap * vv * dvv;
+        let e2: Energy = (vv * ii) * d;
+        prop_assert!((e.joules() - e2.joules()).abs() <= 1e-9 * e.joules().abs());
+    }
+
+    #[test]
+    fn power_time_round_trip(p in positive(), t in positive()) {
+        let power = Power::from_nanowatts(p);
+        let time = Time::from_nanoseconds(t);
+        let energy = power * time;
+        let back = energy / time;
+        prop_assert!((back.watts() - power.watts()).abs() <= 1e-12 * power.watts());
+    }
+
+    #[test]
+    fn dimensionless_ratio_cancels_units(a in positive(), b in positive()) {
+        let r = Voltage::from_volts(a) / Voltage::from_volts(b);
+        prop_assert!((r - a / b).abs() <= 1e-12 * (a / b));
+    }
+
+    #[test]
+    fn min_max_are_ordered(a in finite(), b in finite()) {
+        let x = Voltage::from_volts(a);
+        let y = Voltage::from_volts(b);
+        prop_assert!(x.min(y) <= x.max(y));
+        prop_assert!(x.min(y) == x || x.min(y) == y);
+    }
+
+    #[test]
+    fn lerp_endpoints(a in finite(), b in finite()) {
+        let x = Voltage::from_volts(a);
+        let y = Voltage::from_volts(b);
+        prop_assert_eq!(x.lerp(y, 0.0), x);
+        let end = x.lerp(y, 1.0).volts();
+        prop_assert!((end - b).abs() <= 1e-9 * (a.abs() + b.abs() + 1.0));
+    }
+
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(finite(), 0..20)) {
+        let total: Energy = values.iter().map(|&v| Energy::from_joules(v)).sum();
+        let folded = values
+            .iter()
+            .fold(Energy::ZERO, |acc, &v| acc + Energy::from_joules(v));
+        prop_assert!((total.joules() - folded.joules()).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn display_never_panics(v in -1e20f64..1e20) {
+        let _ = Voltage::from_volts(v).to_string();
+        let _ = Energy::from_joules(v).to_string();
+    }
+}

@@ -1,0 +1,78 @@
+//! Assist-technique explorer: sweep the read/write assist voltages on a
+//! simulated 6T-HVT cell and print the margin/performance trade-offs —
+//! the interactive version of the paper's Figs. 3 and 5.
+//!
+//! Everything here is *measured* by the built-in circuit simulator; no
+//! paper constants are used.
+//!
+//! ```sh
+//! cargo run --release --example assist_explorer
+//! ```
+
+use sram_edp::cell::{AssistVoltages, CellCharacterizer, CellError};
+use sram_edp::device::{DeviceLibrary, VtFlavor};
+use sram_edp::units::Voltage;
+
+fn main() -> Result<(), CellError> {
+    let library = DeviceLibrary::sevennm();
+    let vdd = library.nominal_vdd();
+    let delta = vdd * 0.35;
+    let chr = CellCharacterizer::new(&library, VtFlavor::Hvt).with_vtc_points(41);
+
+    println!("6T-HVT cell at Vdd = {vdd}, yield floor delta = {delta}\n");
+
+    let nominal = AssistVoltages::nominal(vdd);
+    println!(
+        "no assists: HSNM = {}, RSNM = {}, WM = {}, I_read = {}",
+        chr.hold_snm(&nominal)?,
+        chr.read_snm(&nominal)?,
+        chr.write_margin(&nominal)?,
+        chr.read_current(&nominal)?,
+    );
+
+    println!("\nVdd boost (read stability):");
+    println!("{:>10} {:>12} {:>8}", "V_DDC", "RSNM", "yield");
+    for mv in (450..=650).step_by(50) {
+        let bias = nominal.with_vddc(Voltage::from_millivolts(f64::from(mv)));
+        let rsnm = chr.read_snm(&bias)?;
+        println!(
+            "{:>10} {:>12} {:>8}",
+            bias.vddc.to_string(),
+            rsnm.to_string(),
+            if rsnm >= delta { "pass" } else { "fail" }
+        );
+    }
+
+    println!("\nnegative Gnd (read current), at V_DDC = 550 mV:");
+    println!("{:>10} {:>12} {:>10}", "V_SSC", "I_read", "gain");
+    let boosted = nominal.with_vddc(Voltage::from_millivolts(550.0));
+    let i0 = chr.read_current(&boosted)?;
+    for k in 0..=4 {
+        let bias = boosted.with_vssc(Voltage::from_millivolts(-60.0 * f64::from(k)));
+        let i = chr.read_current(&bias)?;
+        println!(
+            "{:>10} {:>12} {:>9.2}x",
+            bias.vssc.to_string(),
+            i.to_string(),
+            i / i0
+        );
+    }
+
+    println!("\nwordline overdrive (writability):");
+    println!("{:>10} {:>12} {:>14} {:>8}", "V_WL", "WM", "write delay", "yield");
+    for mv in (450..=630).step_by(45) {
+        let bias = nominal.with_vwl(Voltage::from_millivolts(f64::from(mv)));
+        let wm = chr.write_margin(&bias)?;
+        let wd = chr.write_delay(&bias)?;
+        println!(
+            "{:>10} {:>12} {:>14} {:>8}",
+            bias.vwl.to_string(),
+            wm.to_string(),
+            wd.to_string(),
+            if wm >= delta { "pass" } else { "fail" }
+        );
+    }
+
+    println!("\n(The paper adopts Vdd boost + negative Gnd for reads and WL overdrive for writes.)");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: optimize one 4 KB SRAM array and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sram_edp::array::Capacity;
+use sram_edp::coopt::{CoOptimizationFramework, CooptError, Method};
+use sram_edp::device::VtFlavor;
+
+fn main() -> Result<(), CooptError> {
+    // The framework in paper-model mode: cell look-up tables built from
+    // the constants the DAC'16 paper publishes. Use
+    // `CoOptimizationFramework::simulated_mode()` to characterize the
+    // cell with the built-in circuit simulator instead (slower).
+    let mut framework = CoOptimizationFramework::paper_mode().with_threads(4);
+
+    let capacity = Capacity::from_bytes(4096);
+
+    println!("Optimizing a {capacity} SRAM array for minimum energy-delay product...\n");
+
+    for flavor in [VtFlavor::Lvt, VtFlavor::Hvt] {
+        for method in [Method::M1, Method::M2] {
+            let design = framework.optimize(capacity, flavor, method)?;
+            println!("{design}");
+        }
+    }
+
+    let lvt = framework.optimize(capacity, VtFlavor::Lvt, Method::M2)?;
+    let hvt = framework.optimize(capacity, VtFlavor::Hvt, Method::M2)?;
+    println!(
+        "\nHVT-M2 vs LVT-M2: {:.1}% lower EDP at a {:.1}% delay penalty",
+        (1.0 - hvt.edp() / lvt.edp()) * 100.0,
+        (hvt.delay() / lvt.delay() - 1.0) * 100.0,
+    );
+    println!(
+        "winning HVT-M2 knobs: {} organization, N_pre = {}, N_wr = {}, V_SSC = {}",
+        hvt.organization,
+        hvt.n_pre,
+        hvt.n_wr,
+        hvt.vssc,
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: every layer of the stack exercised together,
+//! from device cards through the circuit simulator to the optimizer.
+
+use sram_edp::array::{ArrayModel, ArrayOrganization, ArrayParams, Capacity, Periphery};
+use sram_edp::cell::{
+    AssistVoltages, CellCharacterization, CellCharacterizer, CharacterizationGrid,
+};
+use sram_edp::coopt::{
+    CharacterizationMode, CoOptimizationFramework, DesignSpace, Method,
+};
+use sram_edp::device::{DeviceLibrary, VtFlavor};
+use sram_edp::units::Voltage;
+
+#[test]
+fn full_simulated_stack_produces_a_design() {
+    // The complete pipeline with *no* paper constants: simulate the cell,
+    // build the LUTs, run the search. Coarse settings keep it fast.
+    let mut fw = CoOptimizationFramework::new(
+        DeviceLibrary::sevennm(),
+        CharacterizationMode::Simulated,
+    )
+    .with_space(DesignSpace::coarse())
+    .with_threads(4);
+
+    let design = fw
+        .optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M2)
+        .expect("simulated-mode optimization succeeds");
+
+    assert_eq!(design.capacity.bytes(), 1024);
+    assert!(design.delay().picoseconds() > 1.0);
+    assert!(design.energy().femtojoules() > 0.1);
+    // The simulated rails land near the paper's (within the tolerance the
+    // rail-minimization test established).
+    assert!((design.vddc.millivolts() - 550.0).abs() <= 70.0);
+    assert!((design.vwl.millivolts() - 540.0).abs() <= 50.0);
+}
+
+#[test]
+fn simulated_and_paper_modes_agree_on_structure() {
+    let space = DesignSpace::coarse();
+    let mut paper = CoOptimizationFramework::paper_mode().with_space(space.clone());
+    let mut simulated = CoOptimizationFramework::new(
+        DeviceLibrary::sevennm(),
+        CharacterizationMode::Simulated,
+    )
+    .with_space(space);
+
+    let c = Capacity::from_bytes(4096);
+    let p = paper
+        .optimize(c, VtFlavor::Hvt, Method::M2)
+        .expect("paper mode");
+    let s = simulated
+        .optimize(c, VtFlavor::Hvt, Method::M2)
+        .expect("simulated mode");
+
+    // Both modes should pick deep negative Gnd and a tall-narrow array at
+    // 4 KB (the Table 4 pattern), even though their absolute numbers
+    // differ.
+    assert!(p.vssc.millivolts() <= -100.0, "paper mode V_SSC = {}", p.vssc);
+    assert!(s.vssc.millivolts() <= -100.0, "simulated V_SSC = {}", s.vssc);
+    assert!(p.organization.rows() >= p.organization.cols());
+    assert!(s.organization.rows() >= s.organization.cols());
+}
+
+#[test]
+fn simulated_characterization_snapshot_is_consistent_with_direct_measurements() {
+    let lib = DeviceLibrary::sevennm();
+    let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt).with_vtc_points(31);
+    let vddc = Voltage::from_millivolts(550.0);
+    let vwl = Voltage::from_millivolts(540.0);
+    let grid = CharacterizationGrid::paper_default(vddc, vwl);
+    let snapshot = CellCharacterization::characterize(&chr, &grid).expect("characterize");
+
+    // LUT values must match a direct measurement at a grid point.
+    let vssc = Voltage::from_millivolts(-240.0);
+    let bias = AssistVoltages::nominal(lib.nominal_vdd())
+        .with_vddc(vddc)
+        .with_vssc(vssc);
+    let direct = chr.read_current(&bias).expect("read current");
+    let table = snapshot.read_current(vssc);
+    let rel = (table.amps() - direct.amps()).abs() / direct.amps();
+    assert!(rel < 0.02, "LUT vs direct I_read differ by {:.1}%", rel * 100.0);
+
+    // And interpolation must be sandwiched by its neighbors.
+    let mid = snapshot.read_current(Voltage::from_millivolts(-45.0));
+    let lo = snapshot.read_current(Voltage::from_millivolts(-30.0));
+    let hi = snapshot.read_current(Voltage::from_millivolts(-60.0));
+    assert!(mid >= lo && mid <= hi);
+}
+
+#[test]
+fn array_model_consumes_simulated_snapshot() {
+    let lib = DeviceLibrary::sevennm();
+    let chr = CellCharacterizer::new(&lib, VtFlavor::Lvt).with_vtc_points(21);
+    let grid = CharacterizationGrid {
+        vddc: Voltage::from_millivolts(640.0),
+        vwl: Voltage::from_millivolts(490.0),
+        vssc_values: vec![Voltage::ZERO, Voltage::from_millivolts(-120.0)],
+        vwl_values: vec![
+            Voltage::from_millivolts(450.0),
+            Voltage::from_millivolts(490.0),
+        ],
+    };
+    let cell = CellCharacterization::characterize(&chr, &grid).expect("characterize");
+    let periphery = Periphery::new(&lib);
+    let params = ArrayParams::paper_defaults();
+    let org = ArrayOrganization::new(128, 64, 64).expect("org");
+    let metrics = ArrayModel::new(org, &cell, &periphery, &params)
+        .with_precharge_fins(10)
+        .with_vssc(Voltage::from_millivolts(-120.0))
+        .evaluate()
+        .expect("evaluate");
+    assert!(metrics.delay.picoseconds() > 1.0);
+    assert!(metrics.energy.joules() > 0.0);
+    assert!(metrics.leakage_energy < metrics.energy);
+}

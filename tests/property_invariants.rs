@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use sram_edp::array::{ArrayModel, ArrayOrganization, ArrayParams, Periphery};
+use sram_edp::cell::CellCharacterization;
+use sram_edp::device::{DeviceLibrary, FinFet, VtFlavor};
+use sram_edp::units::Voltage;
+
+fn library() -> DeviceLibrary {
+    DeviceLibrary::sevennm()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Device currents are monotone in Vgs for any bias in the modeled
+    /// range, for all four cards.
+    #[test]
+    fn device_current_monotone_in_vgs(
+        vgs1 in 0.0f64..0.9,
+        dv in 0.001f64..0.3,
+        vds in 0.01f64..0.9,
+        hvt in any::<bool>(),
+    ) {
+        let lib = library();
+        let flavor = if hvt { VtFlavor::Hvt } else { VtFlavor::Lvt };
+        let dev = FinFet::new(lib.nfet(flavor).clone(), 1);
+        let i1 = dev.ids(Voltage::from_volts(vgs1), Voltage::from_volts(vds));
+        let i2 = dev.ids(Voltage::from_volts(vgs1 + dv), Voltage::from_volts(vds));
+        prop_assert!(i2 >= i1, "Ids not monotone: {} -> {}", i1, i2);
+    }
+
+    /// Drain current scales exactly linearly with the fin count
+    /// (width quantization).
+    #[test]
+    fn device_current_linear_in_fins(
+        fins in 1u32..50,
+        vgs in 0.0f64..0.8,
+        vds in 0.0f64..0.8,
+    ) {
+        let lib = library();
+        let one = FinFet::new(lib.nfet(VtFlavor::Lvt).clone(), 1);
+        let many = FinFet::new(lib.nfet(VtFlavor::Lvt).clone(), fins);
+        let i1 = one.ids(Voltage::from_volts(vgs), Voltage::from_volts(vds)).amps();
+        let im = many.ids(Voltage::from_volts(vgs), Voltage::from_volts(vds)).amps();
+        prop_assert!((im - i1 * f64::from(fins)).abs() <= 1e-12 * im.abs().max(1e-18));
+    }
+
+    /// Array metrics are positive and internally consistent for any valid
+    /// design point.
+    #[test]
+    fn array_metrics_are_consistent(
+        rows_log2 in 1u32..11,
+        n_pre in 1u32..51,
+        n_wr in 1u32..21,
+        vssc_steps in 0i32..25,
+        hvt in any::<bool>(),
+    ) {
+        let lib = library();
+        let rows = 1u32 << rows_log2;
+        let org = ArrayOrganization::new(rows, 64, 64).unwrap();
+        let cell = if hvt {
+            CellCharacterization::paper_hvt(lib.nominal_vdd())
+        } else {
+            CellCharacterization::paper_lvt(lib.nominal_vdd())
+        };
+        let periphery = Periphery::new(&lib);
+        let params = ArrayParams::paper_defaults();
+        let metrics = ArrayModel::new(org, &cell, &periphery, &params)
+            .with_precharge_fins(n_pre)
+            .with_write_fins(n_wr)
+            .with_vssc(Voltage::from_millivolts(-10.0 * f64::from(vssc_steps)))
+            .evaluate()
+            .unwrap();
+
+        prop_assert!(metrics.delay.seconds() > 0.0);
+        prop_assert!(metrics.energy.joules() > 0.0);
+        prop_assert_eq!(metrics.delay, metrics.read_delay.max(metrics.write_delay));
+        // Eq. (5): total energy exceeds its leakage component.
+        prop_assert!(metrics.energy >= metrics.leakage_energy);
+        // Breakdown totals match the headline delays.
+        prop_assert!(
+            (metrics.read_breakdown.total().seconds() - metrics.read_delay.seconds()).abs()
+                < 1e-18
+        );
+        prop_assert!(
+            (metrics.write_breakdown.total().seconds() - metrics.write_delay.seconds()).abs()
+                < 1e-18
+        );
+    }
+
+    /// Deeper negative Gnd never slows the read bitline (the monotone
+    /// mechanism the whole optimization leans on).
+    #[test]
+    fn bitline_delay_monotone_in_vssc(
+        rows_log2 in 3u32..10,
+        steps in 1i32..24,
+    ) {
+        let lib = library();
+        let org = ArrayOrganization::new(1u32 << rows_log2, 64, 64).unwrap();
+        let cell = CellCharacterization::paper_hvt(lib.nominal_vdd());
+        let periphery = Periphery::new(&lib);
+        let params = ArrayParams::paper_defaults();
+        let eval = |vssc_mv: f64| {
+            ArrayModel::new(org, &cell, &periphery, &params)
+                .with_vssc(Voltage::from_millivolts(vssc_mv))
+                .evaluate()
+                .unwrap()
+                .read_breakdown
+                .bitline
+        };
+        let shallow = eval(-10.0 * f64::from(steps - 1));
+        let deep = eval(-10.0 * f64::from(steps));
+        prop_assert!(deep <= shallow);
+    }
+
+    /// Leakage energy scales exactly linearly with capacity at a fixed
+    /// organization shape and delay (Eq. 4).
+    #[test]
+    fn leakage_energy_proportional_to_bits(scale_log2 in 0u32..4) {
+        let lib = library();
+        let cell = CellCharacterization::paper_lvt(lib.nominal_vdd());
+        let periphery = Periphery::new(&lib);
+        let params = ArrayParams::paper_defaults();
+        // Same rows (same delay components on the BL), wider array.
+        let base = ArrayOrganization::new(128, 64, 64).unwrap();
+        let wide = ArrayOrganization::new(128, 64 << scale_log2, 64).unwrap();
+        let m_base = ArrayModel::new(base, &cell, &periphery, &params).evaluate().unwrap();
+        let m_wide = ArrayModel::new(wide, &cell, &periphery, &params).evaluate().unwrap();
+        let expected = m_base.leakage_energy.joules()
+            * f64::from(1u32 << scale_log2)
+            * (m_wide.delay.seconds() / m_base.delay.seconds());
+        prop_assert!((m_wide.leakage_energy.joules() - expected).abs() < 1e-6 * expected.abs());
+    }
+}
