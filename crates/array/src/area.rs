@@ -53,12 +53,7 @@ impl ArrayFloorplan {
     /// Computes the floorplan of `org` with `n_pre`/`n_wr` column-circuit
     /// fins.
     #[must_use]
-    pub fn new(
-        org: &ArrayOrganization,
-        tech: &TechnologyParams,
-        n_pre: u32,
-        n_wr: u32,
-    ) -> Self {
+    pub fn new(org: &ArrayOrganization, tech: &TechnologyParams, n_pre: u32, n_wr: u32) -> Self {
         let cell_w = tech.cell_width_pitches * tech.metal_pitch;
         let cell_h = cell_w * tech.cell_height_ratio;
         let core_w = cell_w * f64::from(org.cols());
@@ -177,7 +172,10 @@ mod tests {
         let small = plan(16, 64, 10, 2);
         let large = plan(512, 256, 10, 2);
         assert!(large.array_efficiency() > small.array_efficiency());
-        assert!(large.array_efficiency() > 0.8, "large macros should be cell-dominated");
+        assert!(
+            large.array_efficiency() > 0.8,
+            "large macros should be cell-dominated"
+        );
     }
 
     #[test]
@@ -186,6 +184,9 @@ mod tests {
         // published 14 nm cell (0.0588 um^2) — ours must be smaller.
         let p = plan(1, 64, 1, 1);
         let per_cell = p.core_area_um2() / 64.0;
-        assert!(per_cell < 0.0588 && per_cell > 0.005, "cell = {per_cell} um2");
+        assert!(
+            per_cell < 0.0588 && per_cell > 0.005,
+            "cell = {per_cell} um2"
+        );
     }
 }

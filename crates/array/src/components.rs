@@ -28,12 +28,7 @@ pub struct DelayEnergy {
 impl DelayEnergy {
     /// Evaluates Eq. (1) for a `C/V/ΔV/I` quadruple.
     #[must_use]
-    pub fn from_eq1(
-        c: sram_units::Capacitance,
-        v: Voltage,
-        delta_v: Voltage,
-        i: Current,
-    ) -> Self {
+    pub fn from_eq1(c: sram_units::Capacitance, v: Voltage, delta_v: Voltage, i: Current) -> Self {
         Self {
             delay: c * delta_v / i,
             energy: c * v * delta_v,
@@ -132,12 +127,7 @@ pub fn column_select(inp: &ComponentInputs<'_>) -> DelayEnergy {
 #[must_use]
 pub fn bitline_read(inp: &ComponentInputs<'_>) -> DelayEnergy {
     let i = inp.cell.read_current(inp.vssc);
-    DelayEnergy::from_eq1(
-        inp.wires.bitline,
-        inp.vddc - inp.vssc,
-        inp.delta_vs,
-        i,
-    )
+    DelayEnergy::from_eq1(inp.wires.bitline, inp.vddc - inp.vssc, inp.delta_vs, i)
 }
 
 /// Bitline during write: `C_BL`, `V = ΔV = Vdd`,
@@ -180,13 +170,8 @@ mod tests {
         let lib = DeviceLibrary::sevennm();
         let org = ArrayOrganization::new(rows, cols, 64).unwrap();
         let periphery = Periphery::new(&lib);
-        let wires = WireCapacitances::new(
-            &org,
-            &periphery,
-            &TechnologyParams::sevennm(),
-            n_pre,
-            n_wr,
-        );
+        let wires =
+            WireCapacitances::new(&org, &periphery, &TechnologyParams::sevennm(), n_pre, n_wr);
         Fixture {
             wires,
             periphery,
@@ -324,12 +309,9 @@ mod tests {
             FinFet::new(lib.nfet(sram_device::VtFlavor::Lvt).clone(), 27),
         );
         ckt.capacitor("CWL", n_wl, Circuit::GROUND, fx.wires.wordline.farads());
-        let result = Transient::new(
-            Time::from_picoseconds(200.0),
-            Time::from_picoseconds(0.5),
-        )
-        .run(&ckt)
-        .unwrap();
+        let result = Transient::new(Time::from_picoseconds(200.0), Time::from_picoseconds(0.5))
+            .run(&ckt)
+            .unwrap();
         let trace = result.trace();
         let t0 = Time::from_picoseconds(2.0);
         let t90 = trace

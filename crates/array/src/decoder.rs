@@ -59,7 +59,8 @@ impl DecoderModel {
         if bits == 0 {
             return Energy::ZERO;
         }
-        let gates = 2.0 * f64::from(bits) + 2.0 * Self::depth(bits)
+        let gates = 2.0 * f64::from(bits)
+            + 2.0 * Self::depth(bits)
             + 0.25 * 2f64.powi(bits as i32).min(1024.0);
         self.c_inv * gates * self.vdd * self.vdd
     }

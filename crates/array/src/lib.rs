@@ -53,11 +53,11 @@
 #![warn(missing_docs)]
 
 mod area;
-mod macro_model;
 pub mod components;
 mod decoder;
 mod driver;
 mod error;
+mod macro_model;
 mod model;
 mod organization;
 mod periphery;
@@ -71,7 +71,9 @@ pub use decoder::DecoderModel;
 pub use driver::Superbuffer;
 pub use error::ArrayError;
 pub use macro_model::{OperationLedger, SramMacro};
-pub use model::{ArrayMetrics, ArrayModel, ArrayParams, DelayBreakdown, EnergyAccounting, EnergyBreakdown};
+pub use model::{
+    ArrayMetrics, ArrayModel, ArrayParams, DelayBreakdown, EnergyAccounting, EnergyBreakdown,
+};
 pub use organization::{ArrayOrganization, Capacity};
 pub use periphery::Periphery;
 pub use senseamp::SenseAmp;

@@ -199,10 +199,14 @@ mod tests {
         let mut mem = make(128, 64, 64);
         assert_eq!(mem.word_count(), 128);
         for a in 0..mem.word_count() {
-            mem.write(a, (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).unwrap();
+            mem.write(a, (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .unwrap();
         }
         for a in 0..mem.word_count() {
-            assert_eq!(mem.read(a).unwrap(), (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            assert_eq!(
+                mem.read(a).unwrap(),
+                (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            );
         }
         assert_eq!(mem.ledger().reads, 128);
         assert_eq!(mem.ledger().writes, 128);
@@ -250,8 +254,7 @@ mod tests {
             .unwrap();
         let expected = trace.energy(&metrics);
         assert!(
-            (mem.ledger().energy.joules() - expected.joules()).abs()
-                < 1e-9 * expected.joules(),
+            (mem.ledger().energy.joules() - expected.joules()).abs() < 1e-9 * expected.joules(),
             "ledger {} vs trace {}",
             mem.ledger().energy,
             expected

@@ -463,8 +463,7 @@ mod tests {
         assert!(assisted.read_delay < base.read_delay);
         // ... at an energy cost on the assist rails:
         assert!(
-            assisted.read_energy_breakdown.assist_rails
-                > base.read_energy_breakdown.assist_rails
+            assisted.read_energy_breakdown.assist_rails > base.read_energy_breakdown.assist_rails
         );
     }
 
@@ -574,6 +573,9 @@ mod tests {
         let ratio = word.read_energy_breakdown.bitline / paper.read_energy_breakdown.bitline;
         assert!((ratio - 64.0).abs() < 1e-9, "bitline ratio = {ratio}");
         let sa_ratio = word.read_energy_breakdown.resolve / paper.read_energy_breakdown.resolve;
-        assert!((sa_ratio - 64.0).abs() < 1e-9, "sense-amp ratio = {sa_ratio}");
+        assert!(
+            (sa_ratio - 64.0).abs() < 1e-9,
+            "sense-amp ratio = {sa_ratio}"
+        );
     }
 }

@@ -13,9 +13,7 @@ use crate::ArrayError;
 /// assert_eq!(c.bits(), 32_768);
 /// assert_eq!(c.to_string(), "4 KB");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Capacity(usize);
 
 impl Capacity {
@@ -75,7 +73,7 @@ impl core::fmt::Display for Capacity {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ArrayOrganization {
     rows: u32,
     cols: u32,

@@ -172,7 +172,9 @@ mod tests {
     #[test]
     fn rail_driver_currents_grow_with_assist_level() {
         let p = periphery();
-        assert!(p.i_cvdd(Voltage::from_millivolts(640.0)) > p.i_cvdd(Voltage::from_millivolts(550.0)));
+        assert!(
+            p.i_cvdd(Voltage::from_millivolts(640.0)) > p.i_cvdd(Voltage::from_millivolts(550.0))
+        );
         assert!(
             p.i_cvss(Voltage::from_millivolts(-240.0)) > p.i_cvss(Voltage::ZERO),
             "a deeper negative rail gives the NFET more overdrive"

@@ -134,8 +134,7 @@ mod tests {
                 )
             })
             .find(|(t, _)| {
-                (trace.voltage_at(op, *t).volts() - trace.voltage_at(on, *t).volts())
-                    > 0.9 * vdd
+                (trace.voltage_at(op, *t).volts() - trace.voltage_at(on, *t).volts()) > 0.9 * vdd
             })
             .map(|(t, _)| t)
             .expect("latch resolves");

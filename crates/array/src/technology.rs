@@ -21,7 +21,7 @@ use sram_units::Capacitance;
 /// assert!((tech.cell_width_cap().attofarads() - 36.55).abs() < 0.01);
 /// assert!((tech.cell_height_cap().attofarads() - 14.62).abs() < 0.01);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TechnologyParams {
     /// Metal pitch in meters.
     pub metal_pitch: f64,
@@ -53,7 +53,9 @@ impl TechnologyParams {
     /// `C_width = 5 · P_Metal · C_w`.
     #[must_use]
     pub fn cell_width_cap(&self) -> Capacitance {
-        Capacitance::from_farads(self.cell_width_pitches * self.metal_pitch * self.wire_cap_per_meter)
+        Capacitance::from_farads(
+            self.cell_width_pitches * self.metal_pitch * self.wire_cap_per_meter,
+        )
     }
 
     /// Wire capacitance across one cell height,

@@ -11,7 +11,7 @@ use crate::{ArrayMetrics, ArrayParams};
 use sram_units::{Energy, Power, Time};
 
 /// One array cycle's activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// A read access.
     Read,
@@ -32,7 +32,7 @@ pub enum Access {
 /// assert!((trace.activity_factor() - 0.4).abs() < 1e-12);
 /// assert!((trace.read_ratio() - 0.75).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AccessTrace {
     reads: usize,
     writes: usize,
@@ -135,9 +135,7 @@ impl AccessTrace {
         let e_rd = metrics.read_energy_breakdown.total();
         let e_wr = metrics.write_energy_breakdown.total();
         let leak_per_cycle = metrics.leakage_energy; // M * P_leak * D_array
-        e_rd * self.reads as f64
-            + e_wr * self.writes as f64
-            + leak_per_cycle * self.cycles() as f64
+        e_rd * self.reads as f64 + e_wr * self.writes as f64 + leak_per_cycle * self.cycles() as f64
     }
 
     /// Wall-clock duration of the trace at the design's cycle time.

@@ -3,8 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sram_array::{ArrayParams, Capacity, Periphery};
-use sram_cell::{AssistVoltages, CellCharacterization, CellCharacterizer, MonteCarloConfig, YieldAnalyzer};
-use sram_coopt::{optimize_banked, CoordinateDescent, DesignSpace, EnergyDelayProduct, YieldConstraint};
+use sram_cell::{
+    AssistVoltages, CellCharacterization, CellCharacterizer, MonteCarloConfig, YieldAnalyzer,
+};
+use sram_coopt::{
+    optimize_banked, CoordinateDescent, DesignSpace, EnergyDelayProduct, YieldConstraint,
+};
 use sram_device::{DeviceLibrary, VtFlavor};
 use sram_units::Voltage;
 

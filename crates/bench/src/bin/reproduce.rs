@@ -1,101 +1,108 @@
-//! Regenerates every figure and table of the paper's evaluation.
+//! Regenerates the figures and tables of the paper's evaluation.
 //!
-//! ```text
-//! reproduce [experiment]
+//! Run `reproduce --help` for the experiment list — it is generated
+//! from [`sram_bench::cli::EXPERIMENTS`], the same table the runner
+//! executes, so it cannot drift from the implementation.
 //!
-//! experiments:
-//!   fig2      HSNM + leakage vs Vdd (simulated)
-//!   fig3      read-assist sweeps (simulated)
-//!   fig5      write-assist sweeps (simulated)
-//!   table4    optimal design parameters (paper-mode optimizer)
-//!   fig7      delay/energy/EDP vs capacity + BL decomposition
-//!   readfit   read-current power-law regression
-//!   yield     mu - k*sigma statistical constraint (Monte Carlo)
-//!   ablation  rail-pinning, Pareto, heuristic, accounting ablations
-//!   extensions banking, drowsy standby, derated optimization
-//!   all       everything above (default)
-//! ```
+//! With `SRAM_PROBE=1|2` (or `--probe-json <path>`, which force-enables
+//! collection) the run ends with a per-experiment wall-clock and
+//! instrumentation-counter footer; `--probe-json` additionally writes
+//! the collected metrics as JSON.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use sram_bench::cli::{self, Selection};
+use sram_probe::Level;
 
 fn main() -> ExitCode {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let mut which: Option<String> = None;
+    let mut probe_json: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", cli::usage());
+                return ExitCode::SUCCESS;
+            }
+            "--probe-json" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--probe-json requires a path argument");
+                    return ExitCode::FAILURE;
+                };
+                probe_json = Some(path.into());
+            }
+            name if which.is_none() && !name.starts_with('-') => {
+                which = Some(name.to_owned());
+            }
+            other => {
+                eprintln!("unexpected argument `{other}`\n");
+                eprint!("{}", cli::usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_owned());
+
+    // --probe-json must collect even when SRAM_PROBE is unset.
+    if probe_json.is_some() && !sram_probe::enabled(Level::Summary) {
+        sram_probe::set_level(Level::Summary);
+    }
+    let probing = sram_probe::enabled(Level::Summary);
+
+    let Selection::Run { chosen, skipped } = cli::select(&which) else {
+        eprintln!("unknown experiment `{which}`\n");
+        eprint!("{}", cli::usage());
+        return ExitCode::FAILURE;
+    };
+
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4);
 
-    type Runner = Box<dyn Fn() -> Result<String, String>>;
-    let experiments: Vec<(&str, Runner)> = vec![
-        (
-            "fig2",
-            Box::new(|| sram_bench::fig2::run().map_err(|e| e.to_string())),
-        ),
-        (
-            "fig3",
-            Box::new(|| sram_bench::fig3::run().map_err(|e| e.to_string())),
-        ),
-        (
-            "fig5",
-            Box::new(|| sram_bench::fig5::run().map_err(|e| e.to_string())),
-        ),
-        (
-            "table4",
-            Box::new(move || sram_bench::table4::run(threads).map_err(|e| e.to_string())),
-        ),
-        (
-            "fig7",
-            Box::new(move || sram_bench::fig7::run(threads).map_err(|e| e.to_string())),
-        ),
-        (
-            "readfit",
-            Box::new(|| sram_bench::readfit::run().map_err(|e| e.to_string())),
-        ),
-        (
-            "yield",
-            Box::new(|| sram_bench::yieldk::run(60).map_err(|e| e.to_string())),
-        ),
-        (
-            "ablation",
-            Box::new(|| sram_bench::ablation::run().map_err(|e| e.to_string())),
-        ),
-        (
-            "extensions",
-            Box::new(|| sram_bench::extensions::run().map_err(|e| e.to_string())),
-        ),
-        (
-            "rails-sim",
-            Box::new(|| {
-                sram_bench::extensions::simulated_rail_ablation().map_err(|e| e.to_string())
-            }),
-        ),
-    ];
-
-    let selected: Vec<_> = experiments
-        .iter()
-        .filter(|(name, _)| (which == "all" && *name != "rails-sim") || which == *name)
-        .collect();
-    if selected.is_empty() {
-        eprintln!("unknown experiment `{which}`");
-        eprintln!(
-            "available: all, {}",
-            experiments
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join(", ")
+    let baseline = sram_probe::snapshot();
+    let mut timings: Vec<(&str, Duration)> = Vec::with_capacity(chosen.len());
+    for experiment in &chosen {
+        println!(
+            "==================== {} ====================",
+            experiment.name
         );
-        return ExitCode::FAILURE;
-    }
-
-    for (name, runner) in selected {
-        println!("==================== {name} ====================");
-        match runner() {
+        let started = Instant::now();
+        match (experiment.run)(threads) {
             Ok(text) => println!("{text}"),
             Err(e) => {
-                eprintln!("{name} failed: {e}");
+                eprintln!("{} failed: {e}", experiment.name);
                 return ExitCode::FAILURE;
             }
         }
+        timings.push((experiment.name, started.elapsed()));
+    }
+
+    if !skipped.is_empty() {
+        let names: Vec<&str> = skipped.iter().map(|e| e.name).collect();
+        println!(
+            "note: `all` skipped opt-in experiment(s): {} — run them explicitly by name",
+            names.join(", ")
+        );
+    }
+
+    if probing {
+        println!("==================== probe summary ====================");
+        let name_width = timings.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        println!("wall clock per experiment:");
+        for (name, elapsed) in &timings {
+            println!("  {name:<name_width$}  {elapsed:>10.2?}");
+        }
+        print!("{}", sram_probe::snapshot().diff(&baseline).render_table());
+    }
+
+    if let Some(path) = probe_json {
+        let json = sram_probe::snapshot().diff(&baseline).to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write probe JSON to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("probe metrics written to {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -3,7 +3,9 @@
 
 use crate::format_series;
 use sram_array::{ArrayParams, Capacity, Periphery};
-use sram_cell::{AssistVoltages, CellCharacterization, CellCharacterizer, MonteCarloConfig, YieldAnalyzer};
+use sram_cell::{
+    AssistVoltages, CellCharacterization, CellCharacterizer, MonteCarloConfig, YieldAnalyzer,
+};
 use sram_coopt::{
     evaluate_bank_count, optimize_standby, CooptError, DesignSpace, EnergyDelayProduct,
     ExhaustiveSearch, YieldConstraint,
@@ -33,7 +35,11 @@ pub fn banking_sweep() -> Result<String, CooptError> {
         rows.push(vec![
             format!("{}", d.banks()),
             d.bank.capacity.to_string(),
-            format!("{}x{}", d.bank.organization.rows(), d.bank.organization.cols()),
+            format!(
+                "{}x{}",
+                d.bank.organization.rows(),
+                d.bank.organization.cols()
+            ),
             format!("{:.2}", d.delay.picoseconds()),
             format!("{:.2}", d.energy.femtojoules()),
             format!("{:.2}", d.edp().joule_seconds() * 1e27),
@@ -42,7 +48,14 @@ pub fn banking_sweep() -> Result<String, CooptError> {
     Ok(format!(
         "Banking extension — 16 KB 6T-HVT macro vs bank count:\n\n{}",
         format_series(
-            &["banks", "per-bank", "bank org", "delay[ps]", "energy[fJ]", "EDP[1e-27 J*s]"],
+            &[
+                "banks",
+                "per-bank",
+                "bank org",
+                "delay[ps]",
+                "energy[fJ]",
+                "EDP[1e-27 J*s]"
+            ],
             &rows
         )
     ))
@@ -71,7 +84,14 @@ pub fn standby_report() -> Result<String, CooptError> {
     Ok(format!(
         "Drowsy-standby extension (retention margin >= 0.30*Vdd, simulated):\n\n{}",
         format_series(
-            &["cell", "Vdd_hold[mV]", "HSNM[mV]", "leak[nW]", "nominal leak[nW]", "saving"],
+            &[
+                "cell",
+                "Vdd_hold[mV]",
+                "HSNM[mV]",
+                "leak[nW]",
+                "nominal leak[nW]",
+                "saving"
+            ],
             &rows
         )
     ))
@@ -124,13 +144,12 @@ pub fn derated_optimization(samples: usize) -> Result<String, CooptError> {
         let slack = Voltage::from_millivolts(if k > 0.0 { 5.0 } else { 0.0 });
         let vddc = Voltage::from_millivolts(550.0) + analysis.rsnm.sigma * (k / 0.55) + slack;
         let vwl = Voltage::from_millivolts(540.0) + analysis.wm.sigma * (k / 0.9) + slack;
-        let cell = CellCharacterization::paper_with_rails(VtFlavor::Hvt, vdd, vddc, vwl)
-            .derated(
-                k,
-                analysis.hsnm.sigma,
-                analysis.rsnm.sigma,
-                analysis.wm.sigma,
-            );
+        let cell = CellCharacterization::paper_with_rails(VtFlavor::Hvt, vdd, vddc, vwl).derated(
+            k,
+            analysis.hsnm.sigma,
+            analysis.rsnm.sigma,
+            analysis.wm.sigma,
+        );
         let search = ExhaustiveSearch::new(&cell, &periphery, &params, &space, constraint, 64);
         match search.run(capacity, &EnergyDelayProduct) {
             Ok(outcome) => {
@@ -217,7 +236,13 @@ pub fn temperature_report() -> Result<String, CooptError> {
     let mut out = format!(
         "Temperature extension (simulated cell, nominal bias):\n\n{}",
         format_series(
-            &["T[C]", "leak LVT[nW]", "leak HVT[nW]", "HSNM LVT[mV]", "HSNM HVT[mV]"],
+            &[
+                "T[C]",
+                "leak LVT[nW]",
+                "leak HVT[nW]",
+                "HSNM LVT[mV]",
+                "HSNM HVT[mV]"
+            ],
             &rows
         )
     );
@@ -252,7 +277,12 @@ pub fn temperature_report() -> Result<String, CooptError> {
     out.push_str(&format!(
         "\n16 KB EDP vs temperature (paper-mode search, measured leakage scaling):\n\n{}",
         format_series(
-            &["T[C]", "EDP LVT-M2[1e-24]", "EDP HVT-M2[1e-24]", "HVT saving"],
+            &[
+                "T[C]",
+                "EDP LVT-M2[1e-24]",
+                "EDP HVT-M2[1e-24]",
+                "HVT saving"
+            ],
             &rows
         )
     ));
@@ -289,8 +319,7 @@ pub fn simulated_rail_ablation() -> Result<String, CooptError> {
                 .collect(),
             vwl_values: vec![Voltage::from_millivolts(450.0), vwl],
         };
-        let cell =
-            CellCharacterization::characterize(&chr, &grid).map_err(CooptError::Cell)?;
+        let cell = CellCharacterization::characterize(&chr, &grid).map_err(CooptError::Cell)?;
         let search = ExhaustiveSearch::new(&cell, &periphery, &params, &space, constraint, 64);
         match search.run(capacity, &EnergyDelayProduct) {
             Ok(outcome) => rows.push(vec![
@@ -313,7 +342,13 @@ pub fn simulated_rail_ablation() -> Result<String, CooptError> {
     Ok(format!(
         "Simulated rail ablation (4 KB HVT, everything measured by the circuit simulator):\n\n{}",
         format_series(
-            &["V_DDC[mV]", "V_SSC[mV]", "delay[ps]", "energy[fJ]", "EDP[1e-24 J*s]"],
+            &[
+                "V_DDC[mV]",
+                "V_SSC[mV]",
+                "delay[ps]",
+                "energy[fJ]",
+                "EDP[1e-24 J*s]"
+            ],
             &rows
         )
     ))

@@ -126,8 +126,7 @@ pub fn wl_underdrive_sweep(library: &DeviceLibrary) -> Result<Vec<AssistPoint>, 
                 let (mut ckt, _u, out_node) = cell.vtc_circuit(half, VtcMode::Read, &bias, vdd);
                 ckt.set_source_voltage("VWL", vwl_read)
                     .map_err(CellError::Simulation)?;
-                let points =
-                    sram_spice::DcSweep::new("VU", bias.vssc, bias.vddc, 41).run(&ckt)?;
+                let points = sram_spice::DcSweep::new("VU", bias.vssc, bias.vddc, 41).run(&ckt)?;
                 curves.push(sram_cell::Vtc::new(
                     points
                         .into_iter()
@@ -152,7 +151,11 @@ pub fn wl_underdrive_sweep(library: &DeviceLibrary) -> Result<Vec<AssistPoint>, 
                 .nodeset(nodes.qb, vdd)
                 .solve(&ckt)
                 .map_err(CellError::Simulation)?;
-            Current::from_amps(-sol.source_current(&ckt, "VBL").map_err(CellError::Simulation)?.amps())
+            Current::from_amps(
+                -sol.source_current(&ckt, "VBL")
+                    .map_err(CellError::Simulation)?
+                    .amps(),
+            )
         };
 
         out.push(AssistPoint {
@@ -197,7 +200,13 @@ fn format_points(title: &str, level_name: &str, pts: &[AssistPoint], delta: Volt
     format!(
         "{title}\n\n{}",
         format_series(
-            &[level_name, "RSNM[mV]", "I_read[uA]", "BL delay[ps]", "meets delta"],
+            &[
+                level_name,
+                "RSNM[mV]",
+                "I_read[uA]",
+                "BL delay[ps]",
+                "meets delta"
+            ],
             &rows
         )
     )

@@ -72,7 +72,12 @@ fn delay_or_none(result: Result<Time, CellError>) -> Result<Option<Time>, CellEr
     }
 }
 
-fn format_points(title: &str, level_name: &str, pts: &[WriteAssistPoint], delta: Voltage) -> String {
+fn format_points(
+    title: &str,
+    level_name: &str,
+    pts: &[WriteAssistPoint],
+    delta: Voltage,
+) -> String {
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {

@@ -124,10 +124,7 @@ pub fn run(threads: usize) -> Result<String, CooptError> {
             .collect();
         out.push_str(&format!(
             "{title}\n\n{}\n",
-            format_series(
-                &["capacity", "LVT-M1", "LVT-M2", "HVT-M1", "HVT-M2"],
-                &rows
-            )
+            format_series(&["capacity", "LVT-M1", "LVT-M2", "HVT-M1", "HVT-M2"], &rows)
         ));
     }
 
@@ -208,10 +205,7 @@ mod tests {
         let c = Capacity::from_bytes(4096);
         let m1 = data.design(c, VtFlavor::Hvt, Method::M1);
         let m2 = data.design(c, VtFlavor::Hvt, Method::M2);
-        assert!(
-            m1.metrics.read_breakdown.bitline
-                > m2.metrics.read_breakdown.bitline * 1.5
-        );
+        assert!(m1.metrics.read_breakdown.bitline > m2.metrics.read_breakdown.bitline * 1.5);
         assert!(m1.delay() > m2.delay());
     }
 }

@@ -16,11 +16,13 @@
 //! | [`yieldk`] | The μ−kσ statistical-constraint extension |
 //! | [`ablation`] | Rail-pinning, Pareto-pruning, heuristic-search, and energy-accounting ablations |
 //! | [`extensions`] | Banking, drowsy standby, statistically derated optimization |
+//! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cli;
 pub mod extensions;
 pub mod fig2;
 pub mod fig3;

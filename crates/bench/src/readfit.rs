@@ -90,7 +90,11 @@ mod tests {
             "fitted exponent a = {:.3} far from the paper's 1.3",
             f.a
         );
-        assert!(f.rms_relative_error < 0.25, "poor fit: {}", f.rms_relative_error);
+        assert!(
+            f.rms_relative_error < 0.25,
+            "poor fit: {}",
+            f.rms_relative_error
+        );
     }
 
     #[test]

@@ -1,6 +1,13 @@
-//! Table 4: optimal design parameters for every capacity/configuration.
+//! Table 4: optimal design parameters for every capacity/configuration,
+//! plus a Monte Carlo spot-check of the headline winner against the
+//! paper's accurate statistical yield constraint (Section 4).
 
-use sram_coopt::{CoOptimizationFramework, CooptError, OptimalDesign};
+use sram_coopt::{CoOptimizationFramework, CooptError, Method, OptimalDesign};
+use sram_device::VtFlavor;
+
+/// Samples in the statistical spot-check — enough to exercise the full
+/// variation/SPICE stack without dominating the runtime.
+const SPOT_CHECK_SAMPLES: usize = 12;
 
 /// Runs the full Table 4 optimization (20 exhaustive searches) in
 /// paper-model mode with `threads` workers.
@@ -20,8 +27,10 @@ pub fn compute(threads: usize) -> Result<Vec<OptimalDesign>, CooptError> {
 ///
 /// Propagates framework failures.
 pub fn run(threads: usize) -> Result<String, CooptError> {
-    let designs = compute(threads)?;
-    let mut out = String::from("Table 4 — SRAM array design parameters at the minimum-EDP point\n\n");
+    let mut fw = CoOptimizationFramework::paper_mode().with_threads(threads);
+    let designs = fw.optimize_table4()?;
+    let mut out =
+        String::from("Table 4 — SRAM array design parameters at the minimum-EDP point\n\n");
     out.push_str(&sram_coopt::format_table4(&designs));
     out.push_str("\nEvaluated metrics:\n");
     for d in &designs {
@@ -29,6 +38,22 @@ pub fn run(threads: usize) -> Result<String, CooptError> {
     }
     out.push_str("\nCSV:\n");
     out.push_str(&sram_coopt::csv_table(&designs));
+
+    // Cross-check the headline winner (16 KB 6T-HVT-M2) against the
+    // accurate constraint `min(μ − kσ) ≥ 0` by Monte Carlo.
+    if let Some(headline) = designs.iter().find(|d| {
+        d.capacity.bytes() == 16 * 1024 && d.flavor == VtFlavor::Hvt && d.method == Method::M2
+    }) {
+        let mc = fw.verify_statistical_yield(headline, SPOT_CHECK_SAMPLES)?;
+        out.push_str(&format!(
+            "\nStatistical spot-check ({} {}, {SPOT_CHECK_SAMPLES}-sample Monte Carlo):\n  \
+             worst mu-3sigma margin = {:.1} mV (k = 3 constraint {})\n",
+            headline.capacity,
+            headline.label(),
+            mc.worst_statistical_margin(3.0).millivolts(),
+            if mc.passes(3.0) { "passes" } else { "fails" },
+        ));
+    }
     Ok(out)
 }
 
@@ -47,12 +72,7 @@ mod tests {
         // negative Gnd.
         for d in &designs {
             if d.method == Method::M2 && d.capacity.bytes() >= 1024 && d.capacity.bytes() <= 4096 {
-                assert!(
-                    d.vssc.millivolts() <= -100.0,
-                    "{}: V_SSC = {}",
-                    d,
-                    d.vssc
-                );
+                assert!(d.vssc.millivolts() <= -100.0, "{}: V_SSC = {}", d, d.vssc);
             }
             // Pattern 2: M1 never uses a negative rail.
             if d.method == Method::M1 {

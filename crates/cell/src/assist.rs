@@ -27,7 +27,7 @@ use sram_units::Voltage;
 ///     .with_vssc(Voltage::from_millivolts(-240.0));
 /// assert_eq!(m2.read_swing().millivolts(), 790.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AssistVoltages {
     /// Cell supply rail `V_DDC` (≥ Vdd when the Vdd-boost assist is on).
     pub vddc: Voltage,
@@ -110,7 +110,7 @@ impl AssistVoltages {
 }
 
 /// Read-assist techniques surveyed in Section 3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReadAssist {
     /// No read assist.
     None,
@@ -125,7 +125,7 @@ pub enum ReadAssist {
 }
 
 /// Write-assist techniques surveyed in Section 3.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteAssist {
     /// No write assist.
     None,

@@ -373,8 +373,16 @@ mod tests {
             .unwrap();
         // Q sits near V_SSC, QB near V_DDC: the negative-Gnd mechanism of
         // Fig. 4 (access transistor sees a larger Vds/Vgs).
-        assert!(sol.voltage(nodes.q).volts() < -0.15, "q = {}", sol.voltage(nodes.q));
-        assert!(sol.voltage(nodes.qb).volts() > 0.50, "qb = {}", sol.voltage(nodes.qb));
+        assert!(
+            sol.voltage(nodes.q).volts() < -0.15,
+            "q = {}",
+            sol.voltage(nodes.q)
+        );
+        assert!(
+            sol.voltage(nodes.qb).volts() > 0.50,
+            "qb = {}",
+            sol.voltage(nodes.qb)
+        );
     }
 
     #[test]

@@ -190,9 +190,6 @@ mod tests {
         let lib = DeviceLibrary::sevennm();
         let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt);
         let bad = nominal().with_vddc(Voltage::from_volts(-1.0));
-        assert!(matches!(
-            chr.read_snm(&bad),
-            Err(CellError::InvalidBias(_))
-        ));
+        assert!(matches!(chr.read_snm(&bad), Err(CellError::InvalidBias(_))));
     }
 }

@@ -20,7 +20,7 @@ use crate::CellError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lut1d {
     points: Vec<(f64, f64)>,
 }

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use sram_units::Voltage;
 
 /// Which margin a statistic describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MarginKind {
     /// Hold static noise margin.
     Hsnm,
@@ -33,7 +33,7 @@ impl core::fmt::Display for MarginKind {
 }
 
 /// Sample statistics of one margin.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarginStats {
     /// Which margin.
     pub kind: MarginKind,
@@ -73,7 +73,7 @@ impl MarginStats {
 }
 
 /// Monte Carlo configuration.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarloConfig {
     /// Number of sampled cells.
     pub samples: usize,
@@ -94,7 +94,7 @@ impl Default for MonteCarloConfig {
 }
 
 /// Result of a yield analysis: statistics for all three margins.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YieldAnalysis {
     /// HSNM statistics.
     pub hsnm: MarginStats,
@@ -155,6 +155,8 @@ impl YieldAnalyzer {
     ///
     /// Propagates simulator errors other than margin collapse.
     pub fn run(&self, bias: &AssistVoltages) -> Result<YieldAnalysis, CellError> {
+        sram_probe::probe_inc!("cell.mc_runs");
+        let _span = sram_probe::probe_span!("cell.mc_run_ns");
         let nominal = AssistVoltages::nominal(self.characterizer.vdd());
         let hold_bias = nominal;
         let read_bias = nominal.with_vddc(bias.vddc).with_vssc(bias.vssc);
@@ -165,6 +167,7 @@ impl YieldAnalyzer {
         let mut rsnm = Vec::with_capacity(self.config.samples);
         let mut wm = Vec::with_capacity(self.config.samples);
         for _ in 0..self.config.samples {
+            sram_probe::probe_inc!("cell.mc_samples");
             let cell = self.characterizer.cell().with_variation(&mut rng);
             let chr = self
                 .characterizer
@@ -175,7 +178,10 @@ impl YieldAnalyzer {
             rsnm.push(margin_or_zero(chr.read_snm(&read_bias))?);
             wm.push(match chr.write_margin(&write_bias) {
                 Ok(v) => v.volts(),
-                Err(CellError::BracketingFailed { .. }) => 0.0,
+                Err(CellError::BracketingFailed { .. }) => {
+                    sram_probe::probe_inc!("cell.mc_wm_bracketing_failed");
+                    0.0
+                }
                 Err(e) => return Err(e),
             });
         }
@@ -190,7 +196,12 @@ impl YieldAnalyzer {
 fn margin_or_zero(result: Result<Voltage, CellError>) -> Result<f64, CellError> {
     match result {
         Ok(v) => Ok(v.volts()),
-        Err(CellError::MeasurementFailed { .. }) => Ok(0.0),
+        Err(CellError::MeasurementFailed { .. }) => {
+            // The butterfly collapsed under variation: a zero-margin
+            // (failing) sample, not a simulator error.
+            sram_probe::probe_inc!("cell.mc_collapsed");
+            Ok(0.0)
+        }
         Err(e) => Err(e),
     }
 }

@@ -60,7 +60,9 @@ impl CellCharacterization {
         if header != format!("{FORMAT_TAG}\tv{FORMAT_VERSION}") {
             return Err(bad(format!("unrecognized header `{header}`")));
         }
-        let meta = lines.next().ok_or_else(|| bad("missing meta line".into()))?;
+        let meta = lines
+            .next()
+            .ok_or_else(|| bad("missing meta line".into()))?;
         let f: Vec<&str> = meta.split('\t').collect();
         if f.len() != 8 || f[0] != "meta" {
             return Err(bad(format!("malformed meta line `{meta}`")));
@@ -71,7 +73,8 @@ impl CellCharacterization {
             other => return Err(bad(format!("unknown flavor `{other}`"))),
         };
         let num = |s: &str| -> Result<f64, CellError> {
-            s.parse::<f64>().map_err(|e| bad(format!("bad number `{s}`: {e}")))
+            s.parse::<f64>()
+                .map_err(|e| bad(format!("bad number `{s}`: {e}")))
         };
         let (vdd, vddc, vwl) = (num(f[2])?, num(f[3])?, num(f[4])?);
         let (leakage, hsnm, wm) = (num(f[5])?, num(f[6])?, num(f[7])?);
@@ -141,13 +144,16 @@ mod tests {
                 "rsnm mismatch at {v}"
             );
             assert!(
-                (parsed.read_current(v).amps() - original.read_current(v).amps()).abs()
-                    < 1e-12
+                (parsed.read_current(v).amps() - original.read_current(v).amps()).abs() < 1e-12
             );
         }
         assert!(
-            (parsed.write_delay(Voltage::from_millivolts(540.0)).seconds()
-                - original.write_delay(Voltage::from_millivolts(540.0)).seconds())
+            (parsed
+                .write_delay(Voltage::from_millivolts(540.0))
+                .seconds()
+                - original
+                    .write_delay(Voltage::from_millivolts(540.0))
+                    .seconds())
             .abs()
                 < 1e-18
         );

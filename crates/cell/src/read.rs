@@ -34,7 +34,7 @@ impl CellCharacterizer {
 }
 
 /// A fitted power law `I_read = b · (V_DDC − V_SSC − Vt)^a`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadCurrentFit {
     /// Exponent `a` (the paper reports 1.3).
     pub a: f64,

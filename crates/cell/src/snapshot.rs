@@ -55,7 +55,7 @@ impl CharacterizationGrid {
 
 /// Cell look-up tables: everything the array model and optimizer need,
 /// with no further circuit simulation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellCharacterization {
     flavor: VtFlavor,
     vdd: Voltage,
@@ -85,6 +85,8 @@ impl CellCharacterization {
         characterizer: &CellCharacterizer,
         grid: &CharacterizationGrid,
     ) -> Result<Self, CellError> {
+        sram_probe::probe_inc!("cell.characterizations");
+        let _span = sram_probe::probe_span!("cell.characterize_ns");
         let vdd = characterizer.vdd();
         let nominal = AssistVoltages::nominal(vdd);
         let leakage = characterizer.leakage_power(&nominal)?;
@@ -476,10 +478,8 @@ mod tests {
     #[test]
     fn rsnm_ratio_at_nominal_matches_fig3a() {
         // With no-assist rails (V_DDC = Vdd), RSNM(HVT)/RSNM(LVT) ~ 1.9x.
-        let hvt =
-            CellCharacterization::paper_with_rails(VtFlavor::Hvt, vdd(), vdd(), vdd());
-        let lvt =
-            CellCharacterization::paper_with_rails(VtFlavor::Lvt, vdd(), vdd(), vdd());
+        let hvt = CellCharacterization::paper_with_rails(VtFlavor::Hvt, vdd(), vdd(), vdd());
+        let lvt = CellCharacterization::paper_with_rails(VtFlavor::Lvt, vdd(), vdd(), vdd());
         let r = hvt.rsnm(Voltage::ZERO).volts() / lvt.rsnm(Voltage::ZERO).volts();
         assert!(r > 1.5 && r < 2.5, "RSNM HVT/LVT = {r} (paper: 1.9x)");
     }

@@ -23,11 +23,7 @@ impl CellCharacterizer {
     /// # Errors
     ///
     /// Propagates simulation failures.
-    pub fn write_flips(
-        &self,
-        bias: &AssistVoltages,
-        vwl_test: Voltage,
-    ) -> Result<bool, CellError> {
+    pub fn write_flips(&self, bias: &AssistVoltages, vwl_test: Voltage) -> Result<bool, CellError> {
         let (ckt, nodes) = self.cell().write_dc_circuit(bias, self.vdd(), vwl_test);
         let sol = DcSolver::new()
             .nodeset(nodes.q, bias.vddc)
@@ -100,12 +96,7 @@ impl CellCharacterizer {
             .run(&ckt)?;
         let trace = result.trace();
         let wl_half = trace
-            .crossing(
-                nodes.wl,
-                self.vdd() * 0.5,
-                CrossingEdge::Rising,
-                Time::ZERO,
-            )
+            .crossing(nodes.wl, self.vdd() * 0.5, CrossingEdge::Rising, Time::ZERO)
             .ok_or_else(|| CellError::MeasurementFailed {
                 what: "write delay",
                 reason: "wordline never reached 50% of Vdd".into(),
@@ -152,10 +143,7 @@ mod tests {
         let c = chr(VtFlavor::Hvt);
         let bias = AssistVoltages::nominal(vdd());
         let v = c.wordline_flip_voltage(&bias).unwrap();
-        assert!(
-            v.volts() > 0.05 && v.volts() < 0.9,
-            "flip voltage = {v}"
-        );
+        assert!(v.volts() > 0.05 && v.volts() < 0.9, "flip voltage = {v}");
     }
 
     #[test]
@@ -173,7 +161,9 @@ mod tests {
         let c = chr(VtFlavor::Hvt);
         let base = c.write_margin(&AssistVoltages::nominal(vdd())).unwrap();
         let nbl = c
-            .write_margin(&AssistVoltages::nominal(vdd()).with_vbl(Voltage::from_millivolts(-100.0)))
+            .write_margin(
+                &AssistVoltages::nominal(vdd()).with_vbl(Voltage::from_millivolts(-100.0)),
+            )
             .unwrap();
         assert!(nbl > base, "negative BL: {base} -> {nbl} (paper Fig. 5(b))");
     }

@@ -13,7 +13,9 @@
 //! This module reuses the single-array optimizer per bank and layers the
 //! banking overheads on top, exposing the EDP-optimal bank count.
 
-use crate::{CooptError, DesignSpace, EnergyDelayProduct, ExhaustiveSearch, OptimalDesign, YieldConstraint};
+use crate::{
+    CooptError, DesignSpace, EnergyDelayProduct, ExhaustiveSearch, OptimalDesign, YieldConstraint,
+};
 use sram_array::{Capacity, DecoderModel, Periphery};
 use sram_cell::CellCharacterization;
 use sram_units::{Energy, EnergyDelay, Time};
@@ -118,10 +120,7 @@ pub fn optimize_banked(
             delay,
             energy,
         };
-        if best
-            .as_ref()
-            .is_none_or(|b| candidate.edp() < b.edp())
-        {
+        if best.as_ref().is_none_or(|b| candidate.edp() < b.edp()) {
             best = Some(candidate);
         }
     }
@@ -300,11 +299,25 @@ mod tests {
         let constraint = YieldConstraint::paper_delta(fx.cell.vdd());
         let capacity = Capacity::from_bytes(4096);
         let mono = evaluate_bank_count(
-            capacity, 0, &fx.cell, &fx.periphery, &fx.params, &fx.space, constraint, 64,
+            capacity,
+            0,
+            &fx.cell,
+            &fx.periphery,
+            &fx.params,
+            &fx.space,
+            constraint,
+            64,
         )
         .unwrap();
         let banked = evaluate_bank_count(
-            capacity, 2, &fx.cell, &fx.periphery, &fx.params, &fx.space, constraint, 64,
+            capacity,
+            2,
+            &fx.cell,
+            &fx.periphery,
+            &fx.params,
+            &fx.space,
+            constraint,
+            64,
         )
         .unwrap();
         // Leakage power = leakage energy / cycle: must equal M * P_cell

@@ -48,7 +48,10 @@ impl fmt::Display for CooptError {
                 write!(f, "design space is empty for {capacity_bits} bits")
             }
             CooptError::RailSearchFailed { rail } => {
-                write!(f, "could not find a {rail} level meeting the yield requirement")
+                write!(
+                    f,
+                    "could not find a {rail} level meeting the yield requirement"
+                )
             }
         }
     }

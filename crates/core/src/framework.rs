@@ -347,7 +347,10 @@ mod tests {
         let hvt = fw
             .optimize(Capacity::from_bytes(16 * 1024), VtFlavor::Hvt, Method::M2)
             .unwrap();
-        assert!(hvt.edp() < lvt.edp(), "paper headline: HVT-M2 wins at 16 KB");
+        assert!(
+            hvt.edp() < lvt.edp(),
+            "paper headline: HVT-M2 wins at 16 KB"
+        );
         // ... at a bounded performance penalty:
         let penalty = hvt.delay() / lvt.delay() - 1.0;
         assert!(penalty < 0.5, "delay penalty {penalty:.2} looks wrong");

@@ -87,8 +87,7 @@ impl<'a> CoordinateDescent<'a> {
         capacity: Capacity,
         objective: &(impl Objective + ?Sized),
     ) -> Result<SearchOutcome, CooptError> {
-        let orgs =
-            ArrayOrganization::enumerate(capacity, self.word_bits, self.space.rows_range());
+        let orgs = ArrayOrganization::enumerate(capacity, self.word_bits, self.space.rows_range());
         if orgs.is_empty() {
             return Err(CooptError::EmptyDesignSpace {
                 capacity_bits: capacity.bits(),
@@ -163,6 +162,8 @@ impl<'a> CoordinateDescent<'a> {
             stats: SearchStatistics {
                 examined: evals,
                 feasible: evals,
+                evaluated: evals,
+                ..SearchStatistics::default()
             },
         })
     }

@@ -15,7 +15,7 @@
 //!
 //! The search space (`V_SSC ∈ {0,−10,…,−240 mV}`, `n_r ∈ {2¹…2¹⁰}`,
 //! `N_pre ∈ {1…50}`, `N_wr ∈ {1…20}`) is small enough for **exhaustive
-//! search** ([`ExhaustiveSearch`], with a crossbeam-parallel variant),
+//! search** ([`ExhaustiveSearch`], with a std::thread::scope-parallel variant),
 //! evaluated through the `sram-array` look-up-table model.
 //!
 //! Two rail-count policies are modeled (Section 5): **M1** — one extra
@@ -63,7 +63,9 @@ pub use constraint::YieldConstraint;
 pub use error::CooptError;
 pub use framework::{CharacterizationMode, CoOptimizationFramework};
 pub use heuristic::CoordinateDescent;
-pub use objective::{DelayOnly, EnergyDelayProduct, EnergyDelaySquared, EnergyOnly, Objective, WeightedEnergyDelay};
+pub use objective::{
+    DelayOnly, EnergyDelayProduct, EnergyDelaySquared, EnergyOnly, Objective, WeightedEnergyDelay,
+};
 pub use pareto::{ParetoFront, ParetoPoint};
 pub use rails::{Method, RailSelection};
 pub use report::{csv_table, format_table4};

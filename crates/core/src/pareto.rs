@@ -129,9 +129,14 @@ mod tests {
 
     #[test]
     fn front_keeps_only_non_dominated() {
-        let front: ParetoFront<u32> = [pt(3.0, 1.0, 0), pt(1.0, 3.0, 1), pt(2.0, 2.0, 2), pt(4.0, 4.0, 3)]
-            .into_iter()
-            .collect();
+        let front: ParetoFront<u32> = [
+            pt(3.0, 1.0, 0),
+            pt(1.0, 3.0, 1),
+            pt(2.0, 2.0, 2),
+            pt(4.0, 4.0, 3),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(front.len(), 3); // (4,4) dominated by (2,2)
         assert!(front.points().iter().all(|p| p.tag != 3));
     }

@@ -15,7 +15,7 @@ use sram_cell::{AssistVoltages, CellCharacterizer};
 use sram_units::Voltage;
 
 /// Rail-count policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// One extra voltage rail, set to `max(V_DDC, V_WL)`; no negative Gnd.
     M1,
@@ -33,7 +33,7 @@ impl core::fmt::Display for Method {
 }
 
 /// The rail levels selected for one `(flavor, method)` pair.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RailSelection {
     /// Cell supply rail `V_DDC`.
     pub vddc: Voltage,

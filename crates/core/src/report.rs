@@ -7,12 +7,8 @@ use crate::OptimalDesign;
 #[must_use]
 pub fn format_table4(designs: &[OptimalDesign]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "| M     | SRAM       | n_r  | n_c  | N_pre | N_wr | V_DDC | V_SSC | V_WL |\n",
-    );
-    out.push_str(
-        "|-------|------------|------|------|-------|------|-------|-------|------|\n",
-    );
+    out.push_str("| M     | SRAM       | n_r  | n_c  | N_pre | N_wr | V_DDC | V_SSC | V_WL |\n");
+    out.push_str("|-------|------------|------|------|-------|------|-------|-------|------|\n");
     for d in designs {
         out.push_str(&format!(
             "| {:<5} | {:<10} | {:>4} | {:>4} | {:>5} | {:>4} | {:>5.0} | {:>5.0} | {:>4.0} |\n",

@@ -6,12 +6,35 @@ use sram_device::VtFlavor;
 use sram_units::{Energy, EnergyDelay, Time, Voltage};
 
 /// Search bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Invariants (maintained by [`crate::ExhaustiveSearch`], identical for
+/// serial and parallel runs): `examined = feasible + infeasible` and
+/// `feasible = evaluated + eval_errors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStatistics {
-    /// Candidates enumerated.
+    /// Candidates enumerated (the whole space).
     pub examined: usize,
-    /// Candidates passing the yield constraint (and thus evaluated).
+    /// Candidates whose slice passed the yield constraint.
     pub feasible: usize,
+    /// Candidates skipped because their slice failed the yield
+    /// constraint.
+    pub infeasible: usize,
+    /// Feasible candidates whose array model evaluated successfully.
+    pub evaluated: usize,
+    /// Feasible candidates whose array model evaluation errored (the
+    /// candidate is skipped, not fatal).
+    pub eval_errors: usize,
+}
+
+impl SearchStatistics {
+    /// Accumulates another slice's statistics into this one.
+    pub fn merge(&mut self, other: &SearchStatistics) {
+        self.examined += other.examined;
+        self.feasible += other.feasible;
+        self.infeasible += other.infeasible;
+        self.evaluated += other.evaluated;
+        self.eval_errors += other.eval_errors;
+    }
 }
 
 /// The minimum-EDP design of one `(capacity, flavor, method)` search —

@@ -71,8 +71,8 @@ impl<'a> ExhaustiveSearch<'a> {
         }
     }
 
-    /// Enables a crossbeam-scoped thread pool of `n` workers, splitting
-    /// the space by `(organization, V_SSC)` slice.
+    /// Enables a scoped thread pool of `n` workers, splitting the space
+    /// by `(organization, V_SSC)` slice.
     #[must_use]
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
@@ -82,8 +82,7 @@ impl<'a> ExhaustiveSearch<'a> {
     /// Enumerates the candidate `(organization, V_SSC)` slices for a
     /// capacity (the fin loops run inside each slice).
     fn slices(&self, capacity: Capacity) -> Vec<(ArrayOrganization, Voltage)> {
-        let orgs =
-            ArrayOrganization::enumerate(capacity, self.word_bits, self.space.rows_range());
+        let orgs = ArrayOrganization::enumerate(capacity, self.word_bits, self.space.rows_range());
         let mut out = Vec::with_capacity(orgs.len() * self.space.vssc_values().len());
         for org in orgs {
             for &vssc in self.space.vssc_values() {
@@ -108,6 +107,7 @@ impl<'a> ExhaustiveSearch<'a> {
         // The yield constraint depends only on V_SSC (through the cell
         // tables), so it gates the whole slice.
         if !self.constraint.check_snapshot(self.cell, vssc) {
+            stats.infeasible = stats.examined;
             return (None, stats);
         }
         stats.feasible = stats.examined;
@@ -121,8 +121,14 @@ impl<'a> ExhaustiveSearch<'a> {
                     .with_vssc(vssc)
                     .evaluate()
                 {
-                    Ok(m) => m,
-                    Err(_) => continue,
+                    Ok(m) => {
+                        stats.evaluated += 1;
+                        m
+                    }
+                    Err(_) => {
+                        stats.eval_errors += 1;
+                        continue;
+                    }
                 };
                 let score = objective.score(&metrics);
                 if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
@@ -161,21 +167,24 @@ impl<'a> ExhaustiveSearch<'a> {
                 capacity_bits: capacity.bits(),
             });
         }
+        sram_probe::probe_inc!("coopt.searches");
+        sram_probe::probe_add!("coopt.slices", slices.len() as u64);
+        let _span = sram_probe::probe_span!("coopt.search_ns");
 
-        let results: Vec<(Option<ScoredCandidate>, SearchStatistics)> =
-            if self.threads <= 1 {
-                slices
-                    .iter()
-                    .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
-                    .collect()
-            } else {
-                let chunks: Vec<&[(ArrayOrganization, Voltage)]> =
-                    slices.chunks(slices.len().div_ceil(self.threads)).collect();
-                crossbeam::scope(|scope| {
-                    let handles: Vec<_> = chunks
+        let results: Vec<(Option<ScoredCandidate>, SearchStatistics)> = if self.threads <= 1 {
+            slices
+                .iter()
+                .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
+                .collect()
+        } else {
+            let chunks: Vec<&[(ArrayOrganization, Voltage)]> =
+                slices.chunks(slices.len().div_ceil(self.threads)).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
                         .into_iter()
                         .map(|chunk| {
-                            scope.spawn(move |_| {
+                            sram_probe::probe_record!(detail "coopt.slices_per_worker", chunk.len() as u64);
+                            scope.spawn(move || {
                                 chunk
                                     .iter()
                                     .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
@@ -183,30 +192,33 @@ impl<'a> ExhaustiveSearch<'a> {
                             })
                         })
                         .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("search worker panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope failed")
-            };
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("search worker panicked"))
+                    .collect()
+            })
+        };
 
         let mut stats = SearchStatistics::default();
         let mut best: Option<ScoredCandidate> = None;
         for (candidate, slice_stats) in results {
-            stats.examined += slice_stats.examined;
-            stats.feasible += slice_stats.feasible;
+            stats.merge(&slice_stats);
             if let Some((point, metrics, score)) = candidate {
                 if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
                     best = Some((point, metrics, score));
                 }
             }
         }
+        sram_probe::probe_add!("coopt.candidates_examined", stats.examined as u64);
+        sram_probe::probe_add!("coopt.candidates_infeasible_yield", stats.infeasible as u64);
+        sram_probe::probe_add!("coopt.candidates_evaluated", stats.evaluated as u64);
+        sram_probe::probe_add!("coopt.candidate_eval_errors", stats.eval_errors as u64);
 
         let (best, metrics, score) = best.ok_or(CooptError::Infeasible {
             capacity_bits: capacity.bits(),
             examined: stats.examined,
         })?;
+        sram_probe::probe_gauge!("coopt.best_score", score);
         Ok(SearchOutcome {
             best,
             metrics,
@@ -260,6 +272,18 @@ mod tests {
         assert!(out.stats.feasible > 0);
         assert_eq!(out.best.organization.capacity().bits(), 8192);
         assert!(out.score > 0.0);
+    }
+
+    #[test]
+    fn statistics_partition_the_space() {
+        let fx = fixture();
+        let out = search(&fx)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        let s = out.stats;
+        assert_eq!(s.examined, s.feasible + s.infeasible);
+        assert_eq!(s.feasible, s.evaluated + s.eval_errors);
+        assert!(s.evaluated > 0);
     }
 
     #[test]

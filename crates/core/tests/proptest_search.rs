@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use sram_array::{ArrayModel, ArrayOrganization, ArrayParams, Capacity, Periphery};
 use sram_cell::CellCharacterization;
-use sram_coopt::{
-    DesignSpace, EnergyDelayProduct, ExhaustiveSearch, Objective, YieldConstraint,
-};
+use sram_coopt::{DesignSpace, EnergyDelayProduct, ExhaustiveSearch, Objective, YieldConstraint};
 use sram_device::DeviceLibrary;
 use sram_units::Voltage;
 

@@ -18,7 +18,7 @@ use sram_units::Capacitance;
 /// let caps = pre.capacitances();
 /// assert!(caps.drain.farads() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceCapacitances {
     /// Gate terminal capacitance.
     pub gate: Capacitance,

@@ -4,7 +4,7 @@ use crate::{DeviceCapacitances, DeviceError, DeviceParams, IvModel};
 use sram_units::{Current, Voltage};
 
 /// Channel polarity of a FinFET.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
     /// N-channel device (pull-down / access transistors).
     N,
@@ -22,7 +22,7 @@ impl core::fmt::Display for Polarity {
 }
 
 /// Threshold-voltage flavor of the 7 nm library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VtFlavor {
     /// Low threshold voltage: fast, leaky. Used for all peripherals.
     Lvt,
@@ -61,7 +61,7 @@ impl core::fmt::Display for VtFlavor {
 /// let ratio = four_fin.ids(v, v).amps() / one_fin.ids(v, v).amps();
 /// assert!((ratio - 4.0).abs() < 1e-9); // exactly 4x: width quantization
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FinFet {
     params: DeviceParams,
     fins: u32,

@@ -137,8 +137,7 @@ mod tests {
         let vds = Voltage::from_volts(0.9);
         let i = m.ids_per_fin(vgs, vds).amps();
         let vt_eff = p.vt.volts() - p.dibl * 0.9;
-        let expected =
-            p.k_per_fin * (0.9 - vt_eff).powf(p.alpha) * (1.0 + p.lambda * 0.9);
+        let expected = p.k_per_fin * (0.9 - vt_eff).powf(p.alpha) * (1.0 + p.lambda * 0.9);
         assert!((i / expected - 1.0).abs() < 1e-3, "{i} vs {expected}");
     }
 
@@ -152,7 +151,10 @@ mod tests {
         let i2 = m.ids_per_fin(Voltage::from_volts(0.10 + ss), vds).amps();
         // One subthreshold-slope step is one decade.
         let decades = (i2 / i1).log10();
-        assert!((decades - 1.0).abs() < 0.05, "decades per SS step: {decades}");
+        assert!(
+            (decades - 1.0).abs() < 0.05,
+            "decades per SS step: {decades}"
+        );
     }
 
     #[test]
@@ -196,7 +198,10 @@ mod tests {
         let fwd = m
             .ids_per_fin(Voltage::from_volts(0.25), Voltage::from_volts(0.25))
             .amps();
-        assert!((back + fwd).abs() < 1e-12 * fwd.abs().max(1.0), "{back} vs {fwd}");
+        assert!(
+            (back + fwd).abs() < 1e-12 * fwd.abs().max(1.0),
+            "{back} vs {fwd}"
+        );
     }
 
     #[test]

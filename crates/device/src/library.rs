@@ -19,7 +19,7 @@ use sram_units::Voltage;
 /// assert!(lib.nfet(VtFlavor::Hvt).vt > lib.nfet(VtFlavor::Lvt).vt);
 /// assert_eq!(lib.nominal_vdd().millivolts(), 450.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceLibrary {
     nominal_vdd: Voltage,
     nfet_lvt: DeviceParams,

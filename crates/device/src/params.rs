@@ -42,7 +42,7 @@ pub const SUBTHRESHOLD_SLOPE: Voltage = Voltage::from_volts(0.075);
 /// Obtain instances from [`crate::DeviceLibrary`] rather than constructing
 /// them by hand; [`DeviceParams::validate`] is run by the library
 /// constructor.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceParams {
     /// Channel polarity.
     pub polarity: Polarity,

@@ -15,7 +15,7 @@ use rand::Rng;
 use sram_units::Voltage;
 
 /// Describes the Vt-variation statistics of a device card.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     /// Standard deviation of the random Vt shift for a single-fin device.
     pub sigma_single_fin: Voltage,

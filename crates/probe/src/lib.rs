@@ -1,0 +1,169 @@
+//! Workspace-wide instrumentation: named counters, gauges, and timing
+//! spans feeding log2-bucketed histograms, behind a global registry.
+//!
+//! The crate is std-only (atomics, [`std::time::Instant`], one mutex on
+//! the registration slow path) so every layer of the workspace can
+//! depend on it without pulling in an ecosystem.
+//!
+//! # Verbosity levels
+//!
+//! Instrumentation is **off by default**. The `SRAM_PROBE` environment
+//! variable selects the level at startup, and [`set_level`] overrides
+//! it at runtime (used by `reproduce --probe-json`, which must collect
+//! metrics even when the variable is unset):
+//!
+//! | `SRAM_PROBE` | [`Level`] | effect |
+//! | --- | --- | --- |
+//! | unset / `0` | [`Level::Off`] | every probe macro is a branch-and-skip |
+//! | `1` | [`Level::Summary`] | counters, gauges, and call-granularity spans |
+//! | `2` | [`Level::Detail`] | adds high-frequency probes (per-iteration counters, per-solve histograms) |
+//!
+//! # Recording
+//!
+//! Call sites use the `probe_*` macros, which cache their registry
+//! handle in a per-site `OnceLock` so the steady-state cost is one
+//! relaxed atomic load (the level check) plus, when enabled, one
+//! relaxed RMW:
+//!
+//! ```
+//! use sram_probe::{probe_add, probe_inc, probe_span};
+//!
+//! sram_probe::set_level(sram_probe::Level::Summary);
+//! probe_inc!("doc.calls");
+//! probe_add!("doc.items", 3);
+//! {
+//!     let _span = probe_span!("doc.work_time");
+//!     // ... timed region ...
+//! }
+//! let snap = sram_probe::snapshot();
+//! assert_eq!(snap.counters["doc.calls"], 1);
+//! assert_eq!(snap.counters["doc.items"], 3);
+//! assert_eq!(snap.histograms["doc.work_time"].count, 1);
+//! # sram_probe::set_level(sram_probe::Level::Off);
+//! ```
+//!
+//! # Reading
+//!
+//! [`snapshot`] copies the registry into a plain [`Snapshot`], which
+//! can be [diffed](Snapshot::diff) against an earlier snapshot,
+//! [rendered](Snapshot::render_table) as an aligned table, or
+//! [exported](Snapshot::to_json) as JSON (hand-rolled serializer —
+//! this workspace links no serialization ecosystem). [`reset`] zeroes
+//! every registered metric in place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod level;
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use level::{enabled, level, set_level, Level};
+pub use metrics::{Counter, Gauge, Histogram, Span};
+pub use registry::{counter, gauge, histogram, reset};
+pub use snapshot::{snapshot, HistogramSnapshot, Snapshot};
+
+/// Increments a named counter by one.
+///
+/// `probe_inc!("name")` records at [`Level::Summary`];
+/// `probe_inc!(detail "name")` only at [`Level::Detail`].
+#[macro_export]
+macro_rules! probe_inc {
+    (detail $name:expr) => {
+        $crate::probe_add!(detail $name, 1u64)
+    };
+    ($name:expr) => {
+        $crate::probe_add!($name, 1u64)
+    };
+}
+
+/// Adds an amount to a named counter.
+///
+/// `probe_add!("name", n)` records at [`Level::Summary`];
+/// `probe_add!(detail "name", n)` only at [`Level::Detail`].
+#[macro_export]
+macro_rules! probe_add {
+    (detail $name:expr, $n:expr) => {{
+        if $crate::enabled($crate::Level::Detail) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::counter($name)).add($n as u64);
+        }
+    }};
+    ($name:expr, $n:expr) => {{
+        if $crate::enabled($crate::Level::Summary) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::counter($name)).add($n as u64);
+        }
+    }};
+}
+
+/// Sets a named gauge to an `f64` value (last write wins).
+#[macro_export]
+macro_rules! probe_gauge {
+    ($name:expr, $value:expr) => {{
+        if $crate::enabled($crate::Level::Summary) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::gauge($name))
+                .set($value as f64);
+        }
+    }};
+}
+
+/// Records a value into a named log2-bucketed histogram.
+///
+/// `probe_record!("name", v)` records at [`Level::Summary`];
+/// `probe_record!(detail "name", v)` only at [`Level::Detail`].
+#[macro_export]
+macro_rules! probe_record {
+    (detail $name:expr, $value:expr) => {{
+        if $crate::enabled($crate::Level::Detail) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::histogram($name))
+                .record($value as u64);
+        }
+    }};
+    ($name:expr, $value:expr) => {{
+        if $crate::enabled($crate::Level::Summary) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::histogram($name))
+                .record($value as u64);
+        }
+    }};
+}
+
+/// Starts a timing span feeding the named histogram (in nanoseconds);
+/// the returned [`Span`] guard records on drop. Bind it to a named
+/// variable (`let _span = ...`), not `_`, or it drops immediately.
+///
+/// `probe_span!("name")` times at [`Level::Summary`];
+/// `probe_span!(detail "name")` only at [`Level::Detail`].
+#[macro_export]
+macro_rules! probe_span {
+    (detail $name:expr) => {{
+        if $crate::enabled($crate::Level::Detail) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::histogram($name)).start_span()
+        } else {
+            $crate::Span::disabled()
+        }
+    }};
+    ($name:expr) => {{
+        if $crate::enabled($crate::Level::Summary) {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            HANDLE.get_or_init(|| $crate::histogram($name)).start_span()
+        } else {
+            $crate::Span::disabled()
+        }
+    }};
+}

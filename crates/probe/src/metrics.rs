@@ -1,0 +1,259 @@
+//! The three metric primitives and the RAII timing guard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 buckets: one per possible bit length of a `u64`,
+/// plus bucket 0 for the value zero.
+pub(crate) const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `f64` value (stored as raw bits in an atomic).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The registered name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// A sample lands in bucket `b = bit_length(sample)` (zero in bucket
+/// 0), i.e. bucket `b ≥ 1` covers `[2^(b-1), 2^b)`. 65 buckets cover
+/// the full `u64` range, so recording never clips. The total count and
+/// sum are tracked exactly; the bucket layout trades per-sample
+/// precision for lock-free fixed-size storage.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    pub(crate) fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// The registered name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Index of the bucket a value lands in.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// Starts a timing span; the returned guard records the elapsed
+    /// nanoseconds into this histogram when dropped.
+    pub fn start_span(&'static self) -> Span {
+        Span {
+            inner: Some((self, Instant::now())),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII timing guard: records nanoseconds elapsed since creation into
+/// its histogram on drop. The disabled variant (what `probe_span!`
+/// yields below the active level) does nothing.
+#[derive(Debug)]
+#[must_use = "binding a span to `_` drops it immediately; use `let _span = ...`"]
+pub struct Span {
+    inner: Option<(&'static Histogram, Instant)>,
+}
+
+impl Span {
+    /// A no-op guard.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((histogram, start)) = self.inner.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            histogram.record(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new("t.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new("t.gauge");
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        g.set(1.25e-9);
+        assert_eq!(g.get(), 1.25e-9);
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_buckets() {
+        let h = Histogram::new("t.hist");
+        for v in [0u64, 1, 3, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2004);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.bucket(10), 2);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket(10), 0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        // Leak one histogram to get the 'static lifetime spans need.
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new("t.span")));
+        {
+            let _span = h.start_span();
+            std::hint::black_box(0);
+        }
+        assert_eq!(h.count(), 1);
+        drop(Span::disabled()); // must not panic or record anywhere
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! Point-in-time copies of the registry: diffing, table rendering, and
+//! hand-rolled JSON export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::BUCKETS;
+use crate::registry::{self, Handle};
+
+/// A copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// `(bucket_index, count)` for each non-empty bucket, ascending.
+    /// Bucket `b ≥ 1` covers samples in `[2^(b-1), 2^b)`; bucket 0
+    /// holds zeros.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+/// Copies the current state of every registered metric.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    registry::for_each(|name, handle| match handle {
+        Handle::Counter(c) => {
+            snap.counters.insert(name, c.get());
+        }
+        Handle::Gauge(g) => {
+            snap.gauges.insert(name, g.get());
+        }
+        Handle::Histogram(h) => {
+            let mut buckets = Vec::new();
+            for index in 0..BUCKETS {
+                let count = h.bucket(index);
+                if count > 0 {
+                    buckets.push((index as u32, count));
+                }
+            }
+            snap.histograms.insert(
+                name,
+                HistogramSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                },
+            );
+        }
+    });
+    snap
+}
+
+impl Snapshot {
+    /// `true` when no metric has recorded anything (all counters and
+    /// histogram counts zero, no gauges set — gauges count as activity
+    /// only when non-zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.values().all(|&v| v == 0.0)
+            && self.histograms.values().all(|h| h.count == 0)
+    }
+
+    /// The change since `baseline`: counters and histograms subtract
+    /// (saturating — a [`crate::reset`] between snapshots reads as
+    /// zero, not underflow); gauges keep their current value. Metrics
+    /// that only exist in `baseline` are dropped.
+    #[must_use]
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (&name, &value) in &self.counters {
+            let before = baseline.counters.get(name).copied().unwrap_or(0);
+            out.counters.insert(name, value.saturating_sub(before));
+        }
+        for (&name, &value) in &self.gauges {
+            out.gauges.insert(name, value);
+        }
+        for (&name, hist) in &self.histograms {
+            let before = baseline.histograms.get(name);
+            let mut buckets = Vec::new();
+            for &(index, count) in &hist.buckets {
+                let prior = before
+                    .and_then(|b| b.buckets.iter().find(|&&(i, _)| i == index))
+                    .map_or(0, |&(_, c)| c);
+                let delta = count.saturating_sub(prior);
+                if delta > 0 {
+                    buckets.push((index, delta));
+                }
+            }
+            out.histograms.insert(
+                name,
+                HistogramSnapshot {
+                    count: hist.count.saturating_sub(before.map_or(0, |b| b.count)),
+                    sum: hist.sum.saturating_sub(before.map_or(0, |b| b.sum)),
+                    buckets,
+                },
+            );
+        }
+        out
+    }
+
+    /// Renders an aligned plain-text table of all metrics, skipping
+    /// those that recorded nothing. Histograms whose name ends in
+    /// `_ns` (the span convention) show mean/total as humanized
+    /// durations.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let name_width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(20);
+        let mut out = String::new();
+
+        let counters: Vec<_> = self.counters.iter().filter(|(_, &v)| v > 0).collect();
+        if !counters.is_empty() {
+            let _ = writeln!(out, "  {:<name_width$}  {:>14}", "counter", "value");
+            for (name, value) in counters {
+                let _ = writeln!(out, "  {name:<name_width$}  {value:>14}");
+            }
+        }
+
+        let gauges: Vec<_> = self.gauges.iter().filter(|(_, &v)| v != 0.0).collect();
+        if !gauges.is_empty() {
+            let _ = writeln!(out, "  {:<name_width$}  {:>14}", "gauge", "value");
+            for (name, value) in gauges {
+                let _ = writeln!(out, "  {name:<name_width$}  {value:>14.6e}");
+            }
+        }
+
+        let histograms: Vec<_> = self
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        if !histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<name_width$}  {:>14}  {:>12}  {:>12}",
+                "histogram", "count", "mean", "total"
+            );
+            for (name, hist) in histograms {
+                let (mean, total) = if name.ends_with("_ns") {
+                    (format_nanos(hist.mean()), format_nanos(hist.sum as f64))
+                } else {
+                    (format!("{:.1}", hist.mean()), hist.sum.to_string())
+                };
+                let _ = writeln!(
+                    out,
+                    "  {name:<name_width$}  {:>14}  {mean:>12}  {total:>12}",
+                    hist.count
+                );
+            }
+        }
+
+        if out.is_empty() {
+            out.push_str("  (no probe data recorded)\n");
+        }
+        out
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON (two-space
+    /// indent, keys in name order — byte-stable for identical data).
+    /// Non-finite gauge values serialize as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"counters\": {{");
+        write_entries(&mut out, self.counters.iter(), |out, value| {
+            let _ = write!(out, "{value}");
+        });
+        out.push_str("},\n");
+
+        let _ = write!(out, "  \"gauges\": {{");
+        write_entries(&mut out, self.gauges.iter(), |out, value| {
+            write_json_f64(out, *value);
+        });
+        out.push_str("},\n");
+
+        let _ = write!(out, "  \"histograms\": {{");
+        write_entries(&mut out, self.histograms.iter(), |out, hist| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                hist.count, hist.sum
+            );
+            for (i, (bucket, count)) in hist.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{{\"bucket\": {bucket}, \"count\": {count}}}");
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Writes `"name": <value>` entries with two-space-indented lines and
+/// a trailing newline-plus-indent closing brace, or nothing for an
+/// empty map (so the caller's `{}` stays on one line).
+fn write_entries<'s, V: 's>(
+    out: &mut String,
+    entries: impl ExactSizeIterator<Item = (&'s &'static str, &'s V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let n = entries.len();
+    for (i, (name, value)) in entries.enumerate() {
+        out.push_str("\n    ");
+        write_json_string(out, name);
+        out.push_str(": ");
+        write_value(out, value);
+        if i + 1 < n {
+            out.push(',');
+        } else {
+            out.push_str("\n  ");
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        // Shortest-roundtrip scientific notation ("1.5e0", "-3.25e-21")
+        // is a valid JSON number and stays compact at any magnitude.
+        let _ = write!(out, "{value:e}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Formats a nanosecond quantity with an appropriate unit.
+fn format_nanos(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a.count", 3);
+        snap.gauges.insert("b.gauge", 1.5);
+        snap.histograms.insert(
+            "c.hist_ns",
+            HistogramSnapshot {
+                count: 2,
+                sum: 3000,
+                buckets: vec![(11, 2)],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn diff_subtracts_counts_keeps_gauges() {
+        let newer = sample();
+        let mut older = sample();
+        older.counters.insert("a.count", 1);
+        older.gauges.insert("b.gauge", 9.0);
+        older.histograms.get_mut("c.hist_ns").unwrap().count = 1;
+        older.histograms.get_mut("c.hist_ns").unwrap().sum = 1000;
+        older.histograms.get_mut("c.hist_ns").unwrap().buckets = vec![(11, 1)];
+
+        let delta = newer.diff(&older);
+        assert_eq!(delta.counters["a.count"], 2);
+        assert_eq!(delta.gauges["b.gauge"], 1.5);
+        assert_eq!(delta.histograms["c.hist_ns"].count, 1);
+        assert_eq!(delta.histograms["c.hist_ns"].sum, 2000);
+        assert_eq!(delta.histograms["c.hist_ns"].buckets, vec![(11, 1)]);
+    }
+
+    #[test]
+    fn diff_against_reset_saturates() {
+        let mut older = sample();
+        older.counters.insert("a.count", 100);
+        let delta = sample().diff(&older);
+        assert_eq!(delta.counters["a.count"], 0);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Snapshot::default().is_empty());
+        assert!(!sample().is_empty());
+        let mut zeroed = Snapshot::default();
+        zeroed.counters.insert("z", 0);
+        assert!(zeroed.is_empty());
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let table = sample().render_table();
+        assert!(table.contains("a.count"), "{table}");
+        assert!(table.contains("b.gauge"), "{table}");
+        assert!(table.contains("c.hist_ns"), "{table}");
+        assert!(table.contains("1.5us"), "{table}"); // mean of 3000ns/2
+        assert!(Snapshot::default().render_table().contains("no probe data"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let json = sample().to_json();
+        assert_eq!(json, sample().to_json());
+        assert!(json.contains("\"a.count\": 3"), "{json}");
+        assert!(json.contains("\"b.gauge\": 1.5e0"), "{json}");
+        assert!(json.contains("{\"bucket\": 11, \"count\": 2}"), "{json}");
+
+        let mut snap = Snapshot::default();
+        snap.gauges.insert("weird\"name", f64::NAN);
+        snap.gauges.insert("whole", 2.0);
+        let json = snap.to_json();
+        assert!(json.contains("\"weird\\\"name\": null"), "{json}");
+        assert!(json.contains("\"whole\": 2e0"), "{json}");
+    }
+
+    #[test]
+    fn format_nanos_scales() {
+        assert_eq!(format_nanos(12.0), "12ns");
+        assert_eq!(format_nanos(1500.0), "1.5us");
+        assert_eq!(format_nanos(2.5e6), "2.5ms");
+        assert_eq!(format_nanos(3.21e9), "3.21s");
+    }
+}

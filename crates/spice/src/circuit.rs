@@ -208,7 +208,11 @@ impl Circuit {
     ///
     /// Returns [`SpiceError::UnknownElement`] when no voltage source with
     /// this name exists.
-    pub fn set_source_waveform(&mut self, name: &str, waveform: Waveform) -> Result<(), SpiceError> {
+    pub fn set_source_waveform(
+        &mut self,
+        name: &str,
+        waveform: Waveform,
+    ) -> Result<(), SpiceError> {
         let &branch = self
             .vsource_index
             .get(name)
@@ -302,7 +306,9 @@ impl Circuit {
 
     /// Iterates over `(name, element)` pairs.
     pub fn elements(&self) -> impl Iterator<Item = (&str, &Element)> {
-        self.elements.iter().map(|ne| (ne.name.as_str(), &ne.element))
+        self.elements
+            .iter()
+            .map(|ne| (ne.name.as_str(), &ne.element))
     }
 }
 
@@ -334,7 +340,8 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GROUND, Waveform::Dc(1.0));
-        ckt.set_source_voltage("V1", Voltage::from_volts(0.45)).unwrap();
+        ckt.set_source_voltage("V1", Voltage::from_volts(0.45))
+            .unwrap();
         let (_, e) = ckt.elements().next().unwrap();
         match e {
             Element::VoltageSource { waveform, .. } => assert_eq!(waveform.dc_value(), 0.45),

@@ -168,15 +168,20 @@ impl DcSolver {
                 circuit.unknown_count()
             )));
         }
+        sram_probe::probe_inc!("spice.dc_solves");
+        let _span = sram_probe::probe_span!("spice.dc_solve_ns");
         let mut x = guess.to_vec();
 
         // Hard-pinned mode: solve once with stiff pins and return that
         // forced state directly (no release).
         if self.hold_pins && !self.nodesets.is_empty() {
             self.newton(circuit, &mut x, self.gmin, 1.0, Some(1.0))
-                .map_err(|_| SpiceError::NonConvergent {
-                    analysis: "dc (pinned)",
-                    iterations: self.max_iterations,
+                .map_err(|_| {
+                    sram_probe::probe_inc!("spice.dc_nonconvergent");
+                    SpiceError::NonConvergent {
+                        analysis: "dc (pinned)",
+                        iterations: self.max_iterations,
+                    }
                 })?;
             return Ok(DcSolution::new(x, circuit.node_count()));
         }
@@ -218,9 +223,12 @@ impl DcSolver {
         for k in 1..=steps {
             let scale = f64::from(k) / f64::from(steps);
             self.newton(circuit, &mut x3, self.gmin, scale, None)
-                .map_err(|_| SpiceError::NonConvergent {
-                    analysis: "dc",
-                    iterations: self.max_iterations,
+                .map_err(|_| {
+                    sram_probe::probe_inc!("spice.dc_nonconvergent");
+                    SpiceError::NonConvergent {
+                        analysis: "dc",
+                        iterations: self.max_iterations,
+                    }
                 })?;
         }
         Ok(DcSolution::new(x3, circuit.node_count()))
@@ -246,7 +254,7 @@ impl DcSolver {
             time: 0.0,
             integration: Integration::Dc,
         };
-        for _iter in 0..self.max_iterations {
+        for iter in 0..self.max_iterations {
             assemble(circuit, x, options, None, &mut jacobian, &mut residual);
             if let Some(g_pin) = pin {
                 for &(node, volts) in &self.nodesets {
@@ -276,9 +284,13 @@ impl DcSolver {
                 x[i] += *d;
             }
             if max_dv < self.v_abstol && max_di < self.i_abstol {
+                sram_probe::probe_add!("spice.newton_iterations", iter as u64 + 1);
+                sram_probe::probe_record!(detail "spice.newton_iters_per_solve", iter as u64 + 1);
                 return Ok(());
             }
         }
+        sram_probe::probe_add!("spice.newton_iterations", self.max_iterations as u64);
+        sram_probe::probe_record!(detail "spice.newton_iters_per_solve", self.max_iterations as u64);
         Err(SpiceError::NonConvergent {
             analysis: "dc",
             iterations: self.max_iterations,
@@ -335,12 +347,21 @@ mod tests {
 
         // Input low -> output high.
         let sol = DcSolver::new().solve(&ckt).unwrap();
-        assert!(sol.voltage(n_out).volts() > 0.44, "out = {}", sol.voltage(n_out));
+        assert!(
+            sol.voltage(n_out).volts() > 0.44,
+            "out = {}",
+            sol.voltage(n_out)
+        );
 
         // Input high -> output low.
-        ckt.set_source_voltage("Vin", Voltage::from_volts(vdd)).unwrap();
+        ckt.set_source_voltage("Vin", Voltage::from_volts(vdd))
+            .unwrap();
         let sol = DcSolver::new().solve(&ckt).unwrap();
-        assert!(sol.voltage(n_out).volts() < 0.01, "out = {}", sol.voltage(n_out));
+        assert!(
+            sol.voltage(n_out).volts() < 0.01,
+            "out = {}",
+            sol.voltage(n_out)
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ impl Matrix {
     /// Returns [`SpiceError::SingularMatrix`] when no usable pivot exists.
     #[allow(clippy::needless_range_loop)]
     pub(crate) fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        sram_probe::probe_inc!(detail "spice.lu_factorizations");
         let n = self.n;
         assert_eq!(b.len(), n, "rhs length must match matrix dimension");
         // Forward elimination with partial pivoting.

@@ -260,8 +260,8 @@ impl Trace {
         let mut e = 0.0;
         for k in 1..self.len() {
             let dt = self.times[k] - self.times[k - 1];
-            let p0 = self.states[k - 1][idx]
-                * v_of_t(Time::from_seconds(self.times[k - 1])).volts();
+            let p0 =
+                self.states[k - 1][idx] * v_of_t(Time::from_seconds(self.times[k - 1])).volts();
             let p1 = self.states[k][idx] * v_of_t(Time::from_seconds(self.times[k])).volts();
             e += 0.5 * (p0 + p1) * dt;
         }
@@ -288,13 +288,19 @@ mod tests {
         let v = tr.voltage_at(NodeId(1), Time::from_seconds(2.5));
         assert!((v.volts() - 0.25).abs() < 1e-12);
         // Clamps outside range.
-        assert_eq!(tr.voltage_at(NodeId(1), Time::from_seconds(99.0)).volts(), 1.0);
+        assert_eq!(
+            tr.voltage_at(NodeId(1), Time::from_seconds(99.0)).volts(),
+            1.0
+        );
     }
 
     #[test]
     fn ground_is_always_zero() {
         let tr = ramp_trace();
-        assert_eq!(tr.voltage_at(NodeId(0), Time::from_seconds(5.0)), Voltage::ZERO);
+        assert_eq!(
+            tr.voltage_at(NodeId(0), Time::from_seconds(5.0)),
+            Voltage::ZERO
+        );
     }
 
     #[test]

@@ -267,7 +267,13 @@ fn stamp_conductance(
 }
 
 /// Stamps a constant current `i` flowing from node `from` into node `to`.
-fn stamp_current(residual: &mut [f64], ix: &Indexer, from: crate::NodeId, to: crate::NodeId, i: f64) {
+fn stamp_current(
+    residual: &mut [f64],
+    ix: &Indexer,
+    from: crate::NodeId,
+    to: crate::NodeId,
+    i: f64,
+) {
     if let Some(f) = ix.node(from) {
         residual[f] += i;
     }

@@ -121,10 +121,7 @@ mod tests {
     fn sweep_covers_endpoints() {
         let s = DcSweep::new("V", Voltage::ZERO, Voltage::from_volts(0.45), 10);
         assert_eq!(s.values.first().copied().unwrap(), Voltage::ZERO);
-        assert_eq!(
-            s.values.last().copied().unwrap(),
-            Voltage::from_volts(0.45)
-        );
+        assert_eq!(s.values.last().copied().unwrap(), Voltage::from_volts(0.45));
     }
 
     #[test]
@@ -153,7 +150,10 @@ mod tests {
         let pts = DcSweep::new("Vin", Voltage::ZERO, Voltage::from_volts(0.45), 46)
             .run(&ckt)
             .unwrap();
-        let outs: Vec<f64> = pts.iter().map(|p| p.solution.voltage(n_out).volts()).collect();
+        let outs: Vec<f64> = pts
+            .iter()
+            .map(|p| p.solution.voltage(n_out).volts())
+            .collect();
         assert!(outs[0] > 0.44);
         assert!(outs[45] < 0.01);
         for w in outs.windows(2) {

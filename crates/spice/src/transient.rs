@@ -72,6 +72,8 @@ impl Transient {
     /// * any DC-solver error from the initial operating point,
     /// * [`SpiceError::SingularMatrix`] for defective netlists.
     pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, SpiceError> {
+        sram_probe::probe_inc!("spice.transient_runs");
+        let _span = sram_probe::probe_span!("spice.transient_ns");
         let n = circuit.unknown_count();
         let dc = self.dc_solver.solve_with_guess(circuit, &vec![0.0; n])?;
         let mut x = dc.as_vector().to_vec();
@@ -114,6 +116,7 @@ impl Transient {
                 .fold(0.0f64, f64::max);
 
             if !converged || max_dv > self.max_dv_per_step {
+                sram_probe::probe_inc!("spice.transient_rejected_steps");
                 dt /= 2.0;
                 if dt < self.dt_min {
                     return Err(SpiceError::TimestepTooSmall { at_seconds: t });
@@ -122,6 +125,7 @@ impl Transient {
             }
 
             // Accept the step.
+            sram_probe::probe_inc!("spice.transient_steps");
             update_cap_state(circuit, &x_try, integration, &mut cap_state);
             x = x_try;
             t = t_next;
@@ -277,10 +281,20 @@ mod tests {
         assert!(trace.voltage_at(n_out, Time::from_picoseconds(1.0)).volts() > 0.4);
         assert!(trace.final_voltage(n_out).volts() < 0.02);
         let t_in = trace
-            .crossing(n_in, Voltage::from_volts(0.225), CrossingEdge::Rising, Time::ZERO)
+            .crossing(
+                n_in,
+                Voltage::from_volts(0.225),
+                CrossingEdge::Rising,
+                Time::ZERO,
+            )
             .expect("input crossing");
         let t_out = trace
-            .crossing(n_out, Voltage::from_volts(0.225), CrossingEdge::Falling, Time::ZERO)
+            .crossing(
+                n_out,
+                Voltage::from_volts(0.225),
+                CrossingEdge::Falling,
+                Time::ZERO,
+            )
             .expect("output crossing");
         let delay = t_out - t_in;
         assert!(

@@ -50,10 +50,7 @@ fn current_source_develops_ir_drop_and_holds_it_in_transient() {
         .unwrap()
         .into_trace();
     for (t, v) in trace.samples(n) {
-        assert!(
-            (v.volts() - 0.1).abs() < 1e-4,
-            "node drifted to {v} at {t}"
-        );
+        assert!((v.volts() - 0.1).abs() < 1e-4, "node drifted to {v} at {t}");
     }
 }
 

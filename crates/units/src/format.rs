@@ -46,7 +46,7 @@ pub(crate) fn engineering(value: f64, unit: &str) -> String {
 /// * `Add`, `Sub`, `Neg`, `Mul<f64>`, `f64 * Q`, `Div<f64>`,
 ///   `Div<Q> -> f64` (dimensionless ratio), `Sum`,
 /// * `Display` in engineering notation, `Debug`, `Default`,
-///   `PartialEq`/`PartialOrd`, serde `Serialize`/`Deserialize`.
+///   `PartialEq`/`PartialOrd`.
 macro_rules! quantity {
     (
         $(#[$meta:meta])*
@@ -54,11 +54,7 @@ macro_rules! quantity {
         $(, ($scale:expr, $unit:ident, $from_unit:ident))* $(,)?
     ) => {
         $(#[$meta])*
-        #[derive(
-            Clone, Copy, Debug, Default, PartialEq, PartialOrd,
-            serde::Serialize, serde::Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
         pub struct $name(f64);
 
         impl $name {

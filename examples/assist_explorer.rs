@@ -59,7 +59,10 @@ fn main() -> Result<(), CellError> {
     }
 
     println!("\nwordline overdrive (writability):");
-    println!("{:>10} {:>12} {:>14} {:>8}", "V_WL", "WM", "write delay", "yield");
+    println!(
+        "{:>10} {:>12} {:>14} {:>8}",
+        "V_WL", "WM", "write delay", "yield"
+    );
     for mv in (450..=630).step_by(45) {
         let bias = nominal.with_vwl(Voltage::from_millivolts(f64::from(mv)));
         let wm = chr.write_margin(&bias)?;
@@ -73,6 +76,8 @@ fn main() -> Result<(), CellError> {
         );
     }
 
-    println!("\n(The paper adopts Vdd boost + negative Gnd for reads and WL overdrive for writes.)");
+    println!(
+        "\n(The paper adopts Vdd boost + negative Gnd for reads and WL overdrive for writes.)"
+    );
     Ok(())
 }

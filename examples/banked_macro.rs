@@ -38,7 +38,11 @@ fn main() -> Result<(), CooptError> {
             "{:>6} {:>9} {:>12} {:>12} {:>12} {:>16.2}",
             d.banks(),
             d.bank.capacity.to_string(),
-            format!("{}x{}", d.bank.organization.rows(), d.bank.organization.cols()),
+            format!(
+                "{}x{}",
+                d.bank.organization.rows(),
+                d.bank.organization.cols()
+            ),
             d.delay.to_string(),
             d.energy.to_string(),
             d.edp().joule_seconds() * 1e27,

@@ -13,8 +13,8 @@
 
 use sram_edp::array::Capacity;
 use sram_edp::coopt::{
-    CoOptimizationFramework, CooptError, DelayOnly, EnergyDelayProduct, EnergyDelaySquared,
-    Method, Objective,
+    CoOptimizationFramework, CooptError, DelayOnly, EnergyDelayProduct, EnergyDelaySquared, Method,
+    Objective,
 };
 use sram_edp::device::VtFlavor;
 
@@ -45,7 +45,9 @@ fn main() -> Result<(), CooptError> {
         },
     ];
 
-    println!("Per-level SRAM bank design (best of LVT/HVT x M1/M2 under each level's objective):\n");
+    println!(
+        "Per-level SRAM bank design (best of LVT/HVT x M1/M2 under each level's objective):\n"
+    );
     for level in &levels {
         let mut best = None;
         for flavor in [VtFlavor::Lvt, VtFlavor::Hvt] {

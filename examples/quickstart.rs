@@ -35,10 +35,7 @@ fn main() -> Result<(), CooptError> {
     );
     println!(
         "winning HVT-M2 knobs: {} organization, N_pre = {}, N_wr = {}, V_SSC = {}",
-        hvt.organization,
-        hvt.n_pre,
-        hvt.n_wr,
-        hvt.vssc,
+        hvt.organization, hvt.n_pre, hvt.n_wr, hvt.vssc,
     );
     Ok(())
 }

@@ -19,9 +19,7 @@ use sram_edp::units::Voltage;
 
 fn main() {
     let capacity = Capacity::from_bytes(1024);
-    println!(
-        "DVS study: 1 KB array, simulated characterization, coarse search\n"
-    );
+    println!("DVS study: 1 KB array, simulated characterization, coarse search\n");
     println!(
         "{:>8} {:>8} {:>10} {:>10} {:>12} {:>12} {:>16}",
         "Vdd[mV]", "flavor", "V_DDC[mV]", "V_WL[mV]", "delay", "energy", "EDP [1e-27 J*s]"

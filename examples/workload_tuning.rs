@@ -14,7 +14,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sram_edp::array::{Access, AccessTrace, ArrayModel, ArrayOrganization, ArrayParams, Capacity, Periphery};
+use sram_edp::array::{
+    Access, AccessTrace, ArrayModel, ArrayOrganization, ArrayParams, Capacity, Periphery,
+};
 use sram_edp::cell::CellCharacterization;
 use sram_edp::coopt::{CoOptimizationFramework, CooptError, Method};
 use sram_edp::device::{DeviceLibrary, VtFlavor};
@@ -40,9 +42,18 @@ fn random_trace(cycles: usize, p_access: f64, p_read: f64, seed: u64) -> AccessT
 
 fn main() -> Result<(), CooptError> {
     let workloads = [
-        ("sensor buffer (idle-heavy) ", random_trace(20_000, 0.05, 0.5, 1)),
-        ("instruction cache (reads)  ", random_trace(20_000, 0.9, 0.97, 2)),
-        ("log buffer (write-heavy)   ", random_trace(20_000, 0.7, 0.1, 3)),
+        (
+            "sensor buffer (idle-heavy) ",
+            random_trace(20_000, 0.05, 0.5, 1),
+        ),
+        (
+            "instruction cache (reads)  ",
+            random_trace(20_000, 0.9, 0.97, 2),
+        ),
+        (
+            "log buffer (write-heavy)   ",
+            random_trace(20_000, 0.7, 0.1, 3),
+        ),
     ];
 
     println!("Workload-aware co-optimization of a 4 KB HVT-M2 array:\n");

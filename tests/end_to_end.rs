@@ -5,9 +5,7 @@ use sram_edp::array::{ArrayModel, ArrayOrganization, ArrayParams, Capacity, Peri
 use sram_edp::cell::{
     AssistVoltages, CellCharacterization, CellCharacterizer, CharacterizationGrid,
 };
-use sram_edp::coopt::{
-    CharacterizationMode, CoOptimizationFramework, DesignSpace, Method,
-};
+use sram_edp::coopt::{CharacterizationMode, CoOptimizationFramework, DesignSpace, Method};
 use sram_edp::device::{DeviceLibrary, VtFlavor};
 use sram_edp::units::Voltage;
 
@@ -15,12 +13,10 @@ use sram_edp::units::Voltage;
 fn full_simulated_stack_produces_a_design() {
     // The complete pipeline with *no* paper constants: simulate the cell,
     // build the LUTs, run the search. Coarse settings keep it fast.
-    let mut fw = CoOptimizationFramework::new(
-        DeviceLibrary::sevennm(),
-        CharacterizationMode::Simulated,
-    )
-    .with_space(DesignSpace::coarse())
-    .with_threads(4);
+    let mut fw =
+        CoOptimizationFramework::new(DeviceLibrary::sevennm(), CharacterizationMode::Simulated)
+            .with_space(DesignSpace::coarse())
+            .with_threads(4);
 
     let design = fw
         .optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M2)
@@ -39,11 +35,9 @@ fn full_simulated_stack_produces_a_design() {
 fn simulated_and_paper_modes_agree_on_structure() {
     let space = DesignSpace::coarse();
     let mut paper = CoOptimizationFramework::paper_mode().with_space(space.clone());
-    let mut simulated = CoOptimizationFramework::new(
-        DeviceLibrary::sevennm(),
-        CharacterizationMode::Simulated,
-    )
-    .with_space(space);
+    let mut simulated =
+        CoOptimizationFramework::new(DeviceLibrary::sevennm(), CharacterizationMode::Simulated)
+            .with_space(space);
 
     let c = Capacity::from_bytes(4096);
     let p = paper
@@ -56,8 +50,16 @@ fn simulated_and_paper_modes_agree_on_structure() {
     // Both modes should pick deep negative Gnd and a tall-narrow array at
     // 4 KB (the Table 4 pattern), even though their absolute numbers
     // differ.
-    assert!(p.vssc.millivolts() <= -100.0, "paper mode V_SSC = {}", p.vssc);
-    assert!(s.vssc.millivolts() <= -100.0, "simulated V_SSC = {}", s.vssc);
+    assert!(
+        p.vssc.millivolts() <= -100.0,
+        "paper mode V_SSC = {}",
+        p.vssc
+    );
+    assert!(
+        s.vssc.millivolts() <= -100.0,
+        "simulated V_SSC = {}",
+        s.vssc
+    );
     assert!(p.organization.rows() >= p.organization.cols());
     assert!(s.organization.rows() >= s.organization.cols());
 }
@@ -79,7 +81,11 @@ fn simulated_characterization_snapshot_is_consistent_with_direct_measurements() 
     let direct = chr.read_current(&bias).expect("read current");
     let table = snapshot.read_current(vssc);
     let rel = (table.amps() - direct.amps()).abs() / direct.amps();
-    assert!(rel < 0.02, "LUT vs direct I_read differ by {:.1}%", rel * 100.0);
+    assert!(
+        rel < 0.02,
+        "LUT vs direct I_read differ by {:.1}%",
+        rel * 100.0
+    );
 
     // And interpolation must be sandwiched by its neighbors.
     let mid = snapshot.read_current(Voltage::from_millivolts(-45.0));

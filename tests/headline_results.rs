@@ -63,9 +63,7 @@ fn headline_negative_gnd_recovers_hvt_delay() {
     for bytes in [128usize, 256, 1024, 4096, 16 * 1024] {
         let m1 = find(&designs, bytes, VtFlavor::Hvt, Method::M1);
         let m2 = find(&designs, bytes, VtFlavor::Hvt, Method::M2);
-        bl_gains.push(
-            m1.metrics.read_breakdown.bitline / m2.metrics.read_breakdown.bitline,
-        );
+        bl_gains.push(m1.metrics.read_breakdown.bitline / m2.metrics.read_breakdown.bitline);
         total_gains.push(m1.delay() / m2.delay());
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

@@ -1,0 +1,241 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment has no registry access (see `vendor/README.md`),
+//! so `cargo bench` runs through this minimal harness instead: it warms
+//! each benchmark up once, then reports min / mean / max wall-clock over
+//! up to `sample_size` iterations bounded by a per-benchmark time budget.
+//! No statistics, plots, or baselines — just honest timings on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One fresh input per measured iteration.
+    PerIteration,
+    /// Small inputs (ignored by this harness; measured per iteration).
+    SmallInput,
+    /// Large inputs (ignored by this harness; measured per iteration).
+    LargeInput,
+}
+
+/// Per-iteration timer handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, time_budget: Duration) -> Self {
+        Self {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            time_budget,
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Measures `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up (untimed).
+        std::hint::black_box(routine(setup()));
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.time_budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<40} {:>12} {:>12} {:>12}  ({} samples)",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max),
+            self.samples.len(),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.sample_size, self.criterion.time_budget);
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group (prints a separating blank line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            time_budget: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!(
+            "{:<40} {:>12} {:>12} {:>12}",
+            format!("[{name}]"),
+            "min",
+            "mean",
+            "max"
+        );
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into();
+        let mut bencher = Bencher::new(100, self.time_budget);
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(5, Duration::from_secs(1));
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert!(b.samples.len() <= 5 && !b.samples.is_empty());
+        // One warm-up call plus one per sample.
+        assert_eq!(calls, b.samples.len() as u32 + 1);
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 us");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}
