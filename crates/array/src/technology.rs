@@ -36,13 +36,18 @@ pub struct TechnologyParams {
     pub dcdc_overhead: f64,
 }
 
+/// `P_Metal` = 43 nm, in meters.
+const METAL_PITCH_METERS: f64 = 43e-9;
+/// `C_w` = 0.17 fF/µm, converted to farads per meter.
+const WIRE_CAP_FARADS_PER_METER: f64 = 0.17e-15 / 1e-6;
+
 impl TechnologyParams {
     /// The paper's 7 nm constants.
     #[must_use]
     pub fn sevennm() -> Self {
         Self {
-            metal_pitch: 43e-9,
-            wire_cap_per_meter: 0.17e-15 / 1e-6,
+            metal_pitch: METAL_PITCH_METERS,
+            wire_cap_per_meter: WIRE_CAP_FARADS_PER_METER,
             cell_width_pitches: 5.0,
             cell_height_ratio: 0.4,
             dcdc_overhead: 1.25,

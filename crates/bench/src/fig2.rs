@@ -84,9 +84,12 @@ pub fn run() -> Result<String, CellError> {
         &rows,
     ));
 
-    let nominal_l = lvt.last().expect("sweep non-empty");
-    let nominal_h = hvt.last().expect("sweep non-empty");
-    let low_l = lvt.first().expect("sweep non-empty");
+    // The summary ratios need both sweep endpoints; on an empty sweep the
+    // table above is the whole report.
+    let (Some(nominal_l), Some(nominal_h), Some(low_l)) = (lvt.last(), hvt.last(), lvt.first())
+    else {
+        return Ok(out);
+    };
     out.push_str(&format!(
         "\nleakage ratio LVT/HVT at nominal: {:.1}x (paper: 20x)\n",
         nominal_l.leakage.watts() / nominal_h.leakage.watts()

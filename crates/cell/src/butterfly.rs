@@ -118,6 +118,8 @@ where
 {
     const CORNER_SAMPLES: usize = 256;
     const BISECTIONS: usize = 40;
+    /// 1 nV noise floor, volts.
+    const NOISE_FLOOR_VOLTS: f64 = 1e-9;
     let (lo, hi) = range;
     let span = hi - lo;
     let mut best: f64 = 0.0;
@@ -128,7 +130,7 @@ where
         // exists iff h(0) > 0 (the corner lies strictly below curve f).
         // The 1 nV floor rejects rounding noise on collapsed lobes, where
         // end-clamped interpolation would otherwise sustain a fake square.
-        if f(x1) <= y1 + 1e-9 {
+        if f(x1) <= y1 + NOISE_FLOOR_VOLTS {
             continue;
         }
         let (mut s_lo, mut s_hi) = (0.0, span);

@@ -76,6 +76,9 @@ impl ReadCurrentFit {
             .map(|&(v, _)| v.volts())
             .fold(f64::INFINITY, f64::min);
 
+        // Normal-equation denominator below this is numerically singular
+        // (all abscissae equal); dimensionless, in squared log-volts.
+        const DEGENERATE_FIT_DENOM: f64 = 1e-12;
         let mut best: Option<(f64, f64, f64, f64)> = None; // (sse, a, ln_b, vt)
         let steps = 400;
         for k in 0..steps {
@@ -91,7 +94,7 @@ impl ReadCurrentFit {
             let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
             let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
             let denom = n * sxx - sx * sx;
-            if denom.abs() < 1e-12 {
+            if denom.abs() < DEGENERATE_FIT_DENOM {
                 continue;
             }
             let a = (n * sxy - sx * sy) / denom;

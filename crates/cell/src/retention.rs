@@ -25,7 +25,7 @@ impl CellCharacterizer {
         let holds = |vdd: Voltage| -> Result<bool, CellError> {
             let chr = self.clone().with_vdd(vdd).with_vtc_points(31);
             match chr.hold_snm(&AssistVoltages::nominal(vdd)) {
-                Ok(snm) => Ok(snm.volts() > 1e-4),
+                Ok(snm) => Ok(snm > Voltage::from_millivolts(0.1)),
                 Err(CellError::MeasurementFailed { .. }) => Ok(false),
                 Err(e) => Err(e),
             }

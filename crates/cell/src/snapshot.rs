@@ -145,15 +145,7 @@ impl CellCharacterization {
             vdd,
             Voltage::from_millivolts(550.0),
             Voltage::from_millivolts(540.0),
-            PaperCellModel {
-                b: 9.5e-5,
-                a: 1.3,
-                vt: 0.335,
-                leakage: Power::from_nanowatts(0.082),
-                hsnm_fraction: 0.45,
-                rsnm_crossing_vddc: 0.550,
-                wm_crossing_vwl: 0.540,
-            },
+            PaperCellModel::hvt(),
         )
     }
 
@@ -167,15 +159,7 @@ impl CellCharacterization {
             vdd,
             Voltage::from_millivolts(640.0),
             Voltage::from_millivolts(490.0),
-            PaperCellModel {
-                b: 9.5e-5,
-                a: 1.3,
-                vt: 0.252,
-                leakage: Power::from_nanowatts(1.692),
-                hsnm_fraction: 0.37,
-                rsnm_crossing_vddc: 0.640,
-                wm_crossing_vwl: 0.490,
-            },
+            PaperCellModel::lvt(),
         )
     }
 
@@ -184,44 +168,11 @@ impl CellCharacterization {
     /// is `max(V_DDC, V_WL)` rather than each technique's own minimum.
     #[must_use]
     pub fn paper_with_rails(flavor: VtFlavor, vdd: Voltage, vddc: Voltage, vwl: Voltage) -> Self {
-        match flavor {
-            VtFlavor::Hvt => {
-                let template = Self::paper_hvt(vdd);
-                Self::paper_model(
-                    flavor,
-                    vdd,
-                    vddc,
-                    vwl,
-                    PaperCellModel {
-                        b: 9.5e-5,
-                        a: 1.3,
-                        vt: 0.335,
-                        leakage: template.leakage,
-                        hsnm_fraction: 0.45,
-                        rsnm_crossing_vddc: 0.550,
-                        wm_crossing_vwl: 0.540,
-                    },
-                )
-            }
-            VtFlavor::Lvt => {
-                let template = Self::paper_lvt(vdd);
-                Self::paper_model(
-                    flavor,
-                    vdd,
-                    vddc,
-                    vwl,
-                    PaperCellModel {
-                        b: 9.5e-5,
-                        a: 1.3,
-                        vt: 0.252,
-                        leakage: template.leakage,
-                        hsnm_fraction: 0.37,
-                        rsnm_crossing_vddc: 0.640,
-                        wm_crossing_vwl: 0.490,
-                    },
-                )
-            }
-        }
+        let model = match flavor {
+            VtFlavor::Hvt => PaperCellModel::hvt(),
+            VtFlavor::Lvt => PaperCellModel::lvt(),
+        };
+        Self::paper_model(flavor, vdd, vddc, vwl, model)
     }
 
     fn paper_model(
@@ -240,14 +191,16 @@ impl CellCharacterization {
             (delta + 0.55 * (vddc.volts() - m.rsnm_crossing_vddc) + 0.05 * (-vssc)).max(0.0)
         };
         let iread = |vssc: f64| -> f64 {
-            let ov = (vddc.volts() - vssc - m.vt).max(1e-4);
+            let ov = (vddc.volts() - vssc - m.vt).max(MIN_OVERDRIVE_VOLTS);
             m.b * ov.powf(m.a)
         };
         let vssc_grid: Vec<f64> = (0..=24).map(|k| -0.240 + 0.010 * f64::from(k)).collect();
-        let rsnm_vs_vssc =
-            Lut1d::new(vssc_grid.iter().map(|&v| (v, rsnm(v))).collect()).expect("grid sorted");
-        let read_current_vs_vssc =
-            Lut1d::new(vssc_grid.iter().map(|&v| (v, iread(v))).collect()).expect("grid sorted");
+        let rsnm_pts: Vec<(f64, f64)> = vssc_grid.iter().map(|&v| (v, rsnm(v))).collect();
+        let iread_pts: Vec<(f64, f64)> = vssc_grid.iter().map(|&v| (v, iread(v))).collect();
+        // sram-lint: allow(no-panic) the grid is generated strictly ascending above
+        let rsnm_vs_vssc = Lut1d::new(rsnm_pts).expect("grid sorted");
+        // sram-lint: allow(no-panic) same generated ascending grid
+        let read_current_vs_vssc = Lut1d::new(iread_pts).expect("grid sorted");
 
         // WM crosses delta exactly at the published V_WL; slope ~0.9 V/V
         // (the WM definition is nearly 1:1 in the applied WL level).
@@ -259,9 +212,15 @@ impl CellCharacterization {
         let write_delay_vs_vwl = Lut1d::new(
             vwl_grid
                 .iter()
-                .map(|&v| (v, 1.5e-12 * (m.wm_crossing_vwl / v).powi(2)))
+                .map(|&v| {
+                    (
+                        v,
+                        PAPER_CELL_WRITE_DELAY_SECONDS * (m.wm_crossing_vwl / v).powi(2),
+                    )
+                })
                 .collect(),
         )
+        // sram-lint: allow(no-panic) the grid is generated strictly ascending above
         .expect("grid sorted");
 
         Self {
@@ -420,6 +379,7 @@ impl CellCharacterization {
                     .map(|&(x, y)| (x, (y - k * sigma.volts()).max(0.0)))
                     .collect(),
             )
+            // sram-lint: allow(no-panic) x-breakpoints are copied from an already-valid table
             .expect("breakpoints unchanged")
         };
         Self {
@@ -433,6 +393,21 @@ impl CellCharacterization {
     }
 }
 
+/// Read-current fit prefactor `b` (amps at 1 V overdrive) in the paper's
+/// `I_read = b · (V_DDC − V_SSC − V_t)^a` fit — shared by both flavors.
+const PAPER_IREAD_PREFACTOR_AMPS: f64 = 9.5e-5;
+/// Read-current fit exponent `a` (dimensionless).
+const PAPER_IREAD_EXPONENT: f64 = 1.3;
+/// Effective threshold `V_t` of the HVT fit, volts.
+const PAPER_HVT_VT_VOLTS: f64 = 0.335;
+/// Effective threshold `V_t` of the LVT fit, volts (83 mV below HVT).
+const PAPER_LVT_VT_VOLTS: f64 = 0.252;
+/// Overdrive floor (volts) keeping the fit's `powf` off negative bases
+/// when a deep `V_SSC` pushes the cell below threshold.
+const MIN_OVERDRIVE_VOLTS: f64 = 1e-4;
+/// Cell write delay (seconds) at the crossing `V_WL` — "≈ 1.5 ps".
+const PAPER_CELL_WRITE_DELAY_SECONDS: f64 = 1.5e-12;
+
 struct PaperCellModel {
     b: f64,
     a: f64,
@@ -441,6 +416,36 @@ struct PaperCellModel {
     hsnm_fraction: f64,
     rsnm_crossing_vddc: f64,
     wm_crossing_vwl: f64,
+}
+
+impl PaperCellModel {
+    /// The published HVT fit: 0.082 nW leakage, RSNM yield crossing at
+    /// `V_DDC = 550 mV`, WM crossing at `V_WL = 540 mV`.
+    fn hvt() -> Self {
+        Self {
+            b: PAPER_IREAD_PREFACTOR_AMPS,
+            a: PAPER_IREAD_EXPONENT,
+            vt: PAPER_HVT_VT_VOLTS,
+            leakage: Power::from_nanowatts(0.082),
+            hsnm_fraction: 0.45,
+            rsnm_crossing_vddc: 0.550,
+            wm_crossing_vwl: 0.540,
+        }
+    }
+
+    /// The published LVT fit: 1.692 nW leakage, RSNM crossing at
+    /// `V_DDC = 640 mV`, WM crossing at `V_WL = 490 mV`.
+    fn lvt() -> Self {
+        Self {
+            b: PAPER_IREAD_PREFACTOR_AMPS,
+            a: PAPER_IREAD_EXPONENT,
+            vt: PAPER_LVT_VT_VOLTS,
+            leakage: Power::from_nanowatts(1.692),
+            hsnm_fraction: 0.37,
+            rsnm_crossing_vddc: 0.640,
+            wm_crossing_vwl: 0.490,
+        }
+    }
 }
 
 #[cfg(test)]

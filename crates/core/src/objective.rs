@@ -7,6 +7,13 @@
 use sram_array::ArrayMetrics;
 
 /// Scores a design point; lower is better.
+///
+/// NaN policy: the search treats any non-finite score as an evaluation
+/// error — the candidate is dropped and counted in
+/// [`crate::SearchStatistics::eval_errors`], never compared against the
+/// incumbent. Objectives are free to return NaN/±∞ for degenerate
+/// metrics (e.g. [`WeightedEnergyDelay`] takes logarithms) without
+/// corrupting the search.
 pub trait Objective {
     /// Scalar score of the metrics (lower wins).
     fn score(&self, metrics: &ArrayMetrics) -> f64;
@@ -73,6 +80,10 @@ impl Objective for EnergyOnly {
 
 /// Log-domain weighted blend: `w·ln E + (1−w)·ln D`; `w = 0.5` ranks
 /// identically to EDP.
+///
+/// Zero or negative energy/delay (a broken model fit) makes the
+/// logarithms non-finite; the search's NaN policy then rejects the
+/// candidate rather than letting `-∞` win the minimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedEnergyDelay {
     /// Energy weight in `[0, 1]`.

@@ -43,7 +43,15 @@ impl<T> ParetoFront<T> {
 
     /// Offers a point; it is inserted iff no existing point dominates it,
     /// evicting any points it dominates. Returns whether it was inserted.
+    ///
+    /// NaN policy: a point with a non-finite energy or delay is rejected
+    /// outright. `dominates` is false in both directions against NaN
+    /// coordinates, so such a point would otherwise enter the front and
+    /// never be evicted.
     pub fn offer(&mut self, point: ParetoPoint<T>) -> bool {
+        if !point.energy.joules().is_finite() || !point.delay.seconds().is_finite() {
+            return false;
+        }
         if self.points.iter().any(|p| p.dominates(&point)) {
             return false;
         }
@@ -159,6 +167,19 @@ mod tests {
         // EDPs: 3, 2, 3 -> tag 1 wins.
         assert_eq!(front.min_edp().unwrap().tag, 1);
         assert_eq!(front.sorted_by_delay()[0].tag, 0);
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let mut front = ParetoFront::new();
+        assert!(!front.offer(pt(f64::NAN, 1.0, 0)));
+        assert!(!front.offer(pt(1.0, f64::INFINITY, 1)));
+        assert!(front.is_empty());
+        // And a NaN offered after a real point does not evict it.
+        assert!(front.offer(pt(1.0, 1.0, 2)));
+        assert!(!front.offer(pt(f64::NAN, f64::NAN, 3)));
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.points()[0].tag, 2);
     }
 
     #[test]

@@ -131,6 +131,16 @@ impl<'a> ExhaustiveSearch<'a> {
                     }
                 };
                 let score = objective.score(&metrics);
+                // NaN policy: a non-finite score can never become the
+                // incumbent (a NaN first candidate would win `score < s`
+                // comparisons by default forever after). Count it with the
+                // evaluation errors so the statistics partition
+                // (`feasible = evaluated + eval_errors`) still holds.
+                if !score.is_finite() {
+                    stats.evaluated -= 1;
+                    stats.eval_errors += 1;
+                    continue;
+                }
                 if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
                     best = Some((
                         DesignPoint {
@@ -194,6 +204,7 @@ impl<'a> ExhaustiveSearch<'a> {
                         .collect();
                 handles
                     .into_iter()
+                    // sram-lint: allow(no-panic) re-raising a worker panic at the join is the scoped-thread contract
                     .flat_map(|h| h.join().expect("search worker panicked"))
                     .collect()
             })
@@ -328,6 +339,51 @@ mod tests {
             .run(Capacity::from_bits(8), &EnergyDelayProduct)
             .unwrap_err();
         assert!(matches!(err, CooptError::EmptyDesignSpace { .. }));
+    }
+
+    #[test]
+    fn nan_scores_are_rejected_not_elected() {
+        // An objective that always produces NaN: no candidate may become
+        // the incumbent (a naive `score < s` lets the first NaN through),
+        // and the rejects land in eval_errors so the statistics partition
+        // still holds.
+        struct NanObjective;
+        impl Objective for NanObjective {
+            fn score(&self, _: &ArrayMetrics) -> f64 {
+                f64::NAN
+            }
+            fn name(&self) -> &'static str {
+                "nan"
+            }
+        }
+        let fx = fixture();
+        let err = search(&fx)
+            .run(Capacity::from_bytes(1024), &NanObjective)
+            .unwrap_err();
+        assert!(matches!(err, CooptError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn nan_scores_count_as_eval_errors() {
+        // Only degenerate metrics (delay == 0) go NaN here; the rest of
+        // the space still elects a finite winner.
+        struct LogObjective;
+        impl Objective for LogObjective {
+            fn score(&self, m: &ArrayMetrics) -> f64 {
+                m.edp().joule_seconds().ln()
+            }
+            fn name(&self) -> &'static str {
+                "log-edp"
+            }
+        }
+        let fx = fixture();
+        let out = search(&fx)
+            .run(Capacity::from_bytes(1024), &LogObjective)
+            .unwrap();
+        assert!(out.score.is_finite());
+        let s = out.stats;
+        assert_eq!(s.examined, s.feasible + s.infeasible);
+        assert_eq!(s.feasible, s.evaluated + s.eval_errors);
     }
 
     #[test]

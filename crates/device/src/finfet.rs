@@ -77,6 +77,7 @@ impl FinFet {
     /// variant.
     #[must_use]
     pub fn new(params: DeviceParams, fins: u32) -> Self {
+        // sram-lint: allow(no-panic) documented panic contract; try_new is the fallible variant
         Self::try_new(params, fins).expect("fin count must be at least 1")
     }
 

@@ -1,0 +1,5 @@
+//! Fixture: an unterminated token — one `parse-error`.
+
+pub fn broken() {}
+
+/* this block comment never closes

@@ -1,0 +1,8 @@
+//! Fixture: a reasonless suppression is itself an error and does not
+//! silence the violation below it — one `suppression-syntax` plus one
+//! `no-panic`.
+
+pub fn nope(v: Option<f64>) -> f64 {
+    // sram-lint: allow(no-panic)
+    v.unwrap()
+}

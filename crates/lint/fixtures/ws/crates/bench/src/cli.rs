@@ -1,0 +1,20 @@
+//! Fixture experiment registry: `fig2` is recorded in the ledger;
+//! `ghost` is registered here but absent from EXPERIMENTS.md (one
+//! `registry-sync` finding on this file, one on the ledger's stale
+//! `ghost-ledger` row).
+
+pub struct Experiment {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "fig2",
+        summary: "hsnm/leakage sweep",
+    },
+    Experiment {
+        name: "ghost",
+        summary: "registered but never recorded",
+    },
+];

@@ -1,0 +1,12 @@
+//! Fixture: a detached thread outside the search core — one
+//! `thread-discipline` finding; the scoped spawn is fine.
+
+pub fn leak_work() {
+    std::thread::spawn(|| {});
+}
+
+pub fn bounded_work() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

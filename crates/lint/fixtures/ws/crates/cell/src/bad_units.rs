@@ -1,0 +1,13 @@
+//! Fixture: one bare physical magnitude among exempt forms — exactly
+//! one `unit-hygiene` finding (the `9.5e-5`).
+
+const WRITE_DELAY_SECONDS: f64 = 1.5e-12;
+
+pub fn good(x: f64) -> f64 {
+    let t = Time::from_seconds(2.5e-12);
+    t * x * WRITE_DELAY_SECONDS
+}
+
+pub fn bad(x: f64) -> f64 {
+    x * 9.5e-5
+}

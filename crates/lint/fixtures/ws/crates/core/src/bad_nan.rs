@@ -1,0 +1,14 @@
+//! Fixture: NaN-unsafe comparisons — two `nan-unsafe` findings (the
+//! `partial_cmp` chain also draws `no-panic` for its unwrap).
+
+pub fn pick(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn check(x: f64) {
+    assert_eq!(x, 1.5);
+}
+
+pub fn fine(a: f64, b: f64) {
+    assert!((a - b).abs() < 1e-2, "tolerance compares are legal");
+}

@@ -1,0 +1,5 @@
+//! Fixture: a clean library file — zero findings.
+
+pub fn overdrive(vgs: f64, vt: f64) -> f64 {
+    (vgs - vt).max(0.0)
+}

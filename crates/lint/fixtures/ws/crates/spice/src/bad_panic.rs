@@ -1,0 +1,11 @@
+//! Fixture: panicking escape hatches in library code — each one must
+//! fire `no-panic`.
+
+pub fn solve(v: Option<f64>, w: Result<f64, ()>) -> f64 {
+    let a = v.unwrap();
+    let b = w.expect("no result");
+    if a > b {
+        panic!("diverged");
+    }
+    unreachable!("fixture")
+}

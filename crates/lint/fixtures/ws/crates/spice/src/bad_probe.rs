@@ -1,0 +1,10 @@
+//! Fixture: malformed and colliding probe metric names — three
+//! `probe-naming` findings (bad format, cross-kind collision at the
+//! second registration, wrong crate prefix).
+
+pub fn register() {
+    sram_probe::probe_inc!("NotDotted");
+    sram_probe::probe_inc!("spice.solves");
+    sram_probe::probe_gauge!("spice.solves", 1.0);
+    sram_probe::probe_inc!("cell.not_ours");
+}

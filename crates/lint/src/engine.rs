@@ -1,0 +1,209 @@
+//! The lint driver: walks the tree, runs every rule, applies
+//! suppressions and severity levels.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::diag::{Diagnostic, Level, Report};
+use crate::rules::{
+    nan_unsafe, no_panic, probe_naming, registry_sync, thread_discipline, unit_hygiene, RawDiag,
+};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walker never descends into. `vendor/` holds
+/// third-party stand-ins outside our conventions; `fixtures/` holds the
+/// linter's own intentionally-bad test inputs.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", "node_modules"];
+
+/// Lints every `.rs` file under `root` with `config`.
+///
+/// # Errors
+///
+/// Returns an error when `root` cannot be read at all; unreadable
+/// individual files become diagnostics instead.
+pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    let mut probe_state = probe_naming::ProbeState::default();
+    let mut registry_state = registry_sync::RegistryState::default();
+
+    for path in files {
+        let rel = relative(root, &path);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            push(
+                &mut report,
+                config,
+                &rel,
+                None,
+                RawDiag {
+                    rule: "parse-error",
+                    line: 1,
+                    col: 1,
+                    len: 1,
+                    message: "file could not be read as UTF-8".to_owned(),
+                    help: None,
+                },
+            );
+            continue;
+        };
+        report.files_scanned += 1;
+        let ctx = FileCtx::new(rel, &src);
+        let mut raw = Vec::new();
+        for err in &ctx.lex_errors {
+            raw.push(RawDiag {
+                rule: "parse-error",
+                line: err.line,
+                col: err.col,
+                len: 1,
+                message: err.message.clone(),
+                help: None,
+            });
+        }
+        for err in &ctx.suppression_errors {
+            raw.push(RawDiag {
+                rule: "suppression-syntax",
+                line: err.line,
+                col: err.col,
+                len: 1,
+                message: err.message.clone(),
+                help: Some(
+                    "syntax: `// sram-lint: allow(rule-name) reason` (reason is mandatory)"
+                        .to_owned(),
+                ),
+            });
+        }
+        unit_hygiene::check(&ctx, &mut raw);
+        no_panic::check(&ctx, &mut raw);
+        nan_unsafe::check(&ctx, &mut raw);
+        probe_naming::check(&ctx, &mut probe_state, &mut raw);
+        thread_discipline::check(&ctx, &mut raw);
+        registry_sync::check(&ctx, &mut registry_state);
+        for diag in raw {
+            let rel = ctx.rel.clone();
+            push(&mut report, config, &rel, Some(&ctx), diag);
+        }
+    }
+
+    let mut raw = Vec::new();
+    registry_sync::finish(&registry_state, root, &mut raw);
+    for diag in raw {
+        // Anchor cross-file findings to the file each message names.
+        let file = if diag.message.contains(registry_sync::LEDGER_PATH)
+            && !diag.message.contains("absent from")
+        {
+            registry_sync::LEDGER_PATH.to_owned()
+        } else {
+            registry_sync::CLI_PATH.to_owned()
+        };
+        push(&mut report, config, &file, None, diag);
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+/// Applies suppression and severity, then records the diagnostic.
+fn push(report: &mut Report, config: &Config, file: &str, ctx: Option<&FileCtx>, diag: RawDiag) {
+    // A suppression never silences the report that the suppression
+    // itself is malformed.
+    if diag.rule != "suppression-syntax" {
+        if let Some(ctx) = ctx {
+            if ctx.is_suppressed(diag.rule, diag.line) {
+                report.suppressed += 1;
+                return;
+            }
+        }
+    }
+    let level = config.level(diag.rule);
+    if level == Level::Allow {
+        return;
+    }
+    let excerpt = ctx
+        .map(|c| c.line_text(diag.line))
+        .filter(|l| !l.is_empty());
+    report.diagnostics.push(Diagnostic {
+        rule: diag.rule,
+        level,
+        file: file.to_owned(),
+        line: diag.line,
+        col: diag.col,
+        len: diag.len,
+        message: diag.message,
+        help: diag.help,
+        excerpt,
+    });
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`] and hidden
+/// directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Root-relative `/`-separated path.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]` — the default lint root.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").exists());
+    }
+
+    #[test]
+    fn relative_paths_are_slash_separated() {
+        let root = Path::new("/a/b");
+        assert_eq!(
+            relative(root, Path::new("/a/b/crates/x/src/l.rs")),
+            "crates/x/src/l.rs"
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The build environment is offline, so the linter cannot use `syn` or
+//! `proc-macro2`; instead it tokenizes source text directly. The lexer
+//! is *classification-faithful* rather than grammar-complete: its job is
+//! to never mistake the inside of a string, character literal, or
+//! comment for code (and vice versa), so that rules matching on
+//! identifiers and literals cannot fire on e.g. `"call .unwrap() here"`
+//! inside a doc string.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings with arbitrary `#` fences, byte/C-string
+//! prefixes (`b`, `c`, `br`, `cr`, `rb` is rejected like rustc),
+//! character vs. lifetime disambiguation, raw identifiers (`r#match`),
+//! integer/float literals with underscores, exponents and type
+//! suffixes, and single-character punctuation.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal (any base, with optional suffix).
+    Int,
+    /// Floating-point literal (decimal point, exponent, or f-suffix).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (including doc comments `///` and `//!`).
+    LineComment,
+    /// `/* … */` comment (nesting-aware, including `/** … */`).
+    BlockComment,
+    /// A single punctuation character (`::` is two `Punct(':')`).
+    Punct,
+}
+
+/// One token with its source location (1-based line and column, in
+/// characters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Verbatim source text, including quotes/fences for literals.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+/// A lexing failure (unterminated string/comment/char literal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// 1-based column of the offending construct.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Tokenizes `src`. Returns every token recognized plus any errors; on
+/// an unterminated construct the remainder of the file is consumed by
+/// that construct (matching how rustc would see it).
+#[must_use]
+pub fn lex(src: &str) -> (Vec<Token>, Vec<LexError>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    errors: Vec<LexError>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self, buf: &mut String) {
+        if let Some(&c) = self.chars.get(self.pos) {
+            self.pos += 1;
+            buf.push(c);
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn error(&mut self, line: u32, col: u32, message: &str) {
+        self.errors.push(LexError {
+            line,
+            col,
+            message: message.to_owned(),
+        });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<LexError>) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                let mut sink = String::new();
+                self.bump(&mut sink);
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.string(line, col, String::new());
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else {
+                let mut text = String::new();
+                self.bump(&mut text);
+                self.push(TokenKind::Punct, text, line, col);
+            }
+        }
+        (self.tokens, self.errors)
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump(&mut text);
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        self.bump(&mut text); // '/'
+        self.bump(&mut text); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                (Some(_), _) => self.bump(&mut text),
+                (None, _) => {
+                    self.error(line, col, "unterminated block comment");
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    /// Cooked string body starting at the opening quote; `text` holds any
+    /// already-consumed prefix (`b`, `c`).
+    fn string(&mut self, line: u32, col: u32, mut text: String) {
+        self.bump(&mut text); // opening '"'
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    self.bump(&mut text);
+                    self.bump(&mut text); // whatever is escaped
+                }
+                Some('"') => {
+                    self.bump(&mut text);
+                    break;
+                }
+                Some(_) => self.bump(&mut text),
+                None => {
+                    self.error(line, col, "unterminated string literal");
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Raw string body: cursor is on the first `#` or the `"`; `text`
+    /// holds the prefix (`r`, `br`, `cr`).
+    fn raw_string(&mut self, line: u32, col: u32, mut text: String) {
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening '"'
+        'scan: loop {
+            match self.peek(0) {
+                Some('"') => {
+                    self.bump(&mut text);
+                    let mut seen = 0usize;
+                    while seen < fence && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.bump(&mut text);
+                    }
+                    if seen == fence {
+                        break 'scan;
+                    }
+                }
+                Some(_) => self.bump(&mut text),
+                None => {
+                    self.error(line, col, "unterminated raw string literal");
+                    break 'scan;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// `'` — either a character/byte literal or a lifetime. `text` may
+    /// already hold a `b` prefix.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.char_or_lifetime_with(line, col, String::new());
+    }
+
+    fn char_or_lifetime_with(&mut self, line: u32, col: u32, mut text: String) {
+        let byte_prefix = !text.is_empty();
+        self.bump(&mut text); // opening '\''
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume `\x`, then to closing quote.
+                self.bump(&mut text);
+                self.bump(&mut text);
+                self.finish_char(line, col, text);
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') && !byte_prefix => {
+                // Lifetime: `'ident` not followed by a closing quote.
+                while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                    self.bump(&mut text);
+                }
+                self.push(TokenKind::Lifetime, text, line, col);
+            }
+            Some(_) => {
+                self.bump(&mut text); // the character itself
+                self.finish_char(line, col, text);
+            }
+            None => {
+                self.error(line, col, "unterminated character literal");
+                self.push(TokenKind::Char, text, line, col);
+            }
+        }
+    }
+
+    fn finish_char(&mut self, line: u32, col: u32, mut text: String) {
+        // Consume up to the closing quote (covers `'\u{1F600}'`).
+        loop {
+            match self.peek(0) {
+                Some('\'') => {
+                    self.bump(&mut text);
+                    break;
+                }
+                Some(c) if c != '\n' => self.bump(&mut text),
+                _ => {
+                    self.error(line, col, "unterminated character literal");
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'))
+        {
+            // Radix literal: digits + underscores + hex letters + suffix.
+            self.bump(&mut text);
+            self.bump(&mut text);
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.bump(&mut text);
+            }
+            self.push(TokenKind::Int, text, line, col);
+            return;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump(&mut text);
+        }
+        // Fractional part: `.` followed by a digit, or a bare trailing `.`
+        // that is not `..` / `.method`.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    is_float = true;
+                    self.bump(&mut text);
+                    while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                        self.bump(&mut text);
+                    }
+                }
+                Some(c) if c == '.' || is_ident_start(c) => {}
+                _ => {
+                    is_float = true;
+                    self.bump(&mut text); // `1.`
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(&mut text);
+                if sign {
+                    self.bump(&mut text);
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump(&mut text);
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        let mut suffix = String::new();
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump(&mut suffix);
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump(&mut text);
+        }
+        match text.as_str() {
+            // Raw identifier or raw string: `r#ident` vs `r#"…"#` / `r"…"`.
+            "r" | "br" | "cr" => {
+                if self.raw_fence_ahead() {
+                    self.raw_string(line, col, text);
+                    return;
+                }
+                if text == "r"
+                    && self.peek(0) == Some('#')
+                    && matches!(self.peek(1), Some(c) if is_ident_start(c))
+                {
+                    // Raw identifier `r#match`: absorb `#` + ident.
+                    self.bump(&mut text);
+                    while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                        self.bump(&mut text);
+                    }
+                }
+                self.push(TokenKind::Ident, text, line, col);
+            }
+            "b" | "c" => {
+                if self.peek(0) == Some('"') {
+                    self.string(line, col, text);
+                } else if text == "b" && self.peek(0) == Some('\'') {
+                    self.char_or_lifetime_with(line, col, text);
+                } else {
+                    self.push(TokenKind::Ident, text, line, col);
+                }
+            }
+            _ => self.push(TokenKind::Ident, text, line, col),
+        }
+    }
+
+    /// `true` when the cursor sits on `#*"` (a raw-string fence).
+    fn raw_fence_ahead(&self) -> bool {
+        let mut k = 0usize;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The value of a string-literal token (quotes and raw fences stripped;
+/// escape sequences are left as written). Returns `None` for tokens that
+/// are not strings.
+#[must_use]
+pub fn str_value(text: &str) -> Option<&str> {
+    let body = text
+        .trim_start_matches(['b', 'c', 'r'])
+        .trim_start_matches('#');
+    let body = body.strip_prefix('"')?;
+    let body = body.strip_suffix('"').unwrap_or(body);
+    Some(body.trim_end_matches('#').trim_end_matches('"'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let (tokens, errors) = lex(src);
+        assert!(errors.is_empty(), "unexpected lex errors: {errors:?}");
+        tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "call .unwrap() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let x = r#"quote " inside"#; let r#match = 1;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quote")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks =
+            kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let q = '\''; let s: &'static str = s; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 3, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("1e-9 1.5e-12 0xFF_u32 1..2 1.max(2) 3.0f64 7usize 1.");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1e-9", "1.5e-12", "3.0f64", "1."]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0xFF_u32", "1", "2", "1", "2", "7usize"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let (_, errors) = lex("let s = \"oops");
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'\''; let d = b'x';"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn str_value_strips_fences() {
+        assert_eq!(str_value("\"abc\""), Some("abc"));
+        assert_eq!(str_value("r#\"abc\"#"), Some("abc"));
+        assert_eq!(str_value("b\"abc\""), Some("abc"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # sram-lint
+//!
+//! Workspace-specific static analysis for the SRAM EDP co-optimization
+//! workspace. `cargo` and `clippy` know Rust; they do not know that a
+//! bare `9.5e-5` in a cell model is a latent unit bug, that a panic in
+//! the SPICE inner loop kills a 50k-point Monte Carlo run, or that two
+//! probe sites disagreeing on a metric's kind corrupts every dashboard
+//! downstream. This crate encodes those house rules as a fast,
+//! dependency-free lint pass.
+//!
+//! The analysis is intentionally lexical: a hand-written, string- and
+//! comment-aware Rust lexer ([`lexer`]) feeds token-pattern rules
+//! ([`rules`]). That is deliberate — the build environment is offline
+//! (no `syn`), and every invariant we enforce is visible at the token
+//! level. The trade-off is documented per rule: each rule states what
+//! it can and cannot see.
+//!
+//! ## Rules
+//!
+//! See [`config::RULES`] for the registry with default levels. Inline
+//! suppression:
+//!
+//! ```text
+//! // sram-lint: allow(no-panic) registry kind checked two lines up
+//! ```
+//!
+//! A suppression covers its own line and the next code-bearing line,
+//! and the reason is mandatory — a suppression without a justification
+//! is itself a `suppression-syntax` error.
+
+pub mod config;
+pub mod context;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Level, Report};
+pub use engine::{find_workspace_root, run};

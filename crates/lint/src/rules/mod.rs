@@ -1,0 +1,50 @@
+//! The rule set.
+//!
+//! Each rule inspects one file's token stream (plus, for the cross-file
+//! rules, state accumulated across the walk) and reports raw findings;
+//! the [`engine`](crate::engine) applies suppressions and severity
+//! levels. DESIGN.md §Static-analysis records why each rule exists.
+
+pub mod nan_unsafe;
+pub mod no_panic;
+pub mod probe_naming;
+pub mod registry_sync;
+pub mod thread_discipline;
+pub mod unit_hygiene;
+
+/// A finding before suppression/severity resolution.
+#[derive(Debug, Clone)]
+pub struct RawDiag {
+    /// Rule name (must match an entry of [`crate::config::RULES`]).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Characters to underline.
+    pub len: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: Option<String>,
+}
+
+impl RawDiag {
+    /// Convenience constructor anchored at a token.
+    #[must_use]
+    pub fn at(
+        rule: &'static str,
+        token: &crate::lexer::Token,
+        message: String,
+        help: Option<String>,
+    ) -> Self {
+        Self {
+            rule,
+            line: token.line,
+            col: token.col,
+            len: token.text.chars().count().max(1) as u32,
+            message,
+            help,
+        }
+    }
+}

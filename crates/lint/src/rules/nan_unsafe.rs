@@ -1,0 +1,188 @@
+//! `nan-unsafe`: float comparisons that misbehave on NaN.
+//!
+//! `partial_cmp().unwrap()` panics the moment a NaN EDP reaches a sort,
+//! and float `==` inside non-test asserts encodes an exactness the
+//! models cannot deliver. Use `f64::total_cmp` (total order, NaN sorts
+//! last) or an explicit NaN policy, and tolerance comparisons in
+//! asserts.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::TokenKind;
+use crate::rules::RawDiag;
+
+/// Tokens allowed between `partial_cmp` and the `unwrap`/`expect` that
+/// makes it a panic chain.
+const CHAIN_WINDOW: usize = 6;
+
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if ctx.class == FileClass::Test {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (pos, &idx) in code.iter().enumerate() {
+        let token = &ctx.tokens[idx];
+        if token.kind != TokenKind::Ident || ctx.in_test(token.line) {
+            continue;
+        }
+        match token.text.as_str() {
+            "partial_cmp" => {
+                for ahead in 1..=CHAIN_WINDOW {
+                    let Some(&n) = code.get(pos + ahead) else {
+                        break;
+                    };
+                    let t = &ctx.tokens[n];
+                    if matches!(t.text.as_str(), ";" | "{" | "}") {
+                        break;
+                    }
+                    if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "unwrap" | "expect")
+                    {
+                        out.push(RawDiag::at(
+                            "nan-unsafe",
+                            token,
+                            "`partial_cmp().unwrap()` panics on NaN".to_owned(),
+                            Some(
+                                "use `f64::total_cmp` (NaN sorts last) or handle the None \
+                                 with an explicit NaN policy"
+                                    .to_owned(),
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+            name if ASSERT_MACROS.contains(&name)
+                && code
+                    .get(pos + 1)
+                    .is_some_and(|&n| ctx.tokens[n].text == "!") =>
+            {
+                check_assert_group(ctx, &code, pos, name, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Inside one `assert*!(…)` invocation, flags float equality: any float
+/// literal in an `_eq`/`_ne` variant, or `==`/`!=` next to a float
+/// literal in the plain variants.
+fn check_assert_group(
+    ctx: &FileCtx,
+    code: &[usize],
+    macro_pos: usize,
+    name: &str,
+    out: &mut Vec<RawDiag>,
+) {
+    // The delimiter opens two code tokens after the macro name.
+    let Some(&open_idx) = code.get(macro_pos + 2) else {
+        return;
+    };
+    let open = ctx.tokens[open_idx].text.as_str();
+    let close = match open {
+        "(" => ")",
+        "[" => "]",
+        "{" => "}",
+        _ => return,
+    };
+    let is_eq_variant = name.ends_with("_eq") || name.ends_with("_ne");
+    let mut depth = 0usize;
+    let mut has_float = None;
+    let mut has_eq_op = false;
+    let mut prev_text = String::new();
+    for &n in &code[macro_pos + 2..] {
+        let t = &ctx.tokens[n];
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if t.kind == TokenKind::Float {
+            has_float.get_or_insert(n);
+        }
+        if t.text == "=" && (prev_text == "=" || prev_text == "!") {
+            has_eq_op = true;
+        }
+        prev_text.clone_from(&t.text);
+    }
+    if let Some(lit_idx) = has_float {
+        if is_eq_variant || has_eq_op {
+            out.push(RawDiag::at(
+                "nan-unsafe",
+                &ctx.tokens[lit_idx],
+                format!("float equality inside `{name}!` outside tests"),
+                Some(
+                    "floating-point results carry rounding error and NaN risk; compare with \
+                     a tolerance (`(a - b).abs() < eps`) instead"
+                        .to_owned(),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<RawDiag> {
+        let ctx = FileCtx::new(rel.to_owned(), src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_chain_fires() {
+        let found = run(
+            "crates/x/src/a.rs",
+            "fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn partial_cmp_handled_is_fine() {
+        let found = run(
+            "crates/x/src/a.rs",
+            "fn f() { let o = a.partial_cmp(&b); let c = a.total_cmp(&b); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn float_eq_in_assert_fires() {
+        let found = run("crates/x/src/a.rs", "fn f() { assert_eq!(x, 1.5); }");
+        assert_eq!(found.len(), 1);
+        let found = run("crates/x/src/a.rs", "fn f() { assert!(x == 0.5, \"m\"); }");
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn tolerance_compare_is_fine() {
+        let found = run(
+            "crates/x/src/a.rs",
+            "fn f() { assert!((a - b).abs() < 1e-9, \"m\"); assert_eq!(n, 3); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { assert_eq!(x, 1.5); }\n}\n";
+        assert!(run("crates/x/src/a.rs", src).is_empty());
+        assert!(run("crates/x/tests/a.rs", "fn f() { assert_eq!(x, 1.5); }").is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! `no-panic`: library crates must not abort.
+//!
+//! A single `unwrap()` on a non-converged SPICE solve kills a whole
+//! exhaustive sweep over `V_SSC × n_r × N_pre × N_wr`, so panicking
+//! escape hatches are denied in library code and allowed in tests,
+//! benches, examples, and binary entry points. Contract assertions
+//! (`assert!`) with a documented `# Panics` section remain legal — the
+//! rule targets *recoverable* failures handled unrecoverably.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::TokenKind;
+use crate::rules::RawDiag;
+
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANICKING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (pos, &idx) in code.iter().enumerate() {
+        let token = &ctx.tokens[idx];
+        if token.kind != TokenKind::Ident || ctx.in_test(token.line) {
+            continue;
+        }
+        let name = token.text.as_str();
+        let prev = pos
+            .checked_sub(1)
+            .map(|p| ctx.tokens[code[p]].text.as_str());
+        let next = code.get(pos + 1).map(|&n| ctx.tokens[n].text.as_str());
+        if PANICKING_METHODS.contains(&name) && prev == Some(".") {
+            out.push(RawDiag::at(
+                "no-panic",
+                token,
+                format!("`.{name}()` in library code aborts the whole process on failure"),
+                Some(
+                    "propagate the crate's error type instead (the search loop must survive \
+                     one bad candidate), or suppress with `// sram-lint: allow(no-panic) <reason>`"
+                        .to_owned(),
+                ),
+            ));
+        } else if PANICKING_MACROS.contains(&name) && next == Some("!") {
+            out.push(RawDiag::at(
+                "no-panic",
+                token,
+                format!("`{name}!` in library code aborts the whole process"),
+                Some(
+                    "return an error variant instead, or suppress with \
+                     `// sram-lint: allow(no-panic) <reason>`"
+                        .to_owned(),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<RawDiag> {
+        let ctx = FileCtx::new(rel.to_owned(), src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let found = run(
+            "crates/x/src/a.rs",
+            "fn f() { v.unwrap(); w.expect(\"m\"); panic!(\"boom\"); unreachable!(); }",
+        );
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        let found = run(
+            "crates/x/src/a.rs",
+            "fn f() { v.unwrap_or(0); v.unwrap_or_else(|| 0); v.unwrap_or_default(); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let found = run(
+            "crates/x/src/a.rs",
+            "// call .unwrap() at your peril\nfn f() { let s = \".unwrap()\"; }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn tests_bins_and_test_mods_are_exempt() {
+        assert!(run("crates/x/tests/a.rs", "fn f() { v.unwrap(); }").is_empty());
+        assert!(run("crates/x/src/bin/a.rs", "fn f() { v.unwrap(); }").is_empty());
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { v.unwrap(); }\n}\n";
+        assert!(run("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn assert_is_allowed() {
+        let found = run("crates/x/src/a.rs", "fn f() { assert!(x > 0.0, \"m\"); }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

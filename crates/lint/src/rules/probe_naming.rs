@@ -1,0 +1,265 @@
+//! `probe-naming`: `sram-probe` metric names stay consumable.
+//!
+//! `reproduce --probe-json` consumers key on metric names, so every
+//! counter/gauge/histogram/span name must be
+//!
+//! * lowercase dotted `crate.subsystem.metric` (at least two segments
+//!   of `[a-z0-9_]`),
+//! * namespaced under its owning crate's prefix (`spice.*` in
+//!   `crates/spice`, `coopt.*` in `crates/core`, …), and
+//! * globally unique across metric kinds — the same name may be bumped
+//!   from several call sites (two branches of one solver), but a name
+//!   registered as a counter in one crate and a gauge in another would
+//!   panic at runtime and corrupt dashboards before that.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::{str_value, TokenKind};
+use crate::rules::RawDiag;
+use std::collections::HashMap;
+
+/// Metric kind a call site registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `probe_inc!` / `probe_add!` / `sram_probe::counter`.
+    Counter,
+    /// `probe_gauge!` / `sram_probe::gauge`.
+    Gauge,
+    /// `probe_record!` / `probe_span!` / `sram_probe::histogram` (spans
+    /// feed histograms).
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Cross-file registry of first-seen kinds per metric name.
+#[derive(Debug, Default)]
+pub struct ProbeState {
+    seen: HashMap<String, (Kind, String)>,
+}
+
+/// Expected name prefixes per crate; `None` means format-only checks.
+fn expected_prefixes(crate_name: &str) -> Option<&'static [&'static str]> {
+    match crate_name {
+        "spice" => Some(&["spice"]),
+        "cell" => Some(&["cell"]),
+        "core" => Some(&["coopt"]),
+        "array" => Some(&["array"]),
+        "device" => Some(&["device"]),
+        "units" => Some(&["units"]),
+        "bench" => Some(&["bench", "repro"]),
+        "lint" => Some(&["lint"]),
+        _ => None,
+    }
+}
+
+fn macro_kind(name: &str) -> Option<Kind> {
+    match name {
+        "probe_inc" | "probe_add" => Some(Kind::Counter),
+        "probe_gauge" => Some(Kind::Gauge),
+        "probe_record" | "probe_span" => Some(Kind::Histogram),
+        _ => None,
+    }
+}
+
+fn registry_fn_kind(name: &str) -> Option<Kind> {
+    match name {
+        "counter" => Some(Kind::Counter),
+        "gauge" => Some(Kind::Gauge),
+        "histogram" => Some(Kind::Histogram),
+        _ => None,
+    }
+}
+
+/// Scans one file, accumulating names into `state`.
+pub fn check(ctx: &FileCtx, state: &mut ProbeState, out: &mut Vec<RawDiag>) {
+    if ctx.class == FileClass::Test {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (pos, &idx) in code.iter().enumerate() {
+        let token = &ctx.tokens[idx];
+        if token.kind != TokenKind::Ident || ctx.in_test(token.line) {
+            continue;
+        }
+        let kind = if let Some(kind) = macro_kind(&token.text) {
+            // `probe_xxx!(` — only an invocation when followed by `!`.
+            if code.get(pos + 1).map(|&n| ctx.tokens[n].text.as_str()) != Some("!") {
+                continue;
+            }
+            kind
+        } else if let Some(kind) = registry_fn_kind(&token.text) {
+            // Direct registry call: require a `sram_probe ::` path prefix
+            // so ordinary functions named `counter` don't fire.
+            let is_probe_path = pos >= 2
+                && ctx.tokens[code[pos - 1]].text == ":"
+                && ctx.tokens[code[pos - 2]].text == ":"
+                && pos >= 3
+                && ctx.tokens[code[pos - 3]].text == "sram_probe";
+            if !is_probe_path {
+                continue;
+            }
+            kind
+        } else {
+            continue;
+        };
+        // The name is the first string literal within the next few
+        // tokens (skipping `!`, `(`, and the `detail` level marker).
+        let Some(name_idx) = code[pos + 1..]
+            .iter()
+            .take(4)
+            .copied()
+            .find(|&n| ctx.tokens[n].kind == TokenKind::Str)
+        else {
+            continue;
+        };
+        let name_token = &ctx.tokens[name_idx];
+        let Some(name) = str_value(&name_token.text) else {
+            continue;
+        };
+        if !well_formed(name) {
+            out.push(RawDiag::at(
+                "probe-naming",
+                name_token,
+                format!(
+                    "probe metric name `{name}` is not lowercase dotted `crate.subsystem.metric`"
+                ),
+                Some(
+                    "use at least two `.`-separated segments of [a-z0-9_] — e.g. \
+                     `spice.dc_solves`"
+                        .to_owned(),
+                ),
+            ));
+            continue;
+        }
+        if let Some(prefixes) = expected_prefixes(&ctx.crate_name) {
+            let head = name.split('.').next().unwrap_or("");
+            if !prefixes.contains(&head) {
+                out.push(RawDiag::at(
+                    "probe-naming",
+                    name_token,
+                    format!(
+                        "probe metric `{name}` in crate `{}` must be namespaced under `{}`",
+                        ctx.crate_name,
+                        prefixes.join(".` or `")
+                    ),
+                    None,
+                ));
+                continue;
+            }
+        }
+        let site = format!("{}:{}", ctx.rel, name_token.line);
+        match state.seen.get(name) {
+            Some((first_kind, first_site)) if *first_kind != kind => {
+                out.push(RawDiag::at(
+                    "probe-naming",
+                    name_token,
+                    format!(
+                        "probe metric `{name}` registered as a {} here but as a {} at {}",
+                        kind.name(),
+                        first_kind.name(),
+                        first_site
+                    ),
+                    Some("metric names must map to exactly one kind workspace-wide".to_owned()),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                state.seen.insert(name.to_owned(), (kind, site));
+            }
+        }
+    }
+}
+
+/// `^[a-z0-9_]+(\.[a-z0-9_]+)+$`
+fn well_formed(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> (Vec<RawDiag>, ProbeState) {
+        let ctx = FileCtx::new(rel.to_owned(), src);
+        let mut out = Vec::new();
+        let mut state = ProbeState::default();
+        check(&ctx, &mut state, &mut out);
+        (out, state)
+    }
+
+    #[test]
+    fn well_formed_names_pass() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { sram_probe::probe_inc!(\"spice.dc_solves\"); sram_probe::probe_record!(detail \"spice.iters\", 3); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn bad_format_fires() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { sram_probe::probe_inc!(\"BadName\"); sram_probe::probe_inc!(\"spice.Upper.x\"); }",
+        );
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn wrong_crate_prefix_fires() {
+        let (found, _) = run(
+            "crates/cell/src/a.rs",
+            "fn f() { sram_probe::probe_inc!(\"spice.in_cell_crate\"); }",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("namespaced"));
+    }
+
+    #[test]
+    fn cross_kind_collision_fires() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { sram_probe::probe_inc!(\"spice.x\"); sram_probe::probe_gauge!(\"spice.x\", 1.0); }",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("registered as"));
+    }
+
+    #[test]
+    fn same_kind_reuse_is_fine() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { sram_probe::probe_inc!(\"spice.x\"); sram_probe::probe_add!(\"spice.x\", 2); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn direct_registry_calls_are_checked() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { let c = sram_probe::counter(\"nodots\"); }",
+        );
+        assert_eq!(found.len(), 1);
+        // A local fn named `counter` is not a probe call.
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { let c = counter(\"x\"); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

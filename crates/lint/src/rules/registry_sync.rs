@@ -1,0 +1,193 @@
+//! `registry-sync`: the experiment registry and EXPERIMENTS.md agree.
+//!
+//! `reproduce`'s CLI is generated from the registry in
+//! `crates/bench/src/cli.rs`; EXPERIMENTS.md is the measured-results
+//! ledger. A registry entry missing from the ledger is an experiment
+//! nobody recorded; a ledger row naming no registry entry is stale
+//! documentation. This cross-file rule extracts `name: "…"` fields from
+//! the registry constant and backticked names from the ledger's
+//! `## Registry` section and requires the two sets to be equal.
+
+use crate::context::FileCtx;
+use crate::lexer::{str_value, TokenKind};
+use crate::rules::RawDiag;
+use std::path::Path;
+
+/// Registry-relative path of the experiment registry source.
+pub const CLI_PATH: &str = "crates/bench/src/cli.rs";
+/// Root-relative path of the results ledger.
+pub const LEDGER_PATH: &str = "EXPERIMENTS.md";
+
+/// Cross-file state: experiment names found in the registry source.
+#[derive(Debug, Default)]
+pub struct RegistryState {
+    /// `(name, line)` pairs from `cli.rs`.
+    pub experiments: Vec<(String, u32)>,
+    /// Whether the registry file was seen during the walk.
+    pub saw_cli: bool,
+}
+
+/// Per-file pass: harvests `name: "…"` fields from the registry source.
+pub fn check(ctx: &FileCtx, state: &mut RegistryState) {
+    if ctx.rel != CLI_PATH {
+        return;
+    }
+    state.saw_cli = true;
+    let code = ctx.code_indices();
+    for window in 0..code.len().saturating_sub(2) {
+        let a = &ctx.tokens[code[window]];
+        let b = &ctx.tokens[code[window + 1]];
+        let c = &ctx.tokens[code[window + 2]];
+        if a.kind == TokenKind::Ident
+            && a.text == "name"
+            && b.text == ":"
+            && c.kind == TokenKind::Str
+            && !ctx.in_test(a.line)
+        {
+            if let Some(name) = str_value(&c.text) {
+                state.experiments.push((name.to_owned(), c.line));
+            }
+        }
+    }
+}
+
+/// End-of-walk pass: reads the ledger and reports both directions of
+/// drift. `ledger` is `None` when EXPERIMENTS.md could not be read.
+pub fn finish(state: &RegistryState, root: &Path, out: &mut Vec<RawDiag>) {
+    if !state.saw_cli {
+        // Not this workspace (e.g. a fixture tree without a registry).
+        return;
+    }
+    let ledger_path = root.join(LEDGER_PATH);
+    let Ok(ledger) = std::fs::read_to_string(&ledger_path) else {
+        out.push(RawDiag {
+            rule: "registry-sync",
+            line: 1,
+            col: 1,
+            len: 1,
+            message: format!(
+                "{CLI_PATH} defines an experiment registry but {LEDGER_PATH} is missing"
+            ),
+            help: Some("add EXPERIMENTS.md with a `## Registry` section".to_owned()),
+        });
+        return;
+    };
+    let ledger_names = registry_section_names(&ledger);
+    let Some(ledger_names) = ledger_names else {
+        out.push(RawDiag {
+            rule: "registry-sync",
+            line: 1,
+            col: 1,
+            len: 1,
+            message: format!("{LEDGER_PATH} has no `## Registry` section"),
+            help: Some(
+                "add a `## Registry` table listing every experiment name from \
+                 crates/bench/src/cli.rs in backticks"
+                    .to_owned(),
+            ),
+        });
+        return;
+    };
+    for (name, line) in &state.experiments {
+        if !ledger_names.iter().any(|(n, _)| n == name) {
+            out.push(RawDiag {
+                rule: "registry-sync",
+                line: *line,
+                col: 1,
+                len: name.chars().count().max(1) as u32,
+                message: format!(
+                    "experiment `{name}` is registered in cli.rs but absent from \
+                     {LEDGER_PATH}'s Registry section"
+                ),
+                help: Some(format!(
+                    "add a `| \\`{name}\\` | … |` row to the Registry table"
+                )),
+            });
+        }
+    }
+    for (name, _md_line) in &ledger_names {
+        if !state.experiments.iter().any(|(n, _)| n == name) {
+            out.push(RawDiag {
+                rule: "registry-sync",
+                line: 1,
+                col: 1,
+                len: 1,
+                message: format!(
+                    "{LEDGER_PATH} Registry lists `{name}` but cli.rs registers no such \
+                     experiment"
+                ),
+                help: Some(
+                    "remove the stale row or register the experiment in crates/bench/src/cli.rs"
+                        .to_owned(),
+                ),
+            });
+        }
+    }
+}
+
+/// Backticked names in the first cell of each `## Registry` table row,
+/// with their 1-based line numbers. `None` when the section is absent.
+fn registry_section_names(ledger: &str) -> Option<Vec<(String, u32)>> {
+    let mut in_section = false;
+    let mut names = Vec::new();
+    let mut found = false;
+    for (i, line) in ledger.lines().enumerate() {
+        if line.trim_start().starts_with("## ") {
+            in_section = line.trim_start().starts_with("## Registry");
+            if in_section {
+                found = true;
+            }
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        // First backticked token on the row.
+        let mut parts = trimmed.split('`');
+        let _ = parts.next();
+        if let Some(name) = parts.next() {
+            let name = name.trim();
+            if !name.is_empty() && !name.contains('|') {
+                names.push((name.to_owned(), (i + 1) as u32));
+            }
+        }
+    }
+    found.then_some(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_harvested() {
+        let src = "pub const EXPERIMENTS: &[Experiment] = &[\n  Experiment { name: \"fig2\", summary: \"s\", in_all: true, run: fig2 },\n  Experiment { name: \"table4\", summary: \"s\", in_all: true, run: table4 },\n];\n";
+        let ctx = FileCtx::new(CLI_PATH.to_owned(), src);
+        let mut state = RegistryState::default();
+        check(&ctx, &mut state);
+        let names: Vec<&str> = state.experiments.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["fig2", "table4"]);
+    }
+
+    #[test]
+    fn section_parser_reads_backticked_cells() {
+        let md = "# Title\n\n## Registry\n\n| experiment | section |\n|---|---|\n| `fig2` | E1 |\n| `yield` | E8 |\n\n## Next\n| `not-me` | x |\n";
+        let names = registry_section_names(md).expect("section present");
+        let flat: Vec<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(flat, vec!["fig2", "yield"]);
+        assert!(registry_section_names("# no registry\n").is_none());
+    }
+
+    #[test]
+    fn other_files_are_ignored() {
+        let ctx = FileCtx::new("crates/x/src/a.rs".to_owned(), "let name: &str = \"x\";");
+        let mut state = RegistryState::default();
+        check(&ctx, &mut state);
+        assert!(!state.saw_cli);
+        assert!(state.experiments.is_empty());
+    }
+}

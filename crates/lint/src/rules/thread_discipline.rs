@@ -1,0 +1,88 @@
+//! `thread-discipline`: no detached threads outside the search core.
+//!
+//! `crates/core`'s exhaustive search owns the workspace's parallelism,
+//! and it uses *scoped* threads (`std::thread::scope`) so worker
+//! lifetimes are bounded and panics propagate at the join. A detached
+//! `std::thread::spawn` anywhere else would leak work past the end of
+//! an experiment and race the probe registry snapshot; this rule keeps
+//! the policy enforced. `scope.spawn(…)` (a method call) is allowed
+//! everywhere.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::TokenKind;
+use crate::rules::RawDiag;
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if ctx.class == FileClass::Test || ctx.crate_name == "core" {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (pos, &idx) in code.iter().enumerate() {
+        let token = &ctx.tokens[idx];
+        if token.kind != TokenKind::Ident || token.text != "spawn" || ctx.in_test(token.line) {
+            continue;
+        }
+        // `thread :: spawn` — a path call, not a scope method.
+        let is_thread_path = pos >= 3
+            && ctx.tokens[code[pos - 1]].text == ":"
+            && ctx.tokens[code[pos - 2]].text == ":"
+            && ctx.tokens[code[pos - 3]].text == "thread";
+        if is_thread_path {
+            out.push(RawDiag::at(
+                "thread-discipline",
+                token,
+                "detached `std::thread::spawn` outside crates/core".to_owned(),
+                Some(
+                    "route parallelism through the search layer's scoped threads \
+                     (`std::thread::scope`) so worker lifetimes stay bounded"
+                        .to_owned(),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<RawDiag> {
+        let ctx = FileCtx::new(rel.to_owned(), src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn detached_spawn_fires() {
+        let found = run(
+            "crates/cell/src/a.rs",
+            "fn f() { std::thread::spawn(|| {}); }",
+        );
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn scoped_spawn_is_fine() {
+        let found = run(
+            "crates/cell/src/a.rs",
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn core_and_tests_are_exempt() {
+        assert!(run(
+            "crates/core/src/a.rs",
+            "fn f() { std::thread::spawn(|| {}); }"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/cell/tests/a.rs",
+            "fn f() { std::thread::spawn(|| {}); }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! `unit-hygiene`: bare physical magnitudes in model crates.
+//!
+//! The paper's Tables 1–3 models silently produce garbage when a raw
+//! millivolt magnitude leaks in where volts are expected. Every
+//! physical quantity in the workspace flows through the typed
+//! `sram-units` newtypes; this rule keeps the magnitudes honest at the
+//! boundary by flagging small-magnitude scientific-notation literals
+//! (`1.5e-12`, `9.5e-5`, …) in the model crates `cell`, `array`, and
+//! `core` unless they are
+//!
+//! * an argument in reach of an `sram-units` `from_*` constructor, or
+//! * the initializer of a named `const`/`static` (the name documents
+//!   the unit), or
+//! * explicitly suppressed with a reason.
+//!
+//! The rule is deliberately a heuristic: it cannot type-check `f64`
+//! flows, but in this codebase physical constants are exactly the
+//! literals written in scientific notation with negative exponents.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::TokenKind;
+use crate::rules::RawDiag;
+
+/// Crates whose models carry physical magnitudes.
+const MODEL_CRATES: &[&str] = &["cell", "array", "core"];
+
+/// Exponent at or below which a literal counts as a physical magnitude.
+const EXPONENT_THRESHOLD: i32 = -3;
+
+/// How many preceding code tokens may separate a literal from its
+/// `from_*` constructor.
+const CONSTRUCTOR_WINDOW: usize = 8;
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    if ctx.class != FileClass::Library || !MODEL_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (pos, &idx) in code.iter().enumerate() {
+        let token = &ctx.tokens[idx];
+        if token.kind != TokenKind::Float || ctx.in_test(token.line) {
+            continue;
+        }
+        let Some(exp) = negative_exponent(&token.text) else {
+            continue;
+        };
+        if exp > EXPONENT_THRESHOLD {
+            continue;
+        }
+        if near_units_constructor(ctx, &code, pos) || in_const_item(ctx, &code, pos) {
+            continue;
+        }
+        out.push(RawDiag::at(
+            "unit-hygiene",
+            token,
+            format!(
+                "bare physical-magnitude literal `{}` in model crate `{}`",
+                token.text, ctx.crate_name
+            ),
+            Some(
+                "wrap it in an sram-units constructor (Voltage::from_millivolts, \
+                 Time::from_picoseconds, …) or hoist it to a named const documenting its unit"
+                    .to_owned(),
+            ),
+        ));
+    }
+}
+
+/// The literal's base-10 exponent when written in scientific notation
+/// with a negative exponent (`1.5e-12` → `-12`); `None` otherwise.
+fn negative_exponent(text: &str) -> Option<i32> {
+    let lower = text.to_ascii_lowercase();
+    let (_, tail) = lower.split_once('e')?;
+    let tail = tail.strip_prefix('-')?;
+    let digits: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse::<i32>().ok().map(|e| -e)
+}
+
+/// Looks back a few tokens for an `sram-units` `from_*` constructor;
+/// stops at statement boundaries.
+fn near_units_constructor(ctx: &FileCtx, code: &[usize], pos: usize) -> bool {
+    for back in 1..=CONSTRUCTOR_WINDOW {
+        let Some(p) = pos.checked_sub(back) else {
+            break;
+        };
+        let t = &ctx.tokens[code[p]];
+        if matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        if t.kind == TokenKind::Ident && t.text.starts_with("from_") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` when the literal initializes a `const` or `static` item (scan
+/// back to the previous statement boundary).
+fn in_const_item(ctx: &FileCtx, code: &[usize], pos: usize) -> bool {
+    for p in (0..pos).rev() {
+        let t = &ctx.tokens[code[p]];
+        match t.text.as_str() {
+            ";" | "{" | "}" => return false,
+            "const" | "static" if t.kind == TokenKind::Ident => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<RawDiag> {
+        let ctx = FileCtx::new(rel.to_owned(), src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_magnitude_fires() {
+        let found = run("crates/cell/src/a.rs", "fn f() -> f64 { 1.5e-12 * x }");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("1.5e-12"));
+    }
+
+    #[test]
+    fn constructor_context_is_fine() {
+        let found = run(
+            "crates/cell/src/a.rs",
+            "fn f() { let t = Time::from_seconds(1.5e-12); let c = Capacitance::from_farads(2.0e-15 * n); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn const_item_is_fine() {
+        let found = run(
+            "crates/cell/src/a.rs",
+            "const WRITE_DELAY_S: f64 = 1.5e-12;\nstatic EPS: f64 = 1e-9;\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn small_exponents_and_other_crates_are_ignored() {
+        assert!(run("crates/cell/src/a.rs", "fn f() { x * 1e-2 }").is_empty());
+        assert!(run("crates/spice/src/a.rs", "fn f() { x * 1e-12 }").is_empty());
+        assert!(run("crates/cell/tests/a.rs", "fn f() { x * 1e-12 }").is_empty());
+    }
+
+    #[test]
+    fn exponent_parsing() {
+        assert_eq!(negative_exponent("1.5e-12"), Some(-12));
+        assert_eq!(negative_exponent("9.5E-5"), Some(-5));
+        assert_eq!(negative_exponent("1e9"), None);
+        assert_eq!(negative_exponent("1.25"), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! The engine against the intentionally-bad fixture workspace under
+//! `fixtures/ws`, plus the self-hosting run on the real workspace.
+//!
+//! The fixture tree holds exactly one violation site per behavior under
+//! test, so every assertion here pins an exact count — a rule that
+//! stops firing (or starts double-firing) breaks the build.
+
+use sram_lint::{find_workspace_root, run, Config, Diagnostic, Level, Report};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn fixture_report() -> Report {
+    run(&fixture_root(), &Config::deny_all()).expect("fixture tree readable")
+}
+
+fn count(report: &Report, rule: &str) -> usize {
+    report.diagnostics.iter().filter(|d| d.rule == rule).count()
+}
+
+fn in_file<'r>(report: &'r Report, file: &str) -> Vec<&'r Diagnostic> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == file)
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture_tree() {
+    let report = fixture_report();
+    assert_eq!(report.files_scanned, 10, "fixture tree changed shape");
+    assert_eq!(count(&report, "no-panic"), 6);
+    assert_eq!(count(&report, "unit-hygiene"), 1);
+    assert_eq!(count(&report, "nan-unsafe"), 2);
+    assert_eq!(count(&report, "probe-naming"), 3);
+    assert_eq!(count(&report, "thread-discipline"), 1);
+    assert_eq!(count(&report, "registry-sync"), 2);
+    assert_eq!(count(&report, "suppression-syntax"), 1);
+    assert_eq!(count(&report, "parse-error"), 1);
+    assert_eq!(report.diagnostics.len(), 17);
+    assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
+}
+
+#[test]
+fn suppression_is_counted_not_reported() {
+    let report = fixture_report();
+    assert_eq!(report.suppressed, 1);
+    assert!(
+        in_file(&report, "crates/spice/src/suppressed_ok.rs").is_empty(),
+        "a justified suppression must silence its finding"
+    );
+}
+
+#[test]
+fn clean_file_is_quiet() {
+    let report = fixture_report();
+    assert!(in_file(&report, "crates/device/src/clean.rs").is_empty());
+}
+
+#[test]
+fn reasonless_suppression_errors_and_does_not_cover() {
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/array/src/bad_suppress.rs");
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"suppression-syntax"), "{rules:?}");
+    assert!(
+        rules.contains(&"no-panic"),
+        "an invalid suppression must not silence the violation: {rules:?}"
+    );
+}
+
+#[test]
+fn unit_hygiene_exempts_consts_and_constructors() {
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/cell/src/bad_units.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("9.5e-5"), "{}", diags[0].message);
+}
+
+#[test]
+fn probe_collision_is_reported_at_the_second_site() {
+    let report = fixture_report();
+    let collision = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("registered as"))
+        .expect("cross-kind collision reported");
+    assert_eq!(collision.file, "crates/spice/src/bad_probe.rs");
+    assert!(
+        collision.message.contains("bad_probe.rs:7"),
+        "collision must name the first registration site: {}",
+        collision.message
+    );
+}
+
+#[test]
+fn registry_sync_reports_both_directions_of_drift() {
+    let report = fixture_report();
+    let ghost = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("`ghost`"))
+        .expect("unrecorded experiment reported");
+    assert_eq!(ghost.file, "crates/bench/src/cli.rs");
+    let stale = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("`ghost-ledger`"))
+        .expect("stale ledger row reported");
+    assert_eq!(stale.file, "EXPERIMENTS.md");
+}
+
+#[test]
+fn allow_level_silences_a_rule() {
+    let mut config = Config::deny_all();
+    assert!(config.set("no-panic", Level::Allow));
+    let report = run(&fixture_root(), &config).expect("fixture tree readable");
+    assert_eq!(count(&report, "no-panic"), 0);
+    assert_eq!(count(&report, "nan-unsafe"), 2, "other rules unaffected");
+}
+
+#[test]
+fn warn_level_keeps_exit_clean() {
+    let mut config = Config::deny_all();
+    for rule in [
+        "unit-hygiene",
+        "no-panic",
+        "nan-unsafe",
+        "probe-naming",
+        "thread-discipline",
+        "registry-sync",
+        "suppression-syntax",
+        "parse-error",
+    ] {
+        assert!(config.set(rule, Level::Warn), "{rule}");
+    }
+    let report = run(&fixture_root(), &config).expect("fixture tree readable");
+    assert_eq!(report.deny_count(), 0);
+    assert_eq!(report.warn_count(), 17);
+}
+
+#[test]
+fn json_rendering_of_the_fixture_report_is_well_formed() {
+    let report = fixture_report();
+    let json = report.render_json();
+    assert!(json.contains("\"files_scanned\": 10"));
+    assert!(json.contains("\"counts\": {\"deny\": 17, \"warn\": 0}"));
+    // Balanced braces/brackets outside strings — cheap well-formedness
+    // check without a JSON parser in the dependency-free workspace.
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in json.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced close in JSON output");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON output");
+    assert!(!in_str, "unterminated string in JSON output");
+}
+
+#[test]
+fn the_workspace_lints_clean_under_deny_all() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = run(&root, &Config::deny_all()).expect("workspace readable");
+    let rendered = report.render_text();
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "self-hosting run failed:\n{rendered}"
+    );
+    assert_eq!(
+        report.warn_count(),
+        0,
+        "self-hosting run warned:\n{rendered}"
+    );
+    assert!(
+        report.files_scanned > 50,
+        "walker lost the workspace: only {} files",
+        report.files_scanned
+    );
+}

@@ -1,0 +1,141 @@
+//! Lexer property tests (vendored proptest: deterministic cases, no
+//! shrinking).
+//!
+//! The lexer underpins every rule, so these pin its two load-bearing
+//! guarantees: it is *total* (arbitrary input never panics and always
+//! yields in-bounds spans) and *classification-faithful* (a well-formed
+//! token stream lexes back to exactly the tokens that produced it, and
+//! code-looking text inside strings and comments stays invisible).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sram_lint::lexer::{lex, str_value, Token, TokenKind};
+
+/// Renders one token from a numeric spec: `(expected kind, text)`.
+/// Deterministic so failures reproduce from the printed specs alone.
+fn render(spec: u32) -> (TokenKind, String) {
+    let payload = spec / 7;
+    match spec % 7 {
+        0 => (TokenKind::Ident, format!("ident_{payload}")),
+        1 => (TokenKind::Int, format!("{payload}")),
+        2 => (
+            TokenKind::Float,
+            format!("{}.{}e-{}", payload % 100, payload % 10, payload % 15),
+        ),
+        3 => (TokenKind::Str, format!("\"s{payload}\"")),
+        4 => (TokenKind::LineComment, format!("// comment {payload}")),
+        5 => (TokenKind::BlockComment, format!("/* block {payload} */")),
+        _ => {
+            let punct = match payload % 5 {
+                0 => "+",
+                1 => ";",
+                2 => "(",
+                3 => ")",
+                _ => ",",
+            };
+            (TokenKind::Punct, punct.to_owned())
+        }
+    }
+}
+
+/// `(line, col)` pairs must advance in document order.
+fn positions_advance(tokens: &[Token]) -> bool {
+    tokens
+        .windows(2)
+        .all(|w| (w[0].line, w[0].col) < (w[1].line, w[1].col))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A generated token stream (one token per line, so line comments
+    /// terminate) lexes back to exactly the pieces that produced it.
+    #[test]
+    fn well_formed_streams_round_trip(specs in vec(0u32..u32::MAX, 1..24)) {
+        let pieces: Vec<(TokenKind, String)> = specs.iter().map(|&s| render(s)).collect();
+        let src: String = pieces
+            .iter()
+            .map(|(_, text)| text.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (tokens, errors) = lex(&src);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+        let got: Vec<(TokenKind, String)> =
+            tokens.iter().map(|t| (t.kind, t.text.clone())).collect();
+        prop_assert_eq!(&got, &pieces);
+        // One piece per line, each starting at column 1.
+        for (i, t) in tokens.iter().enumerate() {
+            prop_assert_eq!(t.line as usize, i + 1);
+            prop_assert_eq!(t.col, 1);
+        }
+    }
+
+    /// Arbitrary input never panics, and every token it yields carries
+    /// an in-bounds span whose text matches the source at that span.
+    #[test]
+    fn lexing_is_total_with_faithful_spans(codes in vec(0u32..0x250, 0..120)) {
+        // 0..0x250 covers ASCII, Latin-1, and some two-byte UTF-8 so
+        // char-vs-byte column accounting gets exercised.
+        let src: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        let (tokens, _errors) = lex(&src);
+        let lines: Vec<&str> = src.lines().collect();
+        prop_assert!(positions_advance(&tokens), "spans out of order");
+        for t in &tokens {
+            prop_assert!(t.line >= 1 && t.col >= 1, "zero-based span {t:?}");
+            prop_assert!(!t.text.is_empty(), "empty token {t:?}");
+            let line = lines.get(t.line as usize - 1).copied().unwrap_or("");
+            let at_col: String = line.chars().skip(t.col as usize - 1).collect();
+            let first_line = t.text.lines().next().unwrap_or("");
+            prop_assert!(
+                at_col.starts_with(first_line),
+                "token {t:?} does not match source line {line:?}"
+            );
+        }
+    }
+
+    /// Lexing is deterministic: the same source yields the same stream.
+    #[test]
+    fn lexing_is_deterministic(codes in vec(0u32..0x80, 0..80)) {
+        let src: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+
+    /// `str_value` recovers the body of every string flavor the rules
+    /// read names from.
+    #[test]
+    fn str_value_recovers_simple_bodies(payload in 0u32..u32::MAX, flavor in 0u8..4) {
+        let body = format!("spice.metric_{payload}");
+        let literal = match flavor {
+            0 => format!("\"{body}\""),
+            1 => format!("r\"{body}\""),
+            2 => format!("r#\"{body}\"#"),
+            _ => format!("b\"{body}\""),
+        };
+        let (tokens, errors) = lex(&literal);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+        prop_assert_eq!(tokens.len(), 1);
+        prop_assert_eq!(tokens[0].kind, TokenKind::Str);
+        prop_assert_eq!(str_value(&tokens[0].text), Some(body.as_str()));
+    }
+
+    /// Code-looking text inside strings and comments never surfaces as
+    /// identifier tokens — the property the whole rule set leans on.
+    #[test]
+    fn strings_and_comments_hide_code(payload in 0u32..u32::MAX, which in 0u8..4) {
+        let src = match which {
+            0 => format!("let s = \"x{payload}.unwrap()\";"),
+            1 => format!("// .unwrap() number {payload}\nlet x = 1;"),
+            2 => format!("/* unwrap {payload} */ let x = 1;"),
+            _ => format!("let c = r#\"panic!({payload})\"#;"),
+        };
+        let (tokens, errors) = lex(&src);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+        prop_assert!(
+            tokens
+                .iter()
+                .all(|t| t.kind != TokenKind::Ident
+                    || (t.text != "unwrap" && t.text != "panic")),
+            "hidden code leaked into the identifier stream: {tokens:?}"
+        );
+    }
+}

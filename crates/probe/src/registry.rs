@@ -55,6 +55,7 @@ pub fn counter(name: &'static str) -> &'static Counter {
         "counter",
     ) {
         Handle::Counter(c) => c,
+        // sram-lint: allow(no-panic) register() asserts the kind matches `want` one line up
         _ => unreachable!("register checked the kind"),
     }
 }
@@ -71,6 +72,7 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
         "gauge",
     ) {
         Handle::Gauge(g) => g,
+        // sram-lint: allow(no-panic) register() asserts the kind matches `want` one line up
         _ => unreachable!("register checked the kind"),
     }
 }
@@ -87,6 +89,7 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         "histogram",
     ) {
         Handle::Histogram(h) => h,
+        // sram-lint: allow(no-panic) register() asserts the kind matches `want` one line up
         _ => unreachable!("register checked the kind"),
     }
 }

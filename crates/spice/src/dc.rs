@@ -255,7 +255,7 @@ impl DcSolver {
             integration: Integration::Dc,
         };
         for iter in 0..self.max_iterations {
-            assemble(circuit, x, options, None, &mut jacobian, &mut residual);
+            assemble(circuit, x, options, None, &mut jacobian, &mut residual)?;
             if let Some(g_pin) = pin {
                 for &(node, volts) in &self.nodesets {
                     if let Some(i) = ix.node(node) {

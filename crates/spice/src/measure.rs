@@ -51,14 +51,10 @@ impl Trace {
         self.times.iter().map(|&t| Time::from_seconds(t))
     }
 
-    /// End time of the trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty trace.
+    /// End time of the trace, or `None` when no samples were recorded.
     #[must_use]
-    pub fn end_time(&self) -> Time {
-        Time::from_seconds(*self.times.last().expect("empty trace"))
+    pub fn end_time(&self) -> Option<Time> {
+        self.times.last().map(|&t| Time::from_seconds(t))
     }
 
     fn node_value(&self, sample: usize, node: NodeId) -> f64 {
@@ -347,7 +343,8 @@ mod tests {
         assert_eq!(tr.max_voltage(NodeId(1)).volts(), 1.0);
         assert_eq!(tr.min_voltage(NodeId(1)).volts(), 0.0);
         assert_eq!(tr.final_voltage(NodeId(2)).volts(), 0.0);
-        assert_eq!(tr.end_time().seconds(), 10.0);
+        assert_eq!(tr.end_time().unwrap().seconds(), 10.0);
+        assert!(Trace::new(2, Vec::new(), Vec::new()).end_time().is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::circuit::Circuit;
 use crate::elements::Element;
 use crate::linalg::Matrix;
+use crate::SpiceError;
 use sram_units::Voltage;
 
 /// Companion-model configuration for capacitors during transient steps.
@@ -104,6 +105,12 @@ impl Indexer {
 ///
 /// `cap_state` must contain one entry per capacitor element (in element
 /// order) when `options.integration` is not [`Integration::Dc`].
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidAnalysis`] when a transient integration method is
+/// selected but `cap_state` is `None` — a misconfigured analysis must not
+/// abort a long search run.
 pub(crate) fn assemble(
     circuit: &Circuit,
     x: &[f64],
@@ -111,9 +118,14 @@ pub(crate) fn assemble(
     cap_state: Option<&CapState>,
     jacobian: &mut Matrix,
     residual: &mut [f64],
-) {
+) -> Result<(), SpiceError> {
     debug_assert_eq!(jacobian.dim(), circuit.unknown_count());
     debug_assert_eq!(residual.len(), circuit.unknown_count());
+    if cap_state.is_none() && options.integration != Integration::Dc {
+        return Err(SpiceError::InvalidAnalysis(
+            "transient integration requires capacitor state".into(),
+        ));
+    }
     jacobian.clear();
     residual.fill(0.0);
 
@@ -134,10 +146,11 @@ pub(crate) fn assemble(
                 stamp_conductance(jacobian, residual, &ix, x, *a, *b, g);
             }
             Element::Capacitor { a, b, farads } => {
-                match options.integration {
-                    Integration::Dc => {}
-                    Integration::BackwardEuler { h } => {
-                        let state = cap_state.expect("transient requires capacitor state");
+                // The guard above makes (non-DC, None) impossible; matching
+                // on the pair keeps this arm total without a panic path.
+                match (options.integration, cap_state) {
+                    (Integration::Dc, _) | (_, None) => {}
+                    (Integration::BackwardEuler { h }, Some(state)) => {
                         let geq = farads / h;
                         let v_prev = state.v_prev[cap_idx];
                         // i = geq*(v - v_prev): conductance geq plus history
@@ -145,8 +158,7 @@ pub(crate) fn assemble(
                         stamp_conductance(jacobian, residual, &ix, x, *a, *b, geq);
                         stamp_current(residual, &ix, *a, *b, -geq * v_prev);
                     }
-                    Integration::Trapezoidal { h } => {
-                        let state = cap_state.expect("transient requires capacitor state");
+                    (Integration::Trapezoidal { h }, Some(state)) => {
                         let geq = 2.0 * farads / h;
                         let v_prev = state.v_prev[cap_idx];
                         let i_prev = state.i_prev[cap_idx];
@@ -234,6 +246,7 @@ pub(crate) fn assemble(
             }
         }
     }
+    Ok(())
 }
 
 /// Stamps a linear conductance `g` between nodes `a` and `b` into the
@@ -345,7 +358,7 @@ mod tests {
             gmin: 0.0,
             ..AssemblyOptions::default()
         };
-        assemble(&ckt, &x, opts, None, &mut jac, &mut res);
+        assemble(&ckt, &x, opts, None, &mut jac, &mut res).unwrap();
         for (i, r) in res.iter().enumerate() {
             assert!(r.abs() < 1e-12, "residual[{i}] = {r}");
         }
@@ -364,7 +377,7 @@ mod tests {
             gmin: 0.0,
             ..AssemblyOptions::default()
         };
-        assemble(&ckt, &x, opts, None, &mut jac, &mut res);
+        assemble(&ckt, &x, opts, None, &mut jac, &mut res).unwrap();
         // Branch current unknown of 0 satisfies KCL exactly.
         assert!(res[0].abs() < 1e-15);
     }
@@ -383,7 +396,7 @@ mod tests {
             source_scale: 0.5,
             ..AssemblyOptions::default()
         };
-        assemble(&ckt, &x, opts, None, &mut jac, &mut res);
+        assemble(&ckt, &x, opts, None, &mut jac, &mut res).unwrap();
         assert!(res[1].abs() < 1e-12, "branch eq: {}", res[1]);
     }
 }

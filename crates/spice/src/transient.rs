@@ -161,7 +161,7 @@ impl Transient {
         };
         let n_node_unknowns = circuit.node_count() - 1;
         for _ in 0..self.newton_iterations {
-            assemble(circuit, x, options, Some(cap_state), jacobian, residual);
+            assemble(circuit, x, options, Some(cap_state), jacobian, residual)?;
             let mut delta: Vec<f64> = residual.iter().map(|r| -r).collect();
             jacobian.solve_in_place(&mut delta)?;
             let mut max_dv: f64 = 0.0;

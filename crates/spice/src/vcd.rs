@@ -38,10 +38,9 @@ pub fn trace_to_vcd(trace: &Trace, circuit: &Circuit, nodes: &[(&str, crate::Nod
     out.push_str("$version sram-spice $end\n");
     out.push_str("$timescale 1fs $end\n");
     out.push_str("$scope module sram $end\n");
-    // VCD id codes: printable ASCII starting at '!'.
-    let ids: Vec<char> = (0..nodes.len())
-        .map(|k| char::from(b'!' + u8::try_from(k).expect("at most ~90 dumped nodes")))
-        .collect();
+    // VCD id codes: printable ASCII starting at '!', extended to
+    // multi-character base-94 codes so any node count is dumpable.
+    let ids: Vec<String> = (0..nodes.len()).map(vcd_id).collect();
     for ((name, _), id) in nodes.iter().zip(&ids) {
         let clean: String = name
             .chars()
@@ -68,6 +67,20 @@ pub fn trace_to_vcd(trace: &Trace, circuit: &Circuit, nodes: &[(&str, crate::Nod
         }
     }
     out
+}
+
+/// VCD identifier for variable `k`: little-endian base 94 over the
+/// printable ASCII range `!`..=`~` (the IEEE-1364 id alphabet).
+fn vcd_id(mut k: usize) -> String {
+    let mut id = String::new();
+    loop {
+        id.push(char::from(b'!' + (k % 94) as u8));
+        k /= 94;
+        if k == 0 {
+            break;
+        }
+    }
+    id
 }
 
 #[cfg(test)]
@@ -106,6 +119,18 @@ mod tests {
         assert!(vcd.contains("#0\n"));
         assert!(vcd.matches("\n#").count() >= 2, "no later timestamps");
         assert!(vcd.contains("r0.000000e0 !"));
+    }
+
+    #[test]
+    fn vcd_ids_are_unique_past_the_single_char_range() {
+        let ids: Vec<String> = (0..500).map(vcd_id).collect();
+        assert_eq!(ids[0], "!");
+        assert_eq!(ids[93], "~");
+        assert_eq!(ids[94].chars().count(), 2);
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate VCD ids");
     }
 
     #[test]

@@ -28,10 +28,11 @@ impl Frequency {
     ///
     /// # Panics
     ///
-    /// Panics on a zero frequency.
+    /// Panics on a zero (or NaN) frequency.
     #[must_use]
     pub fn to_period(self) -> Time {
-        assert!(self.hertz() != 0.0, "zero frequency has no period");
+        // `abs() > 0.0` rather than `!= 0.0`: also rejects NaN.
+        assert!(self.hertz().abs() > 0.0, "zero frequency has no period");
         Time::from_seconds(1.0 / self.hertz())
     }
 }
@@ -41,10 +42,11 @@ impl Time {
     ///
     /// # Panics
     ///
-    /// Panics on a zero time.
+    /// Panics on a zero (or NaN) time.
     #[must_use]
     pub fn to_frequency(self) -> Frequency {
-        assert!(self.seconds() != 0.0, "zero time has no frequency");
+        // `abs() > 0.0` rather than `!= 0.0`: also rejects NaN.
+        assert!(self.seconds().abs() > 0.0, "zero time has no frequency");
         Frequency::from_hertz(1.0 / self.seconds())
     }
 }
