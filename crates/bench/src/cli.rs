@@ -64,6 +64,10 @@ fn rails_sim(_threads: usize) -> Result<String, String> {
     crate::extensions::simulated_rail_ablation().map_err(|e| e.to_string())
 }
 
+fn serve_bench(threads: usize) -> Result<String, String> {
+    crate::serve::run(threads).map_err(|e| e.to_string())
+}
+
 /// Every experiment the binary can run, in execution order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -119,6 +123,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         summary: "banking, drowsy standby, derated optimization",
         in_all: true,
         run: extensions,
+    },
+    Experiment {
+        name: "serve-bench",
+        summary: "query server: batch coalescing, result cache, TCP round trip",
+        in_all: true,
+        run: serve_bench,
     },
     Experiment {
         name: "rails-sim",

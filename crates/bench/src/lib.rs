@@ -16,6 +16,7 @@
 //! | [`yieldk`] | The μ−kσ statistical-constraint extension |
 //! | [`ablation`] | Rail-pinning, Pareto-pruning, heuristic-search, and energy-accounting ablations |
 //! | [`extensions`] | Banking, drowsy standby, statistically derated optimization |
+//! | [`serve`] | Query-server bench: batching, result cache, TCP round trip |
 //! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
@@ -29,6 +30,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig7;
 pub mod readfit;
+pub mod serve;
 pub mod table4;
 pub mod yieldk;
 

@@ -1,0 +1,194 @@
+//! `serve-bench`: exercises the `sram-serve` query server end to end —
+//! batch coalescing, the content-addressed result cache, the TCP
+//! transport, and graceful shutdown — and reports the measured
+//! cache speedup.
+//!
+//! Three phases:
+//!
+//! 1. **batch** — a batch of same-technology queries through the
+//!    in-process API; the engine must perform exactly one cell
+//!    characterization for the whole batch.
+//! 2. **cache** — the same optimization twice, timed; the repeat must
+//!    be served from the cache with a byte-identical result payload.
+//! 3. **tcp** — a real `std::net` round trip: start a server on an
+//!    ephemeral port, query it, confirm the reply matches the
+//!    in-process result, shut down gracefully.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sram_coopt::{CoOptimizationFramework, DesignSpace};
+use sram_serve::{CacheConfig, Client, Engine, Json, Request, ServeError, Server, ServerConfig};
+
+/// Structured outcome of the serve bench (consumed by the integration
+/// tests; the text report is built from it).
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Queries in the batch phase.
+    pub batch_size: usize,
+    /// Cell characterizations the batch performed (must be 1).
+    pub characterizations: u64,
+    /// Queries that shared a characterization pass (must be
+    /// `batch_size - 1`).
+    pub coalesced: u64,
+    /// Wall time of the cold (uncached) optimization, nanoseconds.
+    pub cold_ns: u128,
+    /// Wall time of the repeated (cached) query, nanoseconds.
+    pub warm_ns: u128,
+    /// `cold_ns / warm_ns`.
+    pub speedup: f64,
+    /// Whether the cached result payload was byte-identical.
+    pub identical_payload: bool,
+    /// Whether the TCP round trip returned the same payload as the
+    /// in-process API.
+    pub tcp_consistent: bool,
+    /// Cache hits observed by the engine across all phases.
+    pub cache_hits: u64,
+    /// Cache misses observed by the engine across all phases.
+    pub cache_misses: u64,
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(threads),
+        CacheConfig::default(),
+    )
+}
+
+fn request(line: &str) -> Result<Request, ServeError> {
+    Request::from_line(line)
+}
+
+fn result_payload(response: &Json) -> Option<String> {
+    response.get("result").map(Json::render)
+}
+
+/// Runs all three phases.
+///
+/// # Errors
+///
+/// Propagates query, transport, and internal-consistency failures.
+pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
+    let engine = Arc::new(engine(threads));
+
+    // Phase 1: batch coalescing. Same technology, three capacities.
+    let batch: Vec<Request> = [128u64, 256, 1024]
+        .iter()
+        .map(|bytes| {
+            request(&format!(
+                r#"{{"op":"optimize","capacity_bytes":{bytes},"flavor":"hvt","method":"m2"}}"#
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    let responses = engine.handle_batch(&batch);
+    for response in &responses {
+        if response.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(ServeError::Remote(format!(
+                "batch query failed: {}",
+                response.render()
+            )));
+        }
+    }
+
+    // Phase 2: cold vs. cached on a fresh capacity.
+    let probe = request(r#"{"op":"optimize","capacity_bytes":4096,"flavor":"hvt","method":"m2"}"#)?;
+    let cold_started = Instant::now();
+    let cold = engine.handle(&probe);
+    let cold_ns = cold_started.elapsed().as_nanos();
+    let warm_started = Instant::now();
+    let warm = engine.handle(&probe);
+    let warm_ns = warm_started.elapsed().as_nanos().max(1);
+    let identical_payload = result_payload(&cold).is_some()
+        && result_payload(&cold) == result_payload(&warm)
+        && warm.get("cached").and_then(Json::as_bool) == Some(true);
+
+    // Phase 3: TCP round trip against the same engine + graceful stop.
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default())?;
+    let mut client = Client::connect(server.local_addr())?;
+    let remote = client.call(&probe)?;
+    let tcp_consistent = remote.get("cached").and_then(Json::as_bool) == Some(true)
+        && result_payload(&remote) == result_payload(&cold);
+    drop(client);
+    server.shutdown();
+
+    let counters = engine.cache_counters();
+    Ok(ServeBench {
+        batch_size: batch.len(),
+        characterizations: engine.characterizations(),
+        coalesced: engine.coalesced(),
+        cold_ns,
+        warm_ns,
+        speedup: cold_ns as f64 / warm_ns as f64,
+        identical_payload,
+        tcp_consistent,
+        cache_hits: counters.hits,
+        cache_misses: counters.misses,
+    })
+}
+
+/// Formats the serve bench report.
+///
+/// # Errors
+///
+/// Propagates [`bench`] failures.
+pub fn run(threads: usize) -> Result<String, ServeError> {
+    let b = bench(threads)?;
+    let mut out = String::from("Query server (sram-serve): batching + content-addressed cache\n\n");
+    out.push_str(&format!(
+        "  batch:  {} same-technology queries -> {} characterization pass(es), {} coalesced\n",
+        b.batch_size, b.characterizations, b.coalesced
+    ));
+    out.push_str(&format!(
+        "  cache:  cold optimize {:.3} ms -> cached repeat {:.1} us ({:.0}x speedup)\n",
+        b.cold_ns as f64 / 1e6,
+        b.warm_ns as f64 / 1e3,
+        b.speedup
+    ));
+    out.push_str(&format!(
+        "          identical payload: {}; hits {} / misses {}\n",
+        if b.identical_payload { "yes" } else { "NO" },
+        b.cache_hits,
+        b.cache_misses
+    ));
+    out.push_str(&format!(
+        "  tcp:    round trip consistent with in-process API: {}; graceful shutdown: yes\n",
+        if b.tcp_consistent { "yes" } else { "NO" }
+    ));
+    if b.characterizations != 1 || b.coalesced != b.batch_size as u64 - 1 {
+        return Err(ServeError::Remote(format!(
+            "batch coalescing broken: {} characterizations, {} coalesced for {} queries",
+            b.characterizations, b.coalesced, b.batch_size
+        )));
+    }
+    if !b.identical_payload || !b.tcp_consistent {
+        return Err(ServeError::Remote(
+            "cached/TCP results diverged from the cold result".into(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_coalesces_and_caches() {
+        let b = bench(2).expect("bench runs");
+        assert_eq!(b.characterizations, 1, "one LUT pass for the whole batch");
+        assert_eq!(b.coalesced, b.batch_size as u64 - 1);
+        assert!(b.identical_payload, "cached payload must be identical");
+        assert!(b.tcp_consistent, "TCP reply must match in-process reply");
+        assert!(b.cache_hits >= 2, "warm repeat + TCP repeat are hits");
+    }
+
+    #[test]
+    fn report_mentions_the_headline_numbers() {
+        let text = run(2).expect("report renders");
+        assert!(text.contains("characterization pass(es)"));
+        assert!(text.contains("speedup"));
+        assert!(text.contains("graceful shutdown: yes"));
+    }
+}

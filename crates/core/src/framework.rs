@@ -125,6 +125,30 @@ impl CoOptimizationFramework {
         self.vdd
     }
 
+    /// The peripheral circuit figures at the current supply.
+    #[must_use]
+    pub fn periphery(&self) -> &Periphery {
+        &self.periphery
+    }
+
+    /// The shared array workload parameters.
+    #[must_use]
+    pub fn params(&self) -> &ArrayParams {
+        &self.params
+    }
+
+    /// The architecture design space being searched.
+    #[must_use]
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The word width `W` (the paper's 64 bits).
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
     /// The minimum acceptable margin `δ = 0.35 · Vdd`.
     #[must_use]
     pub fn delta(&self) -> Voltage {
@@ -153,6 +177,35 @@ impl CoOptimizationFramework {
         Ok(RailSelection::from_minimums(method, vddc_min, vwl_min))
     }
 
+    /// Builds the cell look-up tables for a `(flavor, method)` pair
+    /// without touching the internal cache — the injectable-LUT form:
+    /// callers that batch queries (the `sram-serve` scheduler) run this
+    /// once per technology group, then fan the result out to any number
+    /// of concurrent [`Self::optimize_with_cell`] calls, all on `&self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterize_cell(
+        &self,
+        flavor: VtFlavor,
+        method: Method,
+    ) -> Result<CellCharacterization, CooptError> {
+        let rails = self.rails(flavor, method)?;
+        Ok(match self.mode {
+            CharacterizationMode::PaperModel => {
+                CellCharacterization::paper_with_rails(flavor, self.vdd(), rails.vddc, rails.vwl)
+            }
+            CharacterizationMode::Simulated => {
+                let chr = CellCharacterizer::new(&self.library, flavor)
+                    .with_vdd(self.vdd)
+                    .with_vtc_points(31);
+                let grid = CharacterizationGrid::paper_default(rails.vddc, rails.vwl);
+                CellCharacterization::characterize(&chr, &grid)?
+            }
+        })
+    }
+
     /// Returns (building and caching on first use) the cell look-up
     /// tables for a `(flavor, method)` pair.
     ///
@@ -165,22 +218,7 @@ impl CoOptimizationFramework {
         method: Method,
     ) -> Result<&CellCharacterization, CooptError> {
         if !self.cache.contains_key(&(flavor, method)) {
-            let rails = self.rails(flavor, method)?;
-            let cell = match self.mode {
-                CharacterizationMode::PaperModel => CellCharacterization::paper_with_rails(
-                    flavor,
-                    self.vdd(),
-                    rails.vddc,
-                    rails.vwl,
-                ),
-                CharacterizationMode::Simulated => {
-                    let chr = CellCharacterizer::new(&self.library, flavor)
-                        .with_vdd(self.vdd)
-                        .with_vtc_points(31);
-                    let grid = CharacterizationGrid::paper_default(rails.vddc, rails.vwl);
-                    CellCharacterization::characterize(&chr, &grid)?
-                }
-            };
+            let cell = self.characterize_cell(flavor, method)?;
             self.cache.insert((flavor, method), cell);
         }
         Ok(&self.cache[&(flavor, method)])
@@ -213,21 +251,86 @@ impl CoOptimizationFramework {
         method: Method,
         objective: &(impl Objective + Sync + ?Sized),
     ) -> Result<OptimalDesign, CooptError> {
-        let rails = self.rails(flavor, method)?;
-        let threads = self.threads;
-        let word_bits = self.word_bits;
-        let delta = self.delta();
-        let space = match method {
-            Method::M1 => self.space.clone().without_negative_gnd(),
-            Method::M2 => self.space.clone(),
-        };
         self.characterization(flavor, method)?;
         let cell = &self.cache[&(flavor, method)];
-
-        let search = ExhaustiveSearch::new(
+        Self::optimize_with_cell_inner(
             cell,
             &self.periphery,
             &self.params,
+            &self.space,
+            self.delta(),
+            self.word_bits,
+            self.threads,
+            self.rails(flavor, method)?,
+            capacity,
+            flavor,
+            method,
+            objective,
+        )
+    }
+
+    /// Optimizes against an injected, pre-built characterization — the
+    /// resumable form used by batch servers: the expensive LUT pass runs
+    /// once (via [`Self::characterize_cell`]) and any number of searches
+    /// share it concurrently, since this method only borrows `&self`.
+    ///
+    /// `cell` must have been characterized for the same
+    /// `(flavor, method)` pair (and this framework's supply); the rail
+    /// levels reported in the result are re-derived from the pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rail-selection and search failures.
+    pub fn optimize_with_cell(
+        &self,
+        cell: &CellCharacterization,
+        capacity: Capacity,
+        flavor: VtFlavor,
+        method: Method,
+        objective: &(impl Objective + Sync + ?Sized),
+    ) -> Result<OptimalDesign, CooptError> {
+        Self::optimize_with_cell_inner(
+            cell,
+            &self.periphery,
+            &self.params,
+            &self.space,
+            self.delta(),
+            self.word_bits,
+            self.threads,
+            self.rails(flavor, method)?,
+            capacity,
+            flavor,
+            method,
+            objective,
+        )
+    }
+
+    /// The shared search body behind [`Self::optimize_with`] and
+    /// [`Self::optimize_with_cell`] (free of `self` borrows so the
+    /// cached-characterization path can split its borrow).
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_with_cell_inner(
+        cell: &CellCharacterization,
+        periphery: &Periphery,
+        params: &ArrayParams,
+        space: &DesignSpace,
+        delta: Voltage,
+        word_bits: u32,
+        threads: usize,
+        rails: RailSelection,
+        capacity: Capacity,
+        flavor: VtFlavor,
+        method: Method,
+        objective: &(impl Objective + Sync + ?Sized),
+    ) -> Result<OptimalDesign, CooptError> {
+        let space = match method {
+            Method::M1 => space.clone().without_negative_gnd(),
+            Method::M2 => space.clone(),
+        };
+        let search = ExhaustiveSearch::new(
+            cell,
+            periphery,
+            params,
             &space,
             YieldConstraint::MinMargin { delta },
             word_bits,
@@ -377,6 +480,41 @@ mod tests {
         assert_eq!(analysis.hsnm.samples, 8);
         // The delta-rule winner holds at least the k = 1 statistical bar.
         assert!(analysis.passes(1.0));
+    }
+
+    #[test]
+    fn injected_cell_matches_cached_path() {
+        let mut fw = coarse_framework();
+        let via_cache = fw
+            .optimize(Capacity::from_bytes(1024), VtFlavor::Hvt, Method::M2)
+            .unwrap();
+        let cell = fw.characterize_cell(VtFlavor::Hvt, Method::M2).unwrap();
+        let via_injection = fw
+            .optimize_with_cell(
+                &cell,
+                Capacity::from_bytes(1024),
+                VtFlavor::Hvt,
+                Method::M2,
+                &EnergyDelayProduct,
+            )
+            .unwrap();
+        assert_eq!(via_cache, via_injection);
+    }
+
+    #[test]
+    fn injected_cell_applies_method_space_policy() {
+        let fw = coarse_framework();
+        let cell = fw.characterize_cell(VtFlavor::Hvt, Method::M1).unwrap();
+        let d = fw
+            .optimize_with_cell(
+                &cell,
+                Capacity::from_bytes(1024),
+                VtFlavor::Hvt,
+                Method::M1,
+                &EnergyDelayProduct,
+            )
+            .unwrap();
+        assert_eq!(d.vssc, Voltage::ZERO, "M1 must not use negative Gnd");
     }
 
     #[test]

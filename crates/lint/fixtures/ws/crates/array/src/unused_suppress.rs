@@ -1,0 +1,8 @@
+//! Fixture: a well-formed suppression gone stale — the `unwrap` it once
+//! excused was refactored away, so `no-panic` no longer fires on the
+//! covered line and `unused-suppression` must report the comment.
+
+// sram-lint: allow(no-panic) leftover from a removed unwrap
+pub fn tidy() -> u32 {
+    7
+}

@@ -27,7 +27,7 @@ pub const RULES: &[(&str, Level, &str)] = &[
     (
         "thread-discipline",
         Level::Deny,
-        "std::thread::spawn forbidden outside crates/core (scoped threads only)",
+        "std::thread::spawn forbidden outside the sanctioned crates (core, serve)",
     ),
     (
         "registry-sync",
@@ -38,6 +38,11 @@ pub const RULES: &[(&str, Level, &str)] = &[
         "suppression-syntax",
         Level::Deny,
         "inline suppressions must name a known rule and carry a reason",
+    ),
+    (
+        "unused-suppression",
+        Level::Warn,
+        "inline `sram-lint: allow` comments whose rule reports nothing on the covered lines are stale and must go",
     ),
     (
         "parse-error",

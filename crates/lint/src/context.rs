@@ -102,9 +102,22 @@ impl FileCtx {
     /// `true` when `rule` is suppressed at `line`.
     #[must_use]
     pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        !self.matching_suppressions(rule, line).is_empty()
+    }
+
+    /// Indices into [`Self::suppressions`] of every suppression covering
+    /// `rule` at `line` — the engine marks these as used so stale ones
+    /// can be reported by `unused-suppression`.
+    #[must_use]
+    pub fn matching_suppressions(&self, rule: &str, line: u32) -> Vec<usize> {
         self.suppressions
             .iter()
-            .any(|s| s.rule == rule && (s.whole_file || (s.from_line <= line && line <= s.to_line)))
+            .enumerate()
+            .filter(|(_, s)| {
+                s.rule == rule && (s.whole_file || (s.from_line <= line && line <= s.to_line))
+            })
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// The source text of 1-based `line` (empty when out of range).

@@ -5,7 +5,8 @@ use crate::config::Config;
 use crate::context::FileCtx;
 use crate::diag::{Diagnostic, Level, Report};
 use crate::rules::{
-    nan_unsafe, no_panic, probe_naming, registry_sync, thread_discipline, unit_hygiene, RawDiag,
+    nan_unsafe, no_panic, probe_naming, registry_sync, thread_discipline, unit_hygiene,
+    unused_suppression, RawDiag,
 };
 use std::io;
 use std::path::{Path, PathBuf};
@@ -81,7 +82,34 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
         probe_naming::check(&ctx, &mut probe_state, &mut raw);
         thread_discipline::check(&ctx, &mut raw);
         registry_sync::check(&ctx, &mut registry_state);
+        // Resolve suppressions here (not in `push`) so each one's slot in
+        // `used` records whether it ever absorbed a finding; the stale
+        // ones feed `unused-suppression` below. A suppression never
+        // silences the report that the suppression itself is malformed.
+        let mut used = vec![false; ctx.suppressions.len()];
         for diag in raw {
+            if diag.rule != "suppression-syntax" {
+                let matching = ctx.matching_suppressions(diag.rule, diag.line);
+                if !matching.is_empty() {
+                    for i in matching {
+                        used[i] = true;
+                    }
+                    report.suppressed += 1;
+                    continue;
+                }
+            }
+            let rel = ctx.rel.clone();
+            push(&mut report, config, &rel, Some(&ctx), diag);
+        }
+        let mut stale = Vec::new();
+        unused_suppression::check(&ctx, &used, &mut stale);
+        for diag in stale {
+            // A stale-suppression finding can itself be allowed, but that
+            // allowance is deliberately not tracked recursively.
+            if ctx.is_suppressed(diag.rule, diag.line) {
+                report.suppressed += 1;
+                continue;
+            }
             let rel = ctx.rel.clone();
             push(&mut report, config, &rel, Some(&ctx), diag);
         }
@@ -107,18 +135,9 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
     Ok(report)
 }
 
-/// Applies suppression and severity, then records the diagnostic.
+/// Applies severity and records the diagnostic (suppressions were
+/// already resolved by the caller, which tracks their usage).
 fn push(report: &mut Report, config: &Config, file: &str, ctx: Option<&FileCtx>, diag: RawDiag) {
-    // A suppression never silences the report that the suppression
-    // itself is malformed.
-    if diag.rule != "suppression-syntax" {
-        if let Some(ctx) = ctx {
-            if ctx.is_suppressed(diag.rule, diag.line) {
-                report.suppressed += 1;
-                return;
-            }
-        }
-    }
     let level = config.level(diag.rule);
     if level == Level::Allow {
         return;

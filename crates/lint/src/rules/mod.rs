@@ -11,6 +11,7 @@ pub mod probe_naming;
 pub mod registry_sync;
 pub mod thread_discipline;
 pub mod unit_hygiene;
+pub mod unused_suppression;
 
 /// A finding before suppression/severity resolution.
 #[derive(Debug, Clone)]

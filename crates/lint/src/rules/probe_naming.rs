@@ -56,6 +56,7 @@ fn expected_prefixes(crate_name: &str) -> Option<&'static [&'static str]> {
         "units" => Some(&["units"]),
         "bench" => Some(&["bench", "repro"]),
         "lint" => Some(&["lint"]),
+        "serve" => Some(&["serve"]),
         _ => None,
     }
 }

@@ -1,20 +1,29 @@
-//! `thread-discipline`: no detached threads outside the search core.
+//! `thread-discipline`: no detached threads outside the sanctioned
+//! crates.
 //!
-//! `crates/core`'s exhaustive search owns the workspace's parallelism,
-//! and it uses *scoped* threads (`std::thread::scope`) so worker
-//! lifetimes are bounded and panics propagate at the join. A detached
+//! `crates/core`'s exhaustive search owns the workspace's compute
+//! parallelism, and it uses *scoped* threads (`std::thread::scope`) so
+//! worker lifetimes are bounded and panics propagate at the join.
+//! `crates/serve` is the second sanctioned crate: a server's acceptor,
+//! connection, and worker threads genuinely outlive any one stack frame,
+//! and its shutdown path joins every handle it spawns. A detached
 //! `std::thread::spawn` anywhere else would leak work past the end of
 //! an experiment and race the probe registry snapshot; this rule keeps
-//! the policy enforced. `scope.spawn(…)` (a method call) is allowed
-//! everywhere.
+//! the policy enforced as configuration rather than as per-line
+//! suppressions. `scope.spawn(…)` (a method call) is allowed everywhere.
 
 use crate::context::{FileClass, FileCtx};
 use crate::lexer::TokenKind;
 use crate::rules::RawDiag;
 
+/// Crates whose library code may call `std::thread::spawn`: the search
+/// core (owns compute parallelism) and the query server (owns I/O
+/// threads, joined on shutdown).
+const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve"];
+
 /// Scans one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
-    if ctx.class == FileClass::Test || ctx.crate_name == "core" {
+    if ctx.class == FileClass::Test || SANCTIONED_SPAWN_CRATES.contains(&ctx.crate_name.as_str()) {
         return;
     }
     let code = ctx.code_indices();
@@ -32,7 +41,8 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
             out.push(RawDiag::at(
                 "thread-discipline",
                 token,
-                "detached `std::thread::spawn` outside crates/core".to_owned(),
+                "detached `std::thread::spawn` outside the sanctioned crates (core, serve)"
+                    .to_owned(),
                 Some(
                     "route parallelism through the search layer's scoped threads \
                      (`std::thread::scope`) so worker lifetimes stay bounded"
@@ -73,16 +83,36 @@ mod tests {
     }
 
     #[test]
-    fn core_and_tests_are_exempt() {
-        assert!(run(
-            "crates/core/src/a.rs",
-            "fn f() { std::thread::spawn(|| {}); }"
-        )
-        .is_empty());
+    fn sanctioned_crates_and_tests_are_exempt() {
+        for crate_dir in ["core", "serve"] {
+            assert!(
+                run(
+                    &format!("crates/{crate_dir}/src/a.rs"),
+                    "fn f() { std::thread::spawn(|| {}); }"
+                )
+                .is_empty(),
+                "crates/{crate_dir} is sanctioned"
+            );
+        }
         assert!(run(
             "crates/cell/tests/a.rs",
             "fn f() { std::thread::spawn(|| {}); }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn unsanctioned_crates_still_fire() {
+        for crate_dir in ["bench", "coopt", "array"] {
+            assert_eq!(
+                run(
+                    &format!("crates/{crate_dir}/src/a.rs"),
+                    "fn f() { std::thread::spawn(|| {}); }"
+                )
+                .len(),
+                1,
+                "crates/{crate_dir} is not sanctioned"
+            );
+        }
     }
 }

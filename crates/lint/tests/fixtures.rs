@@ -31,7 +31,7 @@ fn in_file<'r>(report: &'r Report, file: &str) -> Vec<&'r Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture_tree() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 10, "fixture tree changed shape");
+    assert_eq!(report.files_scanned, 11, "fixture tree changed shape");
     assert_eq!(count(&report, "no-panic"), 6);
     assert_eq!(count(&report, "unit-hygiene"), 1);
     assert_eq!(count(&report, "nan-unsafe"), 2);
@@ -39,8 +39,9 @@ fn every_rule_fires_on_the_fixture_tree() {
     assert_eq!(count(&report, "thread-discipline"), 1);
     assert_eq!(count(&report, "registry-sync"), 2);
     assert_eq!(count(&report, "suppression-syntax"), 1);
+    assert_eq!(count(&report, "unused-suppression"), 1);
     assert_eq!(count(&report, "parse-error"), 1);
-    assert_eq!(report.diagnostics.len(), 17);
+    assert_eq!(report.diagnostics.len(), 18);
     assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
 }
 
@@ -51,6 +52,20 @@ fn suppression_is_counted_not_reported() {
     assert!(
         in_file(&report, "crates/spice/src/suppressed_ok.rs").is_empty(),
         "a justified suppression must silence its finding"
+    );
+}
+
+#[test]
+fn stale_suppression_is_reported_at_its_comment() {
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/array/src/unused_suppress.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "unused-suppression");
+    assert_eq!(diags[0].line, 5, "anchored at the stale comment");
+    assert!(
+        diags[0].message.contains("no-panic"),
+        "{}",
+        diags[0].message
     );
 }
 
@@ -133,21 +148,22 @@ fn warn_level_keeps_exit_clean() {
         "thread-discipline",
         "registry-sync",
         "suppression-syntax",
+        "unused-suppression",
         "parse-error",
     ] {
         assert!(config.set(rule, Level::Warn), "{rule}");
     }
     let report = run(&fixture_root(), &config).expect("fixture tree readable");
     assert_eq!(report.deny_count(), 0);
-    assert_eq!(report.warn_count(), 17);
+    assert_eq!(report.warn_count(), 18);
 }
 
 #[test]
 fn json_rendering_of_the_fixture_report_is_well_formed() {
     let report = fixture_report();
     let json = report.render_json();
-    assert!(json.contains("\"files_scanned\": 10"));
-    assert!(json.contains("\"counts\": {\"deny\": 17, \"warn\": 0}"));
+    assert!(json.contains("\"files_scanned\": 11"));
+    assert!(json.contains("\"counts\": {\"deny\": 18, \"warn\": 0}"));
     // Balanced braces/brackets outside strings — cheap well-formedness
     // check without a JSON parser in the dependency-free workspace.
     let mut depth = 0i32;

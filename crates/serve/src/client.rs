@@ -1,0 +1,72 @@
+//! A minimal blocking client for the line-delimited JSON protocol —
+//! used by the end-to-end tests and handy for scripting against a
+//! running server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::json::Json;
+use crate::query::Request;
+
+/// One connection speaking the request/response line protocol.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Bounds how long [`Self::call`] waits for a response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends a typed request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`ServeError::Protocol`] when the server's
+    /// reply is not valid JSON.
+    pub fn call(&mut self, request: &Request) -> Result<Json, ServeError> {
+        self.call_line(&request.to_json().render())
+    }
+
+    /// Sends a raw request line (everything before the newline) and
+    /// reads its response — useful for protocol-level tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::call`].
+    pub fn call_line(&mut self, line: &str) -> Result<Json, ServeError> {
+        let mut payload = line.to_string();
+        payload.push('\n');
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Remote("server closed the connection".into()));
+        }
+        Json::parse(reply.trim_end()).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+}

@@ -1,0 +1,628 @@
+//! The query engine: the in-process API behind both the TCP server and
+//! the `serve-bench` experiment.
+//!
+//! Three layers stack here:
+//!
+//! 1. **Result cache** ([`crate::ResultCache`]) — a repeated query is
+//!    answered without touching the framework at all.
+//! 2. **LUT store** — cell characterizations keyed by
+//!    `(flavor, method)`. The store's mutex is held *across* a build,
+//!    so a technology is characterized exactly once no matter how many
+//!    batches race for it (the invariant `serve-bench` asserts).
+//! 3. **Executors** — cache-missing queries run against the shared
+//!    [`CellCharacterization`] through the framework's injectable-LUT
+//!    entry points ([`CoOptimizationFramework::optimize_with_cell`]),
+//!    which borrow `&self` and therefore fan out across worker threads.
+//!
+//! [`Engine::handle_batch`] is the batching scheduler: cache hits are
+//! answered immediately, the misses are grouped by
+//! [`crate::Query::char_key`], each group's characterization runs once,
+//! and duplicate queries inside a batch are deduplicated by canonical
+//! key so the search itself also runs once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::cache::{CacheConfig, CacheCounters, ResultCache};
+use crate::error::{wire_status, ServeError};
+use crate::json::Json;
+use crate::query::{Query, Request};
+use sram_array::{ArrayModel, ArrayOrganization, Capacity};
+use sram_cell::{CellCharacterization, MarginStats, YieldAnalysis};
+use sram_coopt::{
+    CoOptimizationFramework, CooptError, Method, OptimalDesign, ParetoFront, ParetoPoint,
+    YieldConstraint,
+};
+use sram_device::VtFlavor;
+use sram_units::Voltage;
+
+/// The sigma multiplier reported by yield-check responses (the paper's
+/// headline constraint is `μ − 3σ ≥ 0`).
+const YIELD_K: f64 = 3.0;
+
+/// The query engine: framework + LUT store + result cache.
+pub struct Engine {
+    framework: CoOptimizationFramework,
+    cache: ResultCache,
+    luts: Mutex<HashMap<(VtFlavor, Method), Arc<CellCharacterization>>>,
+    characterizations: AtomicU64,
+    coalesced: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Engine {
+    /// Wraps a framework with a result cache of the given size.
+    #[must_use]
+    pub fn new(framework: CoOptimizationFramework, cache: CacheConfig) -> Self {
+        Self {
+            framework,
+            cache: ResultCache::new(cache),
+            luts: Mutex::new(HashMap::new()),
+            characterizations: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped framework.
+    #[must_use]
+    pub fn framework(&self) -> &CoOptimizationFramework {
+        &self.framework
+    }
+
+    /// Result-cache counters.
+    #[must_use]
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Cell characterization passes performed so far.
+    #[must_use]
+    pub fn characterizations(&self) -> u64 {
+        self.characterizations.load(Ordering::Relaxed)
+    }
+
+    /// Queries that shared a characterization pass with an earlier
+    /// member of their own batch instead of paying for one.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Requests handled (hits, misses, and errors).
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that produced an error response.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Returns the shared characterization for a technology, building
+    /// it at most once. The returned flag is `true` when this call
+    /// performed the build.
+    ///
+    /// The store lock is deliberately held across the build: two
+    /// batches racing for the same `(flavor, method)` must not both pay
+    /// for the LUT pass. Distinct technologies briefly serialize behind
+    /// the build; there are only four `(flavor, method)` pairs, so the
+    /// window closes after warm-up.
+    fn lut(
+        &self,
+        key: (VtFlavor, Method),
+    ) -> Result<(Arc<CellCharacterization>, bool), ServeError> {
+        let mut store = self.luts.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cell) = store.get(&key) {
+            return Ok((Arc::clone(cell), false));
+        }
+        let _span = sram_probe::probe_span!("serve.batch.characterize_ns");
+        let cell = Arc::new(self.framework.characterize_cell(key.0, key.1)?);
+        store.insert(key, Arc::clone(&cell));
+        self.characterizations.fetch_add(1, Ordering::Relaxed);
+        sram_probe::probe_inc!("serve.batch.characterizations");
+        Ok((cell, true))
+    }
+
+    /// Handles one request (a batch of one).
+    #[must_use]
+    pub fn handle(&self, request: &Request) -> Json {
+        self.handle_batch(std::slice::from_ref(request))
+            .pop()
+            .unwrap_or_else(|| {
+                error_response(None, &ServeError::InvalidQuery("empty batch".into()))
+            })
+    }
+
+    /// Handles a batch: answers cache hits immediately, groups the
+    /// misses by technology so each group shares one characterization
+    /// pass, deduplicates identical queries, and returns responses in
+    /// request order.
+    #[must_use]
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Json> {
+        sram_probe::probe_record!("serve.batch.size", requests.len() as u64);
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        sram_probe::probe_add!("serve.request.total", requests.len() as u64);
+
+        let mut responses: Vec<Option<Json>> = vec![None; requests.len()];
+
+        // Pass 1: the result cache.
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            let canonical = req.query.canonical();
+            match self.cache.get(req.query.key(), &canonical) {
+                Some(result) => responses[i] = Some(ok_response(req.id.as_deref(), true, &result)),
+                None => misses.push(i),
+            }
+        }
+
+        // Pass 2: group misses by technology; one LUT pass per group.
+        let mut groups: Vec<((VtFlavor, Method), Vec<usize>)> = Vec::new();
+        for &i in &misses {
+            let key = requests[i].query.char_key();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+
+        for (key, members) in groups {
+            let (cell, _built) = match self.lut(key) {
+                Ok(pair) => pair,
+                Err(err) => {
+                    // Characterization failed: every member of the
+                    // group fails the same way.
+                    for &i in &members {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        sram_probe::probe_inc!("serve.request.errors");
+                        responses[i] = Some(error_response(requests[i].id.as_deref(), &err));
+                    }
+                    continue;
+                }
+            };
+            // Batch-local accounting: every group member beyond the
+            // first rode along on a characterization it didn't pay for.
+            let shared = members.len() as u64 - 1;
+            if shared > 0 {
+                self.coalesced.fetch_add(shared, Ordering::Relaxed);
+                sram_probe::probe_add!("serve.batch.coalesced", shared);
+            }
+
+            // Deduplicate identical queries inside the group: the
+            // search runs once, every duplicate shares the result.
+            let mut unique: Vec<(String, Vec<usize>)> = Vec::new();
+            for &i in &members {
+                let canonical = requests[i].query.canonical();
+                match unique.iter_mut().find(|(c, _)| *c == canonical) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => unique.push((canonical, vec![i])),
+                }
+            }
+
+            for (canonical, idxs) in unique {
+                let first = idxs[0];
+                match self.execute(&requests[first].query, &cell) {
+                    Ok(result) => {
+                        let result = Arc::new(result);
+                        self.cache.insert(
+                            requests[first].query.key(),
+                            &canonical,
+                            Arc::clone(&result),
+                        );
+                        for &i in &idxs {
+                            responses[i] =
+                                Some(ok_response(requests[i].id.as_deref(), false, &result));
+                        }
+                    }
+                    Err(err) => {
+                        for &i in &idxs {
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            sram_probe::probe_inc!("serve.request.errors");
+                            responses[i] = Some(error_response(requests[i].id.as_deref(), &err));
+                        }
+                    }
+                }
+            }
+        }
+
+        responses
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    error_response(None, &ServeError::InvalidQuery("request lost".into()))
+                })
+            })
+            .collect()
+    }
+
+    /// Executes one cache-missing query against a resolved
+    /// characterization.
+    fn execute(&self, query: &Query, cell: &CellCharacterization) -> Result<Json, ServeError> {
+        let _span = sram_probe::probe_span!("serve.request.exec_ns");
+        match *query {
+            Query::Optimize {
+                capacity_bytes,
+                flavor,
+                method,
+                objective,
+            } => {
+                let design = self.framework.optimize_with_cell(
+                    cell,
+                    Capacity::from_bytes(capacity_bytes as usize),
+                    flavor,
+                    method,
+                    objective.objective(),
+                )?;
+                Ok(design_json(&design))
+            }
+            Query::EvaluatePoint {
+                capacity_bytes,
+                flavor: _,
+                method,
+                rows,
+                vssc_mv,
+                n_pre,
+                n_wr,
+            } => {
+                let vssc = Voltage::from_millivolts(vssc_mv as f64);
+                if method == Method::M1 && vssc_mv != 0 {
+                    return Err(ServeError::InvalidQuery(
+                        "method m1 has no negative-Gnd rail; vssc_mv must be 0".into(),
+                    ));
+                }
+                let bits = Capacity::from_bytes(capacity_bytes as usize).bits();
+                if !bits.is_multiple_of(rows as usize) || bits / rows as usize > u32::MAX as usize {
+                    return Err(ServeError::InvalidQuery(format!(
+                        "capacity of {bits} bits does not divide into {rows} rows"
+                    )));
+                }
+                let cols = (bits / rows as usize) as u32;
+                let org = ArrayOrganization::new(rows, cols, self.framework.word_bits())
+                    .map_err(|e| ServeError::InvalidQuery(e.to_string()))?;
+                let constraint = YieldConstraint::MinMargin {
+                    delta: self.framework.delta(),
+                };
+                let feasible = constraint.check_snapshot(cell, vssc);
+                let metrics = ArrayModel::new(
+                    org,
+                    cell,
+                    self.framework.periphery(),
+                    self.framework.params(),
+                )
+                .with_precharge_fins(n_pre)
+                .with_write_fins(n_wr)
+                .with_vssc(vssc)
+                .evaluate()
+                .map_err(CooptError::Array)?;
+                Ok(Json::Obj(vec![
+                    ("feasible".into(), Json::Bool(feasible)),
+                    (
+                        "read_delay_s".into(),
+                        Json::Num(metrics.read_delay.seconds()),
+                    ),
+                    (
+                        "write_delay_s".into(),
+                        Json::Num(metrics.write_delay.seconds()),
+                    ),
+                    ("delay_s".into(), Json::Num(metrics.delay.seconds())),
+                    ("energy_j".into(), Json::Num(metrics.energy.joules())),
+                    ("edp_js".into(), Json::Num(metrics.edp().joule_seconds())),
+                ]))
+            }
+            Query::ParetoFront {
+                capacity_bytes,
+                flavor: _,
+                method,
+            } => {
+                let front = self.pareto_front(cell, capacity_bytes, method)?;
+                let points: Vec<Json> = front
+                    .sorted_by_delay()
+                    .into_iter()
+                    .map(|p| {
+                        let (rows, n_pre, n_wr, vssc_mv) = p.tag;
+                        Json::Obj(vec![
+                            ("energy_j".into(), Json::Num(p.energy.joules())),
+                            ("delay_s".into(), Json::Num(p.delay.seconds())),
+                            ("rows".into(), Json::Num(f64::from(rows))),
+                            ("n_pre".into(), Json::Num(f64::from(n_pre))),
+                            ("n_wr".into(), Json::Num(f64::from(n_wr))),
+                            ("vssc_mv".into(), Json::Num(f64::from(vssc_mv))),
+                        ])
+                    })
+                    .collect();
+                Ok(Json::Obj(vec![
+                    ("front_size".into(), Json::Num(points.len() as f64)),
+                    ("points".into(), Json::Arr(points)),
+                ]))
+            }
+            Query::YieldCheck {
+                capacity_bytes,
+                flavor,
+                method,
+                samples,
+            } => {
+                let design = self.framework.optimize_with_cell(
+                    cell,
+                    Capacity::from_bytes(capacity_bytes as usize),
+                    flavor,
+                    method,
+                    crate::query::ObjectiveKind::Edp.objective(),
+                )?;
+                let analysis = self
+                    .framework
+                    .verify_statistical_yield(&design, samples as usize)?;
+                Ok(Json::Obj(vec![
+                    ("design".into(), design_json(&design)),
+                    ("yield".into(), yield_json(&analysis)),
+                ]))
+            }
+        }
+    }
+
+    /// Sweeps the feasible design space and keeps the non-dominated
+    /// energy/delay points.
+    fn pareto_front(
+        &self,
+        cell: &CellCharacterization,
+        capacity_bytes: u64,
+        method: Method,
+    ) -> Result<ParetoFront<(u32, u32, u32, i32)>, ServeError> {
+        let space = match method {
+            Method::M1 => self.framework.space().clone().without_negative_gnd(),
+            Method::M2 => self.framework.space().clone(),
+        };
+        let constraint = YieldConstraint::MinMargin {
+            delta: self.framework.delta(),
+        };
+        let capacity = Capacity::from_bytes(capacity_bytes as usize);
+        let mut front = ParetoFront::new();
+        for org in
+            ArrayOrganization::enumerate(capacity, self.framework.word_bits(), space.rows_range())
+        {
+            for &vssc in space.vssc_values() {
+                if !constraint.check_snapshot(cell, vssc) {
+                    continue;
+                }
+                for &n_pre in &space.npre_values() {
+                    for &n_wr in &space.nwr_values() {
+                        let metrics = ArrayModel::new(
+                            org,
+                            cell,
+                            self.framework.periphery(),
+                            self.framework.params(),
+                        )
+                        .with_precharge_fins(n_pre)
+                        .with_write_fins(n_wr)
+                        .with_vssc(vssc)
+                        .evaluate()
+                        .map_err(CooptError::Array)?;
+                        front.offer(ParetoPoint {
+                            energy: metrics.energy,
+                            delay: metrics.delay,
+                            tag: (org.rows(), n_pre, n_wr, metrics_vssc_mv(vssc)),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(front)
+    }
+}
+
+fn metrics_vssc_mv(vssc: Voltage) -> i32 {
+    // Millivolt grid values round exactly; the cast is for the tag only.
+    vssc.millivolts().round() as i32
+}
+
+fn margin_json(stats: &MarginStats) -> Json {
+    Json::Obj(vec![
+        ("mean_mv".into(), Json::Num(stats.mean.millivolts())),
+        ("sigma_mv".into(), Json::Num(stats.sigma.millivolts())),
+        ("worst_mv".into(), Json::Num(stats.worst.millivolts())),
+        ("samples".into(), Json::Num(stats.samples as f64)),
+    ])
+}
+
+fn yield_json(analysis: &YieldAnalysis) -> Json {
+    Json::Obj(vec![
+        ("hsnm".into(), margin_json(&analysis.hsnm)),
+        ("rsnm".into(), margin_json(&analysis.rsnm)),
+        ("wm".into(), margin_json(&analysis.wm)),
+        ("k".into(), Json::Num(YIELD_K)),
+        ("passes".into(), Json::Bool(analysis.passes(YIELD_K))),
+        (
+            "worst_statistical_margin_mv".into(),
+            Json::Num(analysis.worst_statistical_margin(YIELD_K).millivolts()),
+        ),
+    ])
+}
+
+/// Renders an [`OptimalDesign`] to its wire form.
+#[must_use]
+pub fn design_json(design: &OptimalDesign) -> Json {
+    Json::Obj(vec![
+        (
+            "capacity_bytes".into(),
+            Json::Num(design.capacity.bytes() as f64),
+        ),
+        ("label".into(), Json::Str(design.label())),
+        (
+            "rows".into(),
+            Json::Num(f64::from(design.organization.rows())),
+        ),
+        (
+            "cols".into(),
+            Json::Num(f64::from(design.organization.cols())),
+        ),
+        ("n_pre".into(), Json::Num(f64::from(design.n_pre))),
+        ("n_wr".into(), Json::Num(f64::from(design.n_wr))),
+        ("vddc_mv".into(), Json::Num(design.vddc.millivolts())),
+        ("vssc_mv".into(), Json::Num(design.vssc.millivolts())),
+        ("vwl_mv".into(), Json::Num(design.vwl.millivolts())),
+        ("delay_s".into(), Json::Num(design.delay().seconds())),
+        ("energy_j".into(), Json::Num(design.energy().joules())),
+        ("edp_js".into(), Json::Num(design.edp().joule_seconds())),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("examined".into(), Json::Num(design.stats.examined as f64)),
+                ("feasible".into(), Json::Num(design.stats.feasible as f64)),
+                ("evaluated".into(), Json::Num(design.stats.evaluated as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// Builds a success envelope: `{"id":…,"status":"ok","cached":…,"result":…}`.
+#[must_use]
+pub fn ok_response(id: Option<&str>, cached: bool, result: &Json) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".into(), Json::Str(id.to_string())));
+    }
+    pairs.push(("status".into(), Json::Str("ok".into())));
+    pairs.push(("cached".into(), Json::Bool(cached)));
+    pairs.push(("result".into(), result.clone()));
+    Json::Obj(pairs)
+}
+
+/// Builds an error envelope: `{"id":…,"status":…,"error":…}` where the
+/// status is [`wire_status`] (`"busy"`, `"shutting_down"`, `"error"`).
+#[must_use]
+pub fn error_response(id: Option<&str>, error: &ServeError) -> Json {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".into(), Json::Str(id.to_string())));
+    }
+    pairs.push(("status".into(), Json::Str(wire_status(error).into())));
+    pairs.push(("error".into(), Json::Str(error.to_string())));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_coopt::DesignSpace;
+
+    fn coarse_engine() -> Engine {
+        Engine::new(
+            CoOptimizationFramework::paper_mode().with_space(DesignSpace::coarse()),
+            CacheConfig::default(),
+        )
+    }
+
+    fn req(line: &str) -> Request {
+        Request::from_line(line).unwrap()
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_cache_with_identical_result() {
+        let engine = coarse_engine();
+        let r = req(r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#);
+        let first = engine.handle(&r);
+        let second = engine.handle(&r);
+        assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            first.get("result").map(Json::render),
+            second.get("result").map(Json::render),
+            "cache must return the identical payload"
+        );
+        let c = engine.cache_counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn batch_shares_one_characterization() {
+        let engine = coarse_engine();
+        let batch: Vec<Request> = [128u64, 256, 1024]
+            .iter()
+            .map(|b| {
+                req(&format!(
+                    r#"{{"op":"optimize","capacity_bytes":{b},"flavor":"hvt","method":"m2"}}"#
+                ))
+            })
+            .collect();
+        let responses = engine.handle_batch(&batch);
+        assert_eq!(responses.len(), 3);
+        for r in &responses {
+            assert_eq!(r.get("status").and_then(Json::as_str), Some("ok"));
+        }
+        assert_eq!(engine.characterizations(), 1);
+        assert_eq!(engine.coalesced(), 2);
+    }
+
+    #[test]
+    fn duplicate_queries_in_a_batch_share_one_search() {
+        let engine = coarse_engine();
+        let line = r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#;
+        let batch = vec![req(line), req(line)];
+        let responses = engine.handle_batch(&batch);
+        assert_eq!(
+            responses[0].get("result").map(Json::render),
+            responses[1].get("result").map(Json::render)
+        );
+        // One search means one cache insertion.
+        assert_eq!(engine.cache_counters().insertions, 1);
+    }
+
+    #[test]
+    fn evaluate_point_reports_metrics_and_feasibility() {
+        let engine = coarse_engine();
+        let r = req(
+            r#"{"op":"evaluate-point","capacity_bytes":1024,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":-100,"n_pre":10,"n_wr":8}"#,
+        );
+        let resp = engine.handle(&r);
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let result = resp.get("result").unwrap();
+        assert!(result.get("delay_s").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(result.get("energy_j").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(result.get("feasible").and_then(Json::as_bool).is_some());
+    }
+
+    #[test]
+    fn indivisible_capacity_is_an_error_envelope() {
+        let engine = coarse_engine();
+        let r = req(
+            r#"{"op":"evaluate-point","capacity_bytes":100,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":0,"n_pre":10,"n_wr":8}"#,
+        );
+        let resp = engine.handle(&r);
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(engine.errors(), 1);
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_sorted() {
+        let engine = coarse_engine();
+        let r = req(r#"{"op":"pareto-front","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#);
+        let resp = engine.handle(&r);
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let result = resp.get("result").unwrap();
+        let points = result.get("points").and_then(Json::as_array).unwrap();
+        assert!(!points.is_empty());
+        let delays: Vec<f64> = points
+            .iter()
+            .map(|p| p.get("delay_s").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "sorted by delay");
+    }
+
+    #[test]
+    fn id_is_echoed_in_both_envelopes() {
+        let engine = coarse_engine();
+        let ok = engine.handle(&req(
+            r#"{"id":"a1","op":"evaluate-point","capacity_bytes":1024,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":0,"n_pre":10,"n_wr":8}"#,
+        ));
+        assert_eq!(ok.get("id").and_then(Json::as_str), Some("a1"));
+        let err = engine.handle(&req(
+            r#"{"id":"a2","op":"evaluate-point","capacity_bytes":100,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":0,"n_pre":10,"n_wr":8}"#,
+        ));
+        assert_eq!(err.get("id").and_then(Json::as_str), Some("a2"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by the protocol, cache, engine, and server layers.
+
+use std::fmt;
+
+/// Anything that can go wrong between a request line and its response.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request line is not valid protocol JSON.
+    Protocol(String),
+    /// The request parsed but names an invalid or unsupported query.
+    InvalidQuery(String),
+    /// The co-optimization layer failed to evaluate the query.
+    Coopt(sram_coopt::CooptError),
+    /// The accept queue is full — the 429-style backpressure signal;
+    /// the client should retry later.
+    Busy,
+    /// The request's deadline passed before a worker could finish it.
+    DeadlineExceeded,
+    /// The server is draining and no longer accepts new work.
+    ShuttingDown,
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The remote server reported an error (client side).
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            ServeError::Coopt(e) => write!(f, "evaluation failed: {e}"),
+            ServeError::Busy => write!(f, "server busy: accept queue full, retry later"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Coopt(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sram_coopt::CooptError> for ServeError {
+    fn from(e: sram_coopt::CooptError) -> Self {
+        ServeError::Coopt(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The wire status string a [`ServeError`] maps to (`"busy"` for
+/// backpressure so clients can distinguish retryable congestion from
+/// hard failures, `"error"` otherwise).
+#[must_use]
+pub fn wire_status(error: &ServeError) -> &'static str {
+    match error {
+        ServeError::Busy => "busy",
+        ServeError::ShuttingDown => "shutting_down",
+        _ => "error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Busy.to_string().contains("retry"));
+        assert!(ServeError::InvalidQuery("bad flavor".into())
+            .to_string()
+            .contains("bad flavor"));
+    }
+
+    #[test]
+    fn wire_status_partitions() {
+        assert_eq!(wire_status(&ServeError::Busy), "busy");
+        assert_eq!(wire_status(&ServeError::ShuttingDown), "shutting_down");
+        assert_eq!(wire_status(&ServeError::DeadlineExceeded), "error");
+    }
+}

@@ -1,0 +1,75 @@
+//! `sram-serve` — a concurrent query server over the co-optimization
+//! framework.
+//!
+//! The paper's framework answers one `(capacity, flavor, method)`
+//! question per run; this crate turns it into a long-lived service that
+//! answers many, concurrently, with two structural optimizations:
+//!
+//! * **batching** — queries arriving together are grouped by
+//!   technology (`(VtFlavor, Method)`), so one cell characterization
+//!   pass (the expensive LUT build) is shared by the whole group;
+//! * **content-addressed caching** — results are keyed by a canonical
+//!   rendering of the query, so a repeated question is answered in
+//!   microseconds regardless of the wire formatting it arrived in.
+//!
+//! The same [`Engine`] backs two transports: an in-process API (used by
+//! the `reproduce serve-bench` experiment) and a line-delimited JSON
+//! protocol over TCP ([`Server`], `std::net` only — no async runtime,
+//! see `DESIGN.md` §9 for why).
+//!
+//! # Wire protocol
+//!
+//! One request per line, one response per line:
+//!
+//! ```text
+//! → {"op":"optimize","capacity_bytes":4096,"flavor":"hvt","method":"m2"}
+//! ← {"status":"ok","cached":false,"result":{"label":"6T-HVT-M2",...}}
+//! ```
+//!
+//! Ops: `optimize`, `evaluate-point`, `pareto-front`, `yield-check`.
+//! Envelope fields `id` (echoed) and `deadline_ms` (per-request budget)
+//! are accepted on every op. Error replies carry `"status":"error"`,
+//! `"busy"` (queue full — retry), or `"shutting_down"`.
+//!
+//! # Example (in-process)
+//!
+//! ```
+//! use sram_serve::{CacheConfig, Engine, Request};
+//! use sram_coopt::{CoOptimizationFramework, DesignSpace};
+//!
+//! let engine = Engine::new(
+//!     CoOptimizationFramework::paper_mode().with_space(DesignSpace::coarse()),
+//!     CacheConfig::default(),
+//! );
+//! let request = Request::from_line(
+//!     r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#,
+//! )
+//! .unwrap();
+//! let cold = engine.handle(&request);
+//! let warm = engine.handle(&request); // served from the result cache
+//! assert_eq!(
+//!     cold.get("result").map(|r| r.render()),
+//!     warm.get("result").map(|r| r.render()),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+mod engine;
+mod error;
+mod json;
+mod query;
+mod server;
+
+pub use cache::{CacheConfig, CacheCounters, ResultCache};
+pub use client::Client;
+pub use engine::{design_json, error_response, ok_response, Engine};
+pub use error::{wire_status, ServeError};
+pub use json::{Json, JsonError};
+pub use query::{
+    fnv1a64, ObjectiveKind, Query, Request, MAX_CAPACITY_BYTES, MAX_DEADLINE_MS, MAX_YIELD_SAMPLES,
+};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,455 @@
+//! The TCP front end: line-delimited JSON over `std::net`.
+//!
+//! Thread layout (all plain `std::thread` — sanctioned for this crate
+//! by the workspace lint's thread-discipline rule):
+//!
+//! * **acceptor** — a nonblocking `accept` loop that polls the shutdown
+//!   flag between attempts and spawns one connection thread per client;
+//! * **connection threads** — read request lines (with a short read
+//!   timeout so the shutdown flag is observed), enqueue jobs, and write
+//!   back whatever reply the worker sends;
+//! * **workers** — drain the bounded job queue in batches and run them
+//!   through [`Engine::handle_batch`], so queries that pile up under
+//!   load are coalesced into shared characterization passes.
+//!
+//! Backpressure is explicit: the job queue has a fixed capacity and a
+//! full queue turns into an immediate `"busy"` reply (the HTTP-429
+//! analogue) rather than an ever-growing buffer. Shutdown is graceful:
+//! in-flight requests complete, new ones are rejected, and threads are
+//! joined in accept → connection → worker order.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{error_response, Engine};
+use crate::error::ServeError;
+use crate::json::Json;
+use crate::query::Request;
+
+/// Server sizing and timing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with `"busy"`.
+    pub queue_capacity: usize,
+    /// Most jobs a worker drains into one [`Engine::handle_batch`] call.
+    pub max_batch: usize,
+    /// Connection read timeout — the cadence at which idle connections
+    /// notice shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One queued request with its reply channel.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Json>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// Bounded MPMC job queue: `Mutex` + `Condvar`, no busy-waiting.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue is the
+    /// caller's problem to report.
+    fn push(&self, job: Job) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if !inner.open {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(ServeError::Busy);
+        }
+        inner.jobs.push_back(job);
+        sram_probe::probe_gauge!("serve.queue.depth", inner.jobs.len() as u64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for work; drains up to `max` jobs at once. `None` means
+    /// the queue is closed and drained — the worker should exit.
+    fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !inner.jobs.is_empty() {
+                let n = inner.jobs.len().min(max.max(1));
+                let batch: Vec<Job> = inner.jobs.drain(..n).collect();
+                sram_probe::probe_gauge!("serve.queue.depth", inner.jobs.len() as u64);
+                return Some(batch);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.open = false;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+/// A running server; dropped or [`Server::shutdown`] to stop.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    queue: Arc<JobQueue>,
+}
+
+impl Server {
+    /// Binds and starts the accept loop, connection pool, and workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> Result<Self, ServeError> {
+        let listener = bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let max_batch = config.max_batch;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&engine, &queue, max_batch);
+            }));
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            let conns = Arc::clone(&conns);
+            let poll = config.poll_interval;
+            std::thread::spawn(move || {
+                accept_loop(&listener, &shutdown, &queue, &conns, poll);
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+            queue,
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let connections finish their
+    /// in-flight request, drain the queue, join everything.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connections exit at their next poll tick (after receiving any
+        // in-flight reply, which needs the workers still running).
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            conns.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+fn bind(addr: &str) -> Result<TcpListener, ServeError> {
+    let mut last: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpListener::bind(candidate) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ServeError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    })))
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &Arc<AtomicBool>,
+    queue: &Arc<JobQueue>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    poll: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                sram_probe::probe_inc!("serve.conn.accepted");
+                let shutdown = Arc::clone(shutdown);
+                let queue = Arc::clone(queue);
+                let handle = std::thread::spawn(move || {
+                    connection_loop(stream, &shutdown, &queue, poll);
+                });
+                conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(poll);
+            }
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+/// Serves one client: read a line, run it, write the reply line.
+fn connection_loop(stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueue, poll: Duration) {
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return; // drain point: any in-flight request already replied
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    continue; // timeout split the line; keep reading
+                }
+                let response = serve_line(line.trim_end(), shutdown, queue);
+                line.clear();
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle (or mid-line) — loop to observe the shutdown flag.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses, enqueues, and awaits one request line.
+fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
+    if line.is_empty() {
+        return error_response(None, &ServeError::Protocol("empty request line".into()));
+    }
+    let request = match Request::from_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            sram_probe::probe_inc!("serve.request.parse_errors");
+            return error_response(None, &e);
+        }
+    };
+    if shutdown.load(Ordering::SeqCst) {
+        return error_response(request.id.as_deref(), &ServeError::ShuttingDown);
+    }
+
+    let now = Instant::now();
+    let deadline = request
+        .deadline_ms
+        .map(|ms| now + Duration::from_millis(ms));
+    let (tx, rx) = mpsc::channel();
+    let id = request.id.clone();
+    let job = Job {
+        request,
+        enqueued: now,
+        deadline,
+        reply: tx,
+    };
+    if let Err(e) = queue.push(job) {
+        if matches!(e, ServeError::Busy) {
+            sram_probe::probe_inc!("serve.request.rejected");
+        }
+        return error_response(id.as_deref(), &e);
+    }
+    let response = match rx.recv() {
+        Ok(json) => json,
+        // Worker pool went away mid-request (shutdown race).
+        Err(_) => error_response(id.as_deref(), &ServeError::ShuttingDown),
+    };
+    sram_probe::probe_record!("serve.request.latency_ns", now.elapsed().as_nanos() as u64);
+    response
+}
+
+fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+    let mut payload = response.render();
+    payload.push('\n');
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Worker body: drain a batch, expire stale deadlines, run the rest.
+fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
+    while let Some(jobs) = queue.pop_batch(max_batch) {
+        let now = Instant::now();
+        let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job.deadline {
+                Some(deadline) if deadline <= now => {
+                    sram_probe::probe_inc!("serve.request.deadline_expired");
+                    let _ = job.reply.send(error_response(
+                        job.request.id.as_deref(),
+                        &ServeError::DeadlineExceeded,
+                    ));
+                }
+                _ => live.push(job),
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let requests: Vec<Request> = live.iter().map(|j| j.request.clone()).collect();
+        let responses = engine.handle_batch(&requests);
+        for (job, response) in live.into_iter().zip(responses) {
+            sram_probe::probe_record!(
+                "serve.request.queue_wait_ns",
+                job.enqueued.elapsed().as_nanos() as u64
+            );
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx_only_job(id: &str) -> (Job, mpsc::Receiver<Json>) {
+        let (tx, rx) = mpsc::channel();
+        let request = Request::from_line(&format!(
+            r#"{{"id":"{id}","op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2"}}"#
+        ))
+        .unwrap();
+        (
+            Job {
+                request,
+                enqueued: Instant::now(),
+                deadline: None,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn queue_rejects_when_full_and_after_close() {
+        let queue = JobQueue::new(1);
+        let (a, _rx_a) = tx_only_job("a");
+        let (b, _rx_b) = tx_only_job("b");
+        queue.push(a).unwrap();
+        assert!(matches!(queue.push(b), Err(ServeError::Busy)));
+        queue.close();
+        let (c, _rx_c) = tx_only_job("c");
+        assert!(matches!(queue.push(c), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max_and_ends_on_close() {
+        let queue = JobQueue::new(8);
+        let mut receivers = Vec::new();
+        for i in 0..3 {
+            let (job, rx) = tx_only_job(&i.to_string());
+            queue.push(job).unwrap();
+            receivers.push(rx);
+        }
+        let batch = queue.pop_batch(2).unwrap();
+        assert_eq!(batch.len(), 2);
+        let batch = queue.pop_batch(2).unwrap();
+        assert_eq!(batch.len(), 1);
+        queue.close();
+        assert!(queue.pop_batch(2).is_none());
+    }
+}

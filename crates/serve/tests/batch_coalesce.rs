@@ -1,0 +1,63 @@
+//! Batch coalescing, asserted through the probe registry: a batch of N
+//! same-technology queries must perform exactly one cell
+//! characterization and report N-1 members as coalesced.
+//!
+//! This file deliberately holds a single `#[test]` — the probe registry
+//! is process-global, and a dedicated integration-test binary keeps the
+//! counter assertions free of interference from parallel tests.
+
+use sram_coopt::{CoOptimizationFramework, DesignSpace};
+use sram_serve::{CacheConfig, Engine, Json, Request};
+
+#[test]
+fn batch_of_same_technology_queries_characterizes_once() {
+    sram_probe::set_level(sram_probe::Level::Summary);
+    let baseline = sram_probe::snapshot();
+
+    let engine = Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(2),
+        CacheConfig::default(),
+    );
+    let batch: Vec<Request> = [512u64, 1024, 2048, 4096]
+        .iter()
+        .map(|bytes| {
+            Request::from_line(&format!(
+                r#"{{"op":"optimize","capacity_bytes":{bytes},"flavor":"lvt","method":"m1"}}"#
+            ))
+            .expect("well-formed query")
+        })
+        .collect();
+    let responses = engine.handle_batch(&batch);
+    sram_probe::set_level(sram_probe::Level::Off);
+
+    assert_eq!(responses.len(), batch.len());
+    for response in &responses {
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            response.render()
+        );
+    }
+    assert_eq!(engine.characterizations(), 1, "one LUT pass for the batch");
+    assert_eq!(engine.coalesced(), batch.len() as u64 - 1);
+
+    let delta = sram_probe::snapshot().diff(&baseline);
+    assert_eq!(
+        delta.counters.get("serve.batch.characterizations").copied(),
+        Some(1),
+        "probe agrees with the engine counter"
+    );
+    assert_eq!(
+        delta.counters.get("serve.batch.coalesced").copied(),
+        Some(batch.len() as u64 - 1),
+        "N-1 queries shared the single characterization"
+    );
+    assert_eq!(
+        delta.counters.get("serve.cache.misses").copied(),
+        Some(batch.len() as u64),
+        "every distinct query missed the cold cache"
+    );
+}

@@ -1,0 +1,97 @@
+//! End-to-end TCP exercise: a real server on an ephemeral port, a cold
+//! optimize, a byte-identical cached repeat, protocol error envelopes,
+//! and a graceful shutdown that leaves no thread behind.
+
+use std::sync::Arc;
+
+use sram_coopt::{CoOptimizationFramework, DesignSpace};
+use sram_serve::{CacheConfig, Client, Engine, Json, Request, Server, ServerConfig};
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(2),
+        CacheConfig::default(),
+    ))
+}
+
+#[test]
+fn optimize_roundtrip_caches_and_shuts_down_cleanly() {
+    let engine = engine();
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let request = Request::from_line(
+        r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2","id":"e2e-1"}"#,
+    )
+    .expect("well-formed query");
+    let cold = client.call(&request).expect("cold call succeeds");
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(cold.get("id").and_then(Json::as_str), Some("e2e-1"));
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+
+    let warm = client.call(&request).expect("warm call succeeds");
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        cold.get("result").map(Json::render),
+        warm.get("result").map(Json::render),
+        "cached repeat must be byte-identical"
+    );
+    assert!(engine.cache_counters().hits >= 1);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_come_back_as_envelopes_not_disconnects() {
+    let server = Server::start(engine(), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let garbled = client.call_line("this is not json").expect("reply arrives");
+    assert_eq!(garbled.get("status").and_then(Json::as_str), Some("error"));
+
+    let unknown = client
+        .call_line(r#"{"op":"transmogrify"}"#)
+        .expect("reply arrives");
+    assert_eq!(unknown.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        unknown
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("transmogrify")),
+        "error names the bad op: {}",
+        unknown.render()
+    );
+
+    // The connection survived both malformed lines.
+    let ok = client
+        .call_line(r#"{"op":"evaluate-point","capacity_bytes":1024,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":-100,"n_pre":4,"n_wr":2}"#)
+        .expect("reply arrives");
+    assert_eq!(
+        ok.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{}",
+        ok.render()
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_for_connected_clients() {
+    let server = Server::start(engine(), ServerConfig::default()).expect("server binds");
+    let addr = server.local_addr();
+    let client = Client::connect(addr).expect("client connects");
+    // Shut down with the client still connected; the server must join
+    // its acceptor, connection, and worker threads without hanging.
+    server.shutdown();
+    drop(client);
+    // The port is released: a fresh connection attempt must fail.
+    assert!(
+        Client::connect(addr).is_err(),
+        "socket must be closed after shutdown"
+    );
+}
