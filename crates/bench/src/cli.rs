@@ -68,6 +68,10 @@ fn serve_bench(threads: usize) -> Result<String, String> {
     crate::serve::run(threads).map_err(|e| e.to_string())
 }
 
+fn bench_trajectory(threads: usize) -> Result<String, String> {
+    crate::trajectory::run(threads)
+}
+
 /// Every experiment the binary can run, in execution order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -129,6 +133,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         summary: "query server: batch coalescing, result cache, TCP round trip",
         in_all: true,
         run: serve_bench,
+    },
+    Experiment {
+        name: "bench-trajectory",
+        summary: "perf trajectory: search points/s, cache latency, trace overhead (writes BENCH_trajectory.json)",
+        in_all: false,
+        run: bench_trajectory,
     },
     Experiment {
         name: "rails-sim",
@@ -209,7 +219,7 @@ mod tests {
         assert!(chosen.iter().all(|e| e.in_all));
         assert_eq!(
             skipped.iter().map(|e| e.name).collect::<Vec<_>>(),
-            vec!["rails-sim"]
+            vec!["bench-trajectory", "rails-sim"]
         );
     }
 

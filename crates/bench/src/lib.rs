@@ -17,6 +17,7 @@
 //! | [`ablation`] | Rail-pinning, Pareto-pruning, heuristic-search, and energy-accounting ablations |
 //! | [`extensions`] | Banking, drowsy standby, statistically derated optimization |
 //! | [`serve`] | Query-server bench: batching, result cache, TCP round trip |
+//! | [`trajectory`] | Performance trajectory: search throughput, cache latency, trace overhead |
 //! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
@@ -32,6 +33,7 @@ pub mod fig7;
 pub mod readfit;
 pub mod serve;
 pub mod table4;
+pub mod trajectory;
 pub mod yieldk;
 
 /// Formats a `(x, series...)` table with a header as aligned text.

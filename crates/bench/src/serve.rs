@@ -3,16 +3,25 @@
 //! transport, and graceful shutdown — and reports the measured
 //! cache speedup.
 //!
-//! Three phases:
+//! Five phases:
 //!
 //! 1. **batch** — a batch of same-technology queries through the
 //!    in-process API; the engine must perform exactly one cell
 //!    characterization for the whole batch.
-//! 2. **cache** — the same optimization twice, timed; the repeat must
+//! 2. **cross-batch** — a *second* batch of new queries on the same
+//!    technology; the characterization count must not move and every
+//!    member must be counted as cross-batch coalesced.
+//! 3. **cache** — the same optimization twice, timed; the repeat must
 //!    be served from the cache with a byte-identical result payload.
-//! 3. **tcp** — a real `std::net` round trip: start a server on an
+//! 4. **tcp** — a real `std::net` round trip: start a server on an
 //!    ephemeral port, query it, confirm the reply matches the
 //!    in-process result, shut down gracefully.
+//! 5. **trace** — a traced optimize through a fresh engine in
+//!    *full-simulation* mode (the paper model's analytic
+//!    characterization never enters the spice or cell layers); the
+//!    captured events must export well-formed Chrome JSON (written to
+//!    `$SRAM_TRACE_OUT` when set) and the flame summary must name
+//!    spans from the spice, cell, core, and serve layers.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,6 +40,11 @@ pub struct ServeBench {
     /// Queries that shared a characterization pass (must be
     /// `batch_size - 1`).
     pub coalesced: u64,
+    /// Queries in the second (cross-batch) phase.
+    pub cross_batch_size: usize,
+    /// Queries that reused a LUT characterized by an earlier batch
+    /// (must equal `cross_batch_size`).
+    pub cross_coalesced: u64,
     /// Wall time of the cold (uncached) optimization, nanoseconds.
     pub cold_ns: u128,
     /// Wall time of the repeated (cached) query, nanoseconds.
@@ -46,6 +60,12 @@ pub struct ServeBench {
     pub cache_hits: u64,
     /// Cache misses observed by the engine across all phases.
     pub cache_misses: u64,
+    /// Spans captured by the traced run.
+    pub trace_spans: usize,
+    /// Did the Chrome export validate (parse + B/E pairing)?
+    pub trace_chrome_valid: bool,
+    /// Top-of-flame span names, one per instrumented layer.
+    pub trace_layers_ok: bool,
 }
 
 fn engine(threads: usize) -> Engine {
@@ -91,6 +111,40 @@ pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
             )));
         }
     }
+    // Snapshot the within-batch counters here: the cross batch below
+    // coalesces internally too and would inflate `coalesced`.
+    let characterizations = engine.characterizations();
+    let coalesced = engine.coalesced();
+
+    // Phase 1b: a later batch of *new* queries on the same technology
+    // must ride on the LUT the first batch already paid for.
+    let cross_batch: Vec<Request> = [512u64, 2048]
+        .iter()
+        .map(|bytes| {
+            request(&format!(
+                r#"{{"op":"optimize","capacity_bytes":{bytes},"flavor":"hvt","method":"m2"}}"#
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    let cross_responses = engine.handle_batch(&cross_batch);
+    for response in &cross_responses {
+        if response.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(ServeError::Remote(format!(
+                "cross-batch query failed: {}",
+                response.render()
+            )));
+        }
+    }
+    // Snapshot cross-batch reuse here: the cache and trace phases
+    // below issue further queries that keep moving the counters.
+    let cross_coalesced = engine.cross_coalesced();
+    if engine.characterizations() != characterizations {
+        return Err(ServeError::Remote(format!(
+            "cross batch re-characterized: {} -> {}",
+            characterizations,
+            engine.characterizations()
+        )));
+    }
 
     // Phase 2: cold vs. cached on a fresh capacity.
     let probe = request(r#"{"op":"optimize","capacity_bytes":4096,"flavor":"hvt","method":"m2"}"#)?;
@@ -113,11 +167,52 @@ pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
     drop(client);
     server.shutdown();
 
+    // Phase 5: trace an optimize through a fresh full-simulation
+    // engine, so the capture holds spans from all four layers (the
+    // device-equation LUT pass drives spice and cell; the search drives
+    // coopt; the engine itself contributes the serve spans). The
+    // paper-model engine above never touches the spice or cell layers.
+    sram_probe::trace::clear();
+    let sim_engine = Engine::new(
+        CoOptimizationFramework::simulated_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(threads),
+        CacheConfig::default(),
+    );
+    let traced_request = request(
+        r#"{"op":"optimize","capacity_bytes":1024,"flavor":"lvt","method":"m1","trace":true}"#,
+    )?;
+    let traced = sim_engine.handle(&traced_request);
+    if traced.get("status").and_then(Json::as_str) != Some("ok") || traced.get("trace").is_none() {
+        return Err(ServeError::Remote(
+            "traced request did not return a span tree".into(),
+        ));
+    }
+    let events = sram_probe::trace::capture();
+    let trace_spans = events
+        .iter()
+        .filter(|e| e.phase != sram_probe::trace::Phase::End)
+        .count();
+    let chrome = sram_probe::trace::chrome_trace_json(&events);
+    let trace_chrome_valid = crate::trajectory::chrome_export_is_well_formed(&chrome);
+    let flame = sram_probe::trace::flame_summary(&events, 16);
+    let trace_layers_ok = ["spice.", "cell.", "coopt.", "serve."]
+        .iter()
+        .all(|layer| flame.contains(layer));
+    if let Ok(path) = std::env::var("SRAM_TRACE_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, &chrome)
+                .map_err(|e| ServeError::Remote(format!("writing {path}: {e}")))?;
+        }
+    }
+
     let counters = engine.cache_counters();
     Ok(ServeBench {
         batch_size: batch.len(),
-        characterizations: engine.characterizations(),
-        coalesced: engine.coalesced(),
+        characterizations,
+        coalesced,
+        cross_batch_size: cross_batch.len(),
+        cross_coalesced,
         cold_ns,
         warm_ns,
         speedup: cold_ns as f64 / warm_ns as f64,
@@ -125,6 +220,9 @@ pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
         tcp_consistent,
         cache_hits: counters.hits,
         cache_misses: counters.misses,
+        trace_spans,
+        trace_chrome_valid,
+        trace_layers_ok,
     })
 }
 
@@ -139,6 +237,10 @@ pub fn run(threads: usize) -> Result<String, ServeError> {
     out.push_str(&format!(
         "  batch:  {} same-technology queries -> {} characterization pass(es), {} coalesced\n",
         b.batch_size, b.characterizations, b.coalesced
+    ));
+    out.push_str(&format!(
+        "          {} later queries reused the earlier batch's LUT ({} cross-batch coalesced)\n",
+        b.cross_batch_size, b.cross_coalesced
     ));
     out.push_str(&format!(
         "  cache:  cold optimize {:.3} ms -> cached repeat {:.1} us ({:.0}x speedup)\n",
@@ -156,15 +258,40 @@ pub fn run(threads: usize) -> Result<String, ServeError> {
         "  tcp:    round trip consistent with in-process API: {}; graceful shutdown: yes\n",
         if b.tcp_consistent { "yes" } else { "NO" }
     ));
+    out.push_str(&format!(
+        "  trace:  {} spans captured; Chrome export {}; layers {}\n",
+        b.trace_spans,
+        if b.trace_chrome_valid {
+            "well-formed"
+        } else {
+            "INVALID"
+        },
+        if b.trace_layers_ok {
+            "spice+cell+coopt+serve"
+        } else {
+            "MISSING"
+        }
+    ));
     if b.characterizations != 1 || b.coalesced != b.batch_size as u64 - 1 {
         return Err(ServeError::Remote(format!(
             "batch coalescing broken: {} characterizations, {} coalesced for {} queries",
             b.characterizations, b.coalesced, b.batch_size
         )));
     }
+    if b.cross_coalesced != b.cross_batch_size as u64 {
+        return Err(ServeError::Remote(format!(
+            "cross-batch coalescing broken: {} cross-coalesced for {} queries",
+            b.cross_coalesced, b.cross_batch_size
+        )));
+    }
     if !b.identical_payload || !b.tcp_consistent {
         return Err(ServeError::Remote(
             "cached/TCP results diverged from the cold result".into(),
+        ));
+    }
+    if !b.trace_chrome_valid || !b.trace_layers_ok {
+        return Err(ServeError::Remote(
+            "trace capture failed validation (export or layer coverage)".into(),
         ));
     }
     Ok(out)
@@ -179,9 +306,16 @@ mod tests {
         let b = bench(2).expect("bench runs");
         assert_eq!(b.characterizations, 1, "one LUT pass for the whole batch");
         assert_eq!(b.coalesced, b.batch_size as u64 - 1);
+        assert_eq!(
+            b.cross_coalesced, b.cross_batch_size as u64,
+            "every cross-batch query must reuse the earlier LUT"
+        );
         assert!(b.identical_payload, "cached payload must be identical");
         assert!(b.tcp_consistent, "TCP reply must match in-process reply");
         assert!(b.cache_hits >= 2, "warm repeat + TCP repeat are hits");
+        assert!(b.trace_spans > 0, "traced run must record spans");
+        assert!(b.trace_chrome_valid, "Chrome export must validate");
+        assert!(b.trace_layers_ok, "flame must name all four layers");
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! `bench-trajectory`: the performance trajectory of one query's life —
+//! search throughput, cache-hit latency, and the cost of the tracing
+//! layer itself — written to `BENCH_trajectory.json` for CI trend
+//! tracking.
+//!
+//! Four phases:
+//!
+//! 1. **search** — characterize + optimize one technology through the
+//!    framework directly (no serving layer), reporting wall times and
+//!    search throughput (design points examined per second).
+//! 2. **serve** — the same optimization through a fresh [`Engine`]:
+//!    cold wall time, cached-repeat latency, and a TCP `stats` round
+//!    trip that must return a non-empty probe snapshot.
+//! 3. **trace** — the same optimization through a fresh engine in
+//!    *full-simulation* mode with `"trace": true` (the paper-model
+//!    characterization is analytic and never enters the spice or cell
+//!    layers): the captured events must export well-formed Chrome JSON
+//!    and the flame summary must name spans from all four instrumented
+//!    layers (`spice`, `cell`, `coopt`, `serve`).
+//! 4. **overhead** — a microbenchmark of the *disabled* `trace_span!`
+//!    fast path. The per-call cost times the span count of the traced
+//!    run, divided by that run's wall time, bounds what its span sites
+//!    would cost with tracing off; the bound must stay under
+//!    [`MAX_DISABLED_OVERHEAD`].
+//!
+//! Smoke mode (`SRAM_BENCH_SMOKE=1`) shrinks the microbenchmark so CI
+//! can run the whole experiment in seconds; the JSON records which mode
+//! produced it.
+
+use std::time::Instant;
+
+use sram_array::Capacity;
+use sram_coopt::{CoOptimizationFramework, DesignSpace, EnergyDelayProduct, Method};
+use sram_device::VtFlavor;
+use sram_probe::Level;
+use sram_serve::{CacheConfig, Client, Engine, Json, Request, Server, ServerConfig};
+
+/// Hard ceiling on the disabled-tracing overhead bound: the
+/// instrumentation must cost less than 5 % of the traced workload's
+/// wall time when tracing is off.
+pub const MAX_DISABLED_OVERHEAD: f64 = 0.05;
+
+/// Output file written by [`run`] (in the working directory).
+pub const OUTPUT_FILE: &str = "BENCH_trajectory.json";
+
+/// The workload every phase measures: one Table-4-style optimization.
+const CAPACITY_BYTES: u64 = 4096;
+const FLAVOR: VtFlavor = VtFlavor::Hvt;
+const METHOD: Method = Method::M2;
+
+/// Structured outcome of the trajectory bench.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Smoke mode (`SRAM_BENCH_SMOKE=1`)?
+    pub smoke: bool,
+    /// Worker threads used by the search.
+    pub threads: usize,
+    /// Cell characterization wall time, seconds.
+    pub characterize_wall_s: f64,
+    /// Exhaustive search wall time, seconds.
+    pub optimize_wall_s: f64,
+    /// Design points examined by the search.
+    pub examined: u64,
+    /// Search throughput, points per second.
+    pub points_per_s: f64,
+    /// Cold (uncached) serve wall time, nanoseconds.
+    pub serve_cold_ns: u128,
+    /// Cached-repeat latency, nanoseconds.
+    pub cache_hit_ns: u128,
+    /// `serve_cold_ns / cache_hit_ns`.
+    pub cache_speedup: f64,
+    /// Did the TCP `stats` query return a non-empty probe snapshot?
+    pub stats_ok: bool,
+    /// Spans captured by the traced run.
+    pub trace_spans: usize,
+    /// Events overwritten by ring overflow during the traced run.
+    pub trace_dropped: u64,
+    /// Chrome export size, bytes.
+    pub chrome_bytes: usize,
+    /// Did the Chrome export validate (parse + B/E pairing per lane)?
+    pub chrome_valid: bool,
+    /// Did the flame summary name spans from all four layers?
+    pub layers_ok: bool,
+    /// Wall time of the traced run, nanoseconds.
+    pub traced_wall_ns: u128,
+    /// Per-call cost of a *disabled* `trace_span!`, nanoseconds.
+    pub disabled_ns_per_call: f64,
+    /// `disabled_ns_per_call × trace_spans / traced_wall_ns`.
+    pub disabled_overhead_ratio: f64,
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("SRAM_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(threads),
+        CacheConfig::default(),
+    )
+}
+
+fn workload_line(trace: bool) -> String {
+    let trace_field = if trace { r#","trace":true"# } else { "" };
+    format!(
+        r#"{{"op":"optimize","capacity_bytes":{CAPACITY_BYTES},"flavor":"hvt","method":"m2"{trace_field}}}"#
+    )
+}
+
+/// Validates a Chrome trace export the hard way: parse it with the
+/// wire-JSON parser, then replay every `B`/`E` against a per-lane
+/// stack (LIFO nesting, no unmatched ends, nothing left open).
+pub(crate) fn chrome_export_is_well_formed(chrome: &str) -> bool {
+    let Ok(parsed) = Json::parse(chrome) else {
+        return false;
+    };
+    let Some(events) = parsed.get("traceEvents").and_then(Json::as_array) else {
+        return false;
+    };
+    let mut stacks: Vec<(f64, Vec<String>)> = Vec::new();
+    for event in events {
+        let (Some(ph), Some(tid), Some(name)) = (
+            event.get("ph").and_then(Json::as_str),
+            event.get("tid").and_then(Json::as_f64),
+            event.get("name").and_then(Json::as_str),
+        ) else {
+            return false;
+        };
+        let lane = match stacks.iter().position(|(t, _)| *t == tid) {
+            Some(i) => i,
+            None => {
+                stacks.push((tid, Vec::new()));
+                stacks.len() - 1
+            }
+        };
+        match ph {
+            "B" => stacks[lane].1.push(name.to_string()),
+            "E" => {
+                if stacks[lane].1.pop().as_deref() != Some(name) {
+                    return false; // unmatched or misnested end
+                }
+            }
+            "X" => {} // complete events carry their own duration
+            _ => return false,
+        }
+    }
+    !events.is_empty() && stacks.iter().all(|(_, stack)| stack.is_empty())
+}
+
+/// Runs all four phases.
+///
+/// # Errors
+///
+/// Fails on any phase error and on a broken invariant (stats snapshot
+/// empty, malformed Chrome export, missing layer, overhead over
+/// budget).
+pub fn bench(threads: usize) -> Result<Trajectory, String> {
+    let smoke = smoke_mode();
+    // The stats phase asserts a *non-empty* probe snapshot, so metric
+    // collection must be on regardless of the environment.
+    if !sram_probe::enabled(Level::Summary) {
+        sram_probe::set_level(Level::Summary);
+    }
+
+    // Phase 1: raw search throughput (untraced baseline).
+    let framework = CoOptimizationFramework::paper_mode()
+        .with_space(DesignSpace::coarse())
+        .with_threads(threads);
+    let started = Instant::now();
+    let cell = framework
+        .characterize_cell(FLAVOR, METHOD)
+        .map_err(|e| format!("characterize failed: {e}"))?;
+    let characterize_wall_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let design = framework
+        .optimize_with_cell(
+            &cell,
+            Capacity::from_bytes(CAPACITY_BYTES as usize),
+            FLAVOR,
+            METHOD,
+            &EnergyDelayProduct,
+        )
+        .map_err(|e| format!("optimize failed: {e}"))?;
+    let optimize_wall_s = started.elapsed().as_secs_f64();
+    let examined = design.stats.examined as u64;
+    let points_per_s = examined as f64 / optimize_wall_s.max(1e-9);
+
+    // Phase 2: the same workload through the serving layer.
+    let serve_engine = std::sync::Arc::new(engine(threads));
+    let request = Request::from_line(&workload_line(false)).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let cold = serve_engine.handle(&request);
+    let serve_cold_ns = started.elapsed().as_nanos();
+    let started = Instant::now();
+    let warm = serve_engine.handle(&request);
+    let cache_hit_ns = started.elapsed().as_nanos().max(1);
+    if warm.get("cached").and_then(Json::as_bool) != Some(true)
+        || cold.get("status").and_then(Json::as_str) != Some("ok")
+    {
+        return Err("serve phase: warm repeat was not a cache hit".into());
+    }
+
+    // TCP stats round trip: live snapshot over the wire.
+    let server = Server::start(
+        std::sync::Arc::clone(&serve_engine),
+        ServerConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut client = Client::connect(server.local_addr()).map_err(|e| e.to_string())?;
+    let stats = client
+        .call_line(r#"{"op":"stats"}"#)
+        .map_err(|e| e.to_string())?;
+    drop(client);
+    server.shutdown();
+    // Non-empty snapshot: the serve requests above must have recorded
+    // at least their own request counter.
+    let stats_ok = stats.get("status").and_then(Json::as_str) == Some("ok")
+        && stats
+            .get("result")
+            .and_then(|r| r.get("probe"))
+            .and_then(|p| p.get("counters"))
+            .and_then(|c| c.get("serve.request.total"))
+            .is_some()
+        && stats
+            .get("result")
+            .and_then(|r| r.get("uptime_s"))
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s >= 0.0);
+    if !stats_ok {
+        return Err(format!("stats phase: empty snapshot: {}", stats.render()));
+    }
+
+    // Phase 3: traced run on a fresh engine in full-simulation mode,
+    // so the LUT pass actually solves device equations and the capture
+    // holds spice and cell spans alongside coopt and serve spans (the
+    // paper model is analytic and would skip those layers entirely).
+    sram_probe::trace::clear();
+    let dropped_before = sram_probe::trace::dropped();
+    let traced_engine = Engine::new(
+        CoOptimizationFramework::simulated_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(threads),
+        CacheConfig::default(),
+    );
+    let traced_request = Request::from_line(&workload_line(true)).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let traced = traced_engine.handle(&traced_request);
+    let traced_wall_ns = started.elapsed().as_nanos().max(1);
+    if traced.get("status").and_then(Json::as_str) != Some("ok") || traced.get("trace").is_none() {
+        return Err("trace phase: traced response missing its span tree".into());
+    }
+    let events = {
+        let _force = sram_probe::trace::force();
+        sram_probe::trace::capture()
+    };
+    let trace_spans = events
+        .iter()
+        .filter(|e| e.phase != sram_probe::trace::Phase::End)
+        .count();
+    let trace_dropped = sram_probe::trace::dropped() - dropped_before;
+    let chrome = sram_probe::trace::chrome_trace_json(&events);
+    let chrome_bytes = chrome.len();
+    let chrome_valid = chrome_export_is_well_formed(&chrome);
+    if !chrome_valid {
+        return Err("trace phase: Chrome export failed validation".into());
+    }
+    let flame = sram_probe::trace::flame_summary(&events, 16);
+    let layers_ok = ["spice.", "cell.", "coopt.", "serve."]
+        .iter()
+        .all(|layer| flame.contains(layer));
+    if !layers_ok {
+        return Err(format!(
+            "trace phase: flame summary missing a layer:\n{flame}"
+        ));
+    }
+
+    // Phase 4: disabled-path microbenchmark.
+    sram_probe::trace::set_tracing(false);
+    let iters: u64 = if smoke { 200_000 } else { 2_000_000 };
+    let started = Instant::now();
+    for _ in 0..iters {
+        let span = sram_probe::trace_span!("bench.trajectory_calibration");
+        std::hint::black_box(&span);
+    }
+    let disabled_ns_per_call = started.elapsed().as_nanos() as f64 / iters as f64;
+    let disabled_overhead_ratio = disabled_ns_per_call * trace_spans as f64 / traced_wall_ns as f64;
+    if disabled_overhead_ratio >= MAX_DISABLED_OVERHEAD {
+        return Err(format!(
+            "disabled tracing overhead {disabled_overhead_ratio:.4} exceeds budget {MAX_DISABLED_OVERHEAD}"
+        ));
+    }
+
+    Ok(Trajectory {
+        smoke,
+        threads,
+        characterize_wall_s,
+        optimize_wall_s,
+        examined,
+        points_per_s,
+        serve_cold_ns,
+        cache_hit_ns,
+        cache_speedup: serve_cold_ns as f64 / cache_hit_ns as f64,
+        stats_ok,
+        trace_spans,
+        trace_dropped,
+        chrome_bytes,
+        chrome_valid,
+        layers_ok,
+        traced_wall_ns,
+        disabled_ns_per_call,
+        disabled_overhead_ratio,
+    })
+}
+
+/// Renders the trajectory as the JSON written to [`OUTPUT_FILE`].
+#[must_use]
+pub fn to_json(t: &Trajectory) -> String {
+    let num = |v: f64| Json::Num(v);
+    Json::Obj(vec![
+        ("schema_version".into(), num(1.0)),
+        ("smoke".into(), Json::Bool(t.smoke)),
+        ("threads".into(), num(t.threads as f64)),
+        (
+            "search".into(),
+            Json::Obj(vec![
+                ("characterize_wall_s".into(), num(t.characterize_wall_s)),
+                ("optimize_wall_s".into(), num(t.optimize_wall_s)),
+                ("examined".into(), num(t.examined as f64)),
+                ("points_per_s".into(), num(t.points_per_s)),
+            ]),
+        ),
+        (
+            "serve".into(),
+            Json::Obj(vec![
+                ("cold_ns".into(), num(t.serve_cold_ns as f64)),
+                ("cache_hit_ns".into(), num(t.cache_hit_ns as f64)),
+                ("cache_speedup".into(), num(t.cache_speedup)),
+                ("stats_ok".into(), Json::Bool(t.stats_ok)),
+            ]),
+        ),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                ("spans".into(), num(t.trace_spans as f64)),
+                ("dropped".into(), num(t.trace_dropped as f64)),
+                ("chrome_bytes".into(), num(t.chrome_bytes as f64)),
+                ("chrome_valid".into(), Json::Bool(t.chrome_valid)),
+                ("layers_ok".into(), Json::Bool(t.layers_ok)),
+                ("traced_wall_ns".into(), num(t.traced_wall_ns as f64)),
+                ("disabled_ns_per_call".into(), num(t.disabled_ns_per_call)),
+                (
+                    "disabled_overhead_ratio".into(),
+                    num(t.disabled_overhead_ratio),
+                ),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Runs the bench, writes [`OUTPUT_FILE`], and formats the report.
+///
+/// # Errors
+///
+/// Propagates [`bench`] failures and the file write.
+pub fn run(threads: usize) -> Result<String, String> {
+    let t = bench(threads)?;
+    let json = to_json(&t);
+    std::fs::write(OUTPUT_FILE, &json)
+        .map_err(|e| format!("failed to write {OUTPUT_FILE}: {e}"))?;
+
+    let mut out = String::from("Performance trajectory (search -> serve -> trace)\n\n");
+    out.push_str(&format!(
+        "  search:   characterize {:.2} s, optimize {:.2} s, {} points ({:.0} points/s)\n",
+        t.characterize_wall_s, t.optimize_wall_s, t.examined, t.points_per_s
+    ));
+    out.push_str(&format!(
+        "  serve:    cold {:.2} ms -> cache hit {:.1} us ({:.0}x); TCP stats snapshot: {}\n",
+        t.serve_cold_ns as f64 / 1e6,
+        t.cache_hit_ns as f64 / 1e3,
+        t.cache_speedup,
+        if t.stats_ok { "ok" } else { "EMPTY" }
+    ));
+    out.push_str(&format!(
+        "  trace:    {} spans ({} dropped), Chrome export {} bytes ({}), layers {}\n",
+        t.trace_spans,
+        t.trace_dropped,
+        t.chrome_bytes,
+        if t.chrome_valid {
+            "well-formed"
+        } else {
+            "INVALID"
+        },
+        if t.layers_ok {
+            "spice+cell+coopt+serve"
+        } else {
+            "MISSING"
+        }
+    ));
+    out.push_str(&format!(
+        "  overhead: disabled trace_span! {:.2} ns/call -> {:.5} of the traced wall (budget {})\n",
+        t.disabled_ns_per_call, t.disabled_overhead_ratio, MAX_DISABLED_OVERHEAD
+    ));
+    out.push_str(&format!("\n  written: {OUTPUT_FILE}\n"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_bench_meets_every_invariant() {
+        let t = bench(2).expect("trajectory bench runs");
+        assert!(t.stats_ok);
+        assert!(t.chrome_valid);
+        assert!(t.layers_ok);
+        assert!(t.trace_spans > 0);
+        assert!(t.characterize_wall_s > 0.0);
+        assert!(t.points_per_s > 0.0);
+        assert!(t.disabled_overhead_ratio < MAX_DISABLED_OVERHEAD);
+    }
+
+    #[test]
+    fn json_has_the_required_keys() {
+        let t = Trajectory {
+            smoke: true,
+            threads: 2,
+            characterize_wall_s: 1.0,
+            optimize_wall_s: 2.0,
+            examined: 100,
+            points_per_s: 50.0,
+            serve_cold_ns: 1_000_000,
+            cache_hit_ns: 1_000,
+            cache_speedup: 1000.0,
+            stats_ok: true,
+            trace_spans: 42,
+            trace_dropped: 0,
+            chrome_bytes: 1234,
+            chrome_valid: true,
+            layers_ok: true,
+            traced_wall_ns: 250_000_000,
+            disabled_ns_per_call: 1.5,
+            disabled_overhead_ratio: 0.0001,
+        };
+        let json = Json::parse(&to_json(&t)).expect("renders valid JSON");
+        for key in [
+            "schema_version",
+            "smoke",
+            "threads",
+            "search",
+            "serve",
+            "trace",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert!(json
+            .get("trace")
+            .and_then(|t| t.get("disabled_overhead_ratio"))
+            .is_some());
+        assert_eq!(
+            json.get("serve")
+                .and_then(|s| s.get("stats_ok"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn chrome_validator_rejects_misnesting() {
+        assert!(!chrome_export_is_well_formed("not json"));
+        assert!(!chrome_export_is_well_formed(r#"{"traceEvents":[]}"#));
+        // Unmatched end.
+        assert!(!chrome_export_is_well_formed(
+            r#"{"traceEvents":[{"ph":"E","tid":1,"name":"a","pid":1,"ts":0}]}"#
+        ));
+        // Misnested pair.
+        assert!(!chrome_export_is_well_formed(
+            r#"{"traceEvents":[
+                {"ph":"B","tid":1,"name":"a","pid":1,"ts":0},
+                {"ph":"B","tid":1,"name":"b","pid":1,"ts":1},
+                {"ph":"E","tid":1,"name":"a","pid":1,"ts":2},
+                {"ph":"E","tid":1,"name":"b","pid":1,"ts":3}
+            ]}"#
+        ));
+        // Proper nesting passes.
+        assert!(chrome_export_is_well_formed(
+            r#"{"traceEvents":[
+                {"ph":"B","tid":1,"name":"a","pid":1,"ts":0},
+                {"ph":"B","tid":1,"name":"b","pid":1,"ts":1},
+                {"ph":"E","tid":1,"name":"b","pid":1,"ts":2},
+                {"ph":"E","tid":1,"name":"a","pid":1,"ts":3},
+                {"ph":"X","tid":1001,"name":"c","pid":1,"ts":0,"dur":3}
+            ]}"#
+        ));
+    }
+}

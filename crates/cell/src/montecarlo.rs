@@ -157,6 +157,7 @@ impl YieldAnalyzer {
     pub fn run(&self, bias: &AssistVoltages) -> Result<YieldAnalysis, CellError> {
         sram_probe::probe_inc!("cell.mc_runs");
         let _span = sram_probe::probe_span!("cell.mc_run_ns");
+        let _trace = sram_probe::trace_span!("cell.mc_run");
         let nominal = AssistVoltages::nominal(self.characterizer.vdd());
         let hold_bias = nominal;
         let read_bias = nominal.with_vddc(bias.vddc).with_vssc(bias.vssc);

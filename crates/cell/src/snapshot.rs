@@ -87,6 +87,7 @@ impl CellCharacterization {
     ) -> Result<Self, CellError> {
         sram_probe::probe_inc!("cell.characterizations");
         let _span = sram_probe::probe_span!("cell.characterize_ns");
+        let _trace = sram_probe::trace_span!("cell.characterize");
         let vdd = characterizer.vdd();
         let nominal = AssistVoltages::nominal(vdd);
         let leakage = characterizer.leakage_power(&nominal)?;

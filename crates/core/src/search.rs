@@ -99,6 +99,13 @@ impl<'a> ExhaustiveSearch<'a> {
         vssc: Voltage,
         objective: &(impl Objective + ?Sized),
     ) -> (Option<ScoredCandidate>, SearchStatistics) {
+        // One trace span per (V_SSC, n_r) slice — the unit of parallel
+        // work — with the slice's outcome attached as args on the end
+        // event.
+        let mut trace = sram_probe::trace_span!("coopt.slice");
+        trace.arg("rows", i64::from(org.rows()));
+        trace.arg("vssc_mv", vssc.millivolts().round() as i64);
+
         let mut stats = SearchStatistics::default();
         let npre_values = self.space.npre_values();
         let nwr_values = self.space.nwr_values();
@@ -108,9 +115,13 @@ impl<'a> ExhaustiveSearch<'a> {
         // tables), so it gates the whole slice.
         if !self.constraint.check_snapshot(self.cell, vssc) {
             stats.infeasible = stats.examined;
+            trace.arg("examined", stats.examined as i64);
+            trace.arg("feasible", 0);
             return (None, stats);
         }
         stats.feasible = stats.examined;
+        trace.arg("examined", stats.examined as i64);
+        trace.arg("feasible", stats.feasible as i64);
 
         let mut best: Option<ScoredCandidate> = None;
         for &n_pre in &npre_values {
@@ -180,6 +191,11 @@ impl<'a> ExhaustiveSearch<'a> {
         sram_probe::probe_inc!("coopt.searches");
         sram_probe::probe_add!("coopt.slices", slices.len() as u64);
         let _span = sram_probe::probe_span!("coopt.search_ns");
+        let mut _trace = sram_probe::trace_span!("coopt.search");
+        _trace.arg("slices", slices.len() as i64);
+        // Scoped workers adopt the search span as parent so per-slice
+        // spans nest under it even on the parallel path.
+        let search_span = _trace.id();
 
         let results: Vec<(Option<ScoredCandidate>, SearchStatistics)> = if self.threads <= 1 {
             slices
@@ -195,6 +211,7 @@ impl<'a> ExhaustiveSearch<'a> {
                         .map(|chunk| {
                             sram_probe::probe_record!(detail "coopt.slices_per_worker", chunk.len() as u64);
                             scope.spawn(move || {
+                                let _adopt = sram_probe::trace::adopt_parent(search_span);
                                 chunk
                                     .iter()
                                     .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))

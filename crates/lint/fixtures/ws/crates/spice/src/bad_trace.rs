@@ -1,0 +1,9 @@
+//! Fixture: malformed and mis-namespaced `trace_span!` names — two
+//! `probe-naming` findings (bad format, wrong crate prefix). The
+//! well-named span at the end must stay quiet.
+
+pub fn traced() {
+    let _a = sram_probe::trace_span!("NotDottedTrace");
+    let _b = sram_probe::trace_span!("cell.trace_not_ours");
+    let _c = sram_probe::trace_span!("spice.fixture_solve");
+}

@@ -1,7 +1,9 @@
 //! `probe-naming`: `sram-probe` metric names stay consumable.
 //!
-//! `reproduce --probe-json` consumers key on metric names, so every
-//! counter/gauge/histogram/span name must be
+//! `reproduce --probe-json` consumers key on metric names, and trace
+//! consumers (the Chrome export, flame summaries, `sram-serve`'s
+//! inline span trees) key on `trace_span!` names the same way, so
+//! every counter/gauge/histogram/span/trace-span name must be
 //!
 //! * lowercase dotted `crate.subsystem.metric` (at least two segments
 //!   of `[a-z0-9_]`),
@@ -27,6 +29,10 @@ pub enum Kind {
     /// `probe_record!` / `probe_span!` / `sram_probe::histogram` (spans
     /// feed histograms).
     Histogram,
+    /// `trace_span!` (trace events share the metric namespace so flame
+    /// summaries and probe snapshots never show two meanings for one
+    /// name).
+    Trace,
 }
 
 impl Kind {
@@ -35,6 +41,7 @@ impl Kind {
             Kind::Counter => "counter",
             Kind::Gauge => "gauge",
             Kind::Histogram => "histogram",
+            Kind::Trace => "trace span",
         }
     }
 }
@@ -57,6 +64,7 @@ fn expected_prefixes(crate_name: &str) -> Option<&'static [&'static str]> {
         "bench" => Some(&["bench", "repro"]),
         "lint" => Some(&["lint"]),
         "serve" => Some(&["serve"]),
+        "probe" => Some(&["probe"]),
         _ => None,
     }
 }
@@ -66,6 +74,7 @@ fn macro_kind(name: &str) -> Option<Kind> {
         "probe_inc" | "probe_add" => Some(Kind::Counter),
         "probe_gauge" => Some(Kind::Gauge),
         "probe_record" | "probe_span" => Some(Kind::Histogram),
+        "trace_span" => Some(Kind::Trace),
         _ => None,
     }
 }
@@ -247,6 +256,37 @@ mod tests {
             "fn f() { sram_probe::probe_inc!(\"spice.x\"); sram_probe::probe_add!(\"spice.x\", 2); }",
         );
         assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn trace_span_names_are_checked() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { let _t = sram_probe::trace_span!(\"NotDotted\"); }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("not lowercase dotted"));
+        let (found, _) = run(
+            "crates/cell/src/a.rs",
+            "fn f() { let _t = sram_probe::trace_span!(\"spice.wrong_crate\"); }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("namespaced"));
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { let _t = sram_probe::trace_span!(\"spice.dc_solve\"); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn trace_span_collides_with_metric_kinds() {
+        let (found, _) = run(
+            "crates/spice/src/a.rs",
+            "fn f() { sram_probe::probe_inc!(\"spice.x\"); let _t = sram_probe::trace_span!(\"spice.x\"); }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("trace span"));
     }
 
     #[test]

@@ -50,6 +50,17 @@
 //! [exported](Snapshot::to_json) as JSON (hand-rolled serializer —
 //! this workspace links no serialization ecosystem). [`reset`] zeroes
 //! every registered metric in place.
+//!
+//! # Tracing
+//!
+//! Aggregates say *how much*; the [`trace`] module says *where*:
+//! hierarchical begin/end events in per-thread ring buffers, captured
+//! on demand and exported as Chrome trace JSON, a text flame summary,
+//! or a per-request span tree. Tracing has its own switch
+//! (`SRAM_TRACE`, [`trace::set_tracing`], [`trace::force`]) so it can
+//! run with metrics off and vice versa. [`trace_span!`] composes with
+//! [`probe_span!`]: the former records structure, the latter feeds the
+//! duration histogram.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +69,7 @@ mod level;
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use level::{enabled, level, set_level, Level};
 pub use metrics::{Counter, Gauge, Histogram, Span};
@@ -140,9 +152,43 @@ macro_rules! probe_record {
     }};
 }
 
+/// Opens a hierarchical trace span (see [`trace`]): emits a begin
+/// event now and an end event when the returned
+/// [`trace::TraceSpan`] guard drops, parented to the innermost open
+/// span on this thread (or an [`trace::adopt_parent`] adoption). Bind
+/// the guard to a named variable, not `_`, or it ends immediately.
+///
+/// Arguments attach to the end event via
+/// [`TraceSpan::arg`](trace::TraceSpan::arg):
+///
+/// ```
+/// let _force = sram_probe::trace::force();
+/// let mut span = sram_probe::trace_span!("doc.slice");
+/// span.arg("examined", 128);
+/// ```
+///
+/// When tracing is disabled the expansion is one relaxed atomic load
+/// and a branch — no clock read, no ring-buffer touch. The span name
+/// is interned once per call site (cached in a `OnceLock`).
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {{
+        if $crate::trace::tracing_enabled() {
+            static NAME: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            $crate::trace::TraceSpan::begin(*NAME.get_or_init(|| $crate::trace::intern($name)))
+        } else {
+            $crate::trace::TraceSpan::disabled()
+        }
+    }};
+}
+
 /// Starts a timing span feeding the named histogram (in nanoseconds);
 /// the returned [`Span`] guard records on drop. Bind it to a named
 /// variable (`let _span = ...`), not `_`, or it drops immediately.
+///
+/// Below the active level the expansion is a branch yielding
+/// [`Span::disabled`], which never touches the registry or the clock —
+/// near-zero work, tested in `tests/disabled_level.rs`.
 ///
 /// `probe_span!("name")` times at [`Level::Summary`];
 /// `probe_span!(detail "name")` only at [`Level::Detail`].

@@ -177,8 +177,10 @@ pub struct Span {
 }
 
 impl Span {
-    /// A no-op guard.
-    pub fn disabled() -> Self {
+    /// A no-op guard. `const`: constructing it cannot read the clock,
+    /// take a lock, or register anything — the guarantee the disabled
+    /// branch of `probe_span!` relies on (see `tests/disabled_level.rs`).
+    pub const fn disabled() -> Self {
         Self { inner: None }
     }
 }
@@ -225,6 +227,37 @@ mod tests {
         assert_eq!(Histogram::bucket_index(1023), 10);
         assert_eq!(Histogram::bucket_index(1024), 11);
         assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_index_boundaries_at_every_power_of_two() {
+        // Bucket b ≥ 1 covers [2^(b-1), 2^b): each power of two opens
+        // a new bucket, and the value just past it stays in that
+        // bucket. Exhaustive over every representable boundary.
+        assert_eq!(Histogram::bucket_index(1), 1, "2^0 opens bucket 1");
+        for k in 1..64u32 {
+            let pow = 1u64 << k;
+            assert_eq!(
+                Histogram::bucket_index(pow - 1),
+                k as usize,
+                "2^{k} - 1 closes bucket {k}"
+            );
+            assert_eq!(
+                Histogram::bucket_index(pow),
+                (k + 1) as usize,
+                "2^{k} opens bucket {}",
+                k + 1
+            );
+            assert_eq!(
+                Histogram::bucket_index(pow + 1),
+                (k + 1) as usize,
+                "2^{k} + 1 stays in bucket {}",
+                k + 1
+            );
+        }
+        // The top of the range: u64::MAX lands in the last bucket, so
+        // recording can never index out of bounds.
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
     }
 
     #[test]

@@ -276,8 +276,9 @@ fn write_json_f64(out: &mut String, value: f64) {
     }
 }
 
-/// Formats a nanosecond quantity with an appropriate unit.
-fn format_nanos(ns: f64) -> String {
+/// Formats a nanosecond quantity with an appropriate unit (shared with
+/// the trace module's flame summary).
+pub(crate) fn format_nanos(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.0}ns")
     } else if ns < 1e6 {
@@ -324,6 +325,35 @@ mod tests {
         assert_eq!(delta.histograms["c.hist_ns"].count, 1);
         assert_eq!(delta.histograms["c.hist_ns"].sum, 2000);
         assert_eq!(delta.histograms["c.hist_ns"].buckets, vec![(11, 1)]);
+    }
+
+    #[test]
+    fn diff_drops_metrics_present_only_in_the_baseline() {
+        // A metric that existed before but not now (possible when the
+        // baseline came from another process via JSON, or after a
+        // registry divergence) must be dropped, not resurrected at
+        // zero — `diff` documents "metrics that only exist in
+        // `baseline` are dropped".
+        let newer = sample();
+        let mut older = sample();
+        older.counters.insert("baseline.only_counter", 9);
+        older.gauges.insert("baseline.only_gauge", 4.5);
+        older.histograms.insert(
+            "baseline.only_hist",
+            HistogramSnapshot {
+                count: 3,
+                sum: 30,
+                buckets: vec![(5, 3)],
+            },
+        );
+
+        let delta = newer.diff(&older);
+        assert!(!delta.counters.contains_key("baseline.only_counter"));
+        assert!(!delta.gauges.contains_key("baseline.only_gauge"));
+        assert!(!delta.histograms.contains_key("baseline.only_hist"));
+        // The shared metrics still diff normally alongside the drops.
+        assert_eq!(delta.counters["a.count"], 0);
+        assert_eq!(delta.histograms["c.hist_ns"].count, 0);
     }
 
     #[test]

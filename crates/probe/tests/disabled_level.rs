@@ -1,0 +1,76 @@
+//! `SRAM_PROBE=0` spans must compile to near-zero work: no histogram
+//! registration, no clock read, no recording.
+//!
+//! This lives in its own integration-test binary (its own process) so
+//! the registry is guaranteed empty at startup, and as a single test
+//! function because every phase mutates the process-global level.
+
+use sram_probe::{probe_span, trace_span, Level};
+
+#[test]
+fn disabled_spans_are_near_zero_work() {
+    // Phase 1: Level::Off — nothing registers, nothing records.
+    sram_probe::set_level(Level::Off);
+    {
+        let _span = probe_span!("off.never_registered");
+        let _detail = probe_span!(detail "off.never_registered_detail");
+        let _trace = trace_span!("off.never_traced");
+    }
+    // Raising the level afterward must reveal an empty registry: the
+    // disabled branch never called `sram_probe::histogram`, so nothing
+    // was registered, let alone recorded.
+    sram_probe::set_level(Level::Summary);
+    let snap = sram_probe::snapshot();
+    assert!(
+        !snap.histograms.contains_key("off.never_registered"),
+        "disabled probe_span! must not register its histogram: {:?}",
+        snap.histograms.keys().collect::<Vec<_>>()
+    );
+    assert!(!snap.histograms.contains_key("off.never_registered_detail"));
+    assert!(snap.is_empty(), "no metric activity at all was expected");
+    // The disabled trace span likewise left no events behind.
+    assert!(
+        !sram_probe::trace::capture()
+            .iter()
+            .any(|e| e.name == "off.never_traced"),
+        "disabled trace_span! must not emit events"
+    );
+
+    // Phase 2: Summary — detail spans stay unregistered, summary spans
+    // record.
+    {
+        let _detail = probe_span!(detail "off.detail_at_summary");
+        let _summary = probe_span!("off.summary_at_summary");
+    }
+    let snap = sram_probe::snapshot();
+    assert!(
+        !snap.histograms.contains_key("off.detail_at_summary"),
+        "detail spans must stay unregistered at Summary"
+    );
+    assert_eq!(snap.histograms["off.summary_at_summary"].count, 1);
+
+    // Phase 3: a coarse budget check. A disabled span site must cost
+    // on the order of a branch, not a clock read. Bounded loosely
+    // (≤ 50 ns/call amortized) so the test is robust on slow CI
+    // machines while still catching an accidental `Instant::now()`
+    // (~20–40 ns each, plus the register/record path it would drag in).
+    sram_probe::set_level(Level::Off);
+    const CALLS: u32 = 200_000;
+    let start = std::time::Instant::now();
+    for _ in 0..CALLS {
+        let _span = probe_span!("off.cost_probe");
+        let _trace = trace_span!("off.cost_trace");
+        std::hint::black_box(());
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / f64::from(CALLS);
+    assert!(
+        per_call < 50.0,
+        "disabled span pair cost {per_call:.1} ns/call, expected branch-like"
+    );
+    assert!(
+        !sram_probe::snapshot()
+            .histograms
+            .contains_key("off.cost_probe"),
+        "the cost loop must not have registered anything"
+    );
+}

@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 use crate::cache::{CacheConfig, CacheCounters, ResultCache};
 use crate::error::{wire_status, ServeError};
@@ -48,8 +49,10 @@ pub struct Engine {
     luts: Mutex<HashMap<(VtFlavor, Method), Arc<CellCharacterization>>>,
     characterizations: AtomicU64,
     coalesced: AtomicU64,
+    cross_coalesced: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    started: Instant,
 }
 
 impl Engine {
@@ -62,8 +65,10 @@ impl Engine {
             luts: Mutex::new(HashMap::new()),
             characterizations: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            cross_coalesced: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -90,6 +95,14 @@ impl Engine {
     #[must_use]
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Cache-missing queries that reused a LUT characterized by an
+    /// *earlier batch* — the cross-batch analogue of
+    /// [`Engine::coalesced`].
+    #[must_use]
+    pub fn cross_coalesced(&self) -> u64 {
+        self.cross_coalesced.load(Ordering::Relaxed)
     }
 
     /// Requests handled (hits, misses, and errors).
@@ -122,6 +135,7 @@ impl Engine {
             return Ok((Arc::clone(cell), false));
         }
         let _span = sram_probe::probe_span!("serve.batch.characterize_ns");
+        let _trace = sram_probe::trace_span!("serve.characterize");
         let cell = Arc::new(self.framework.characterize_cell(key.0, key.1)?);
         store.insert(key, Arc::clone(&cell));
         self.characterizations.fetch_add(1, Ordering::Relaxed);
@@ -129,9 +143,29 @@ impl Engine {
         Ok((cell, true))
     }
 
-    /// Handles one request (a batch of one).
+    /// Handles one request (a batch of one). When the request's
+    /// `trace` flag is set, tracing is forced on for its duration and
+    /// the response carries the request's span tree under `"trace"`.
     #[must_use]
     pub fn handle(&self, request: &Request) -> Json {
+        if !request.trace {
+            return self.handle_one(request);
+        }
+        let _force = sram_probe::trace::force();
+        let root = sram_probe::trace::span_at("serve.request", sram_probe::trace::now_ns());
+        let root_id = root.id();
+        let mut response = self.handle_one(request);
+        drop(root);
+        let events = sram_probe::trace::capture();
+        if let Some(tree) = sram_probe::trace::span_tree(&events, root_id) {
+            if let Json::Obj(pairs) = &mut response {
+                pairs.push(("trace".into(), trace_json(&tree)));
+            }
+        }
+        response
+    }
+
+    fn handle_one(&self, request: &Request) -> Json {
         self.handle_batch(std::slice::from_ref(request))
             .pop()
             .unwrap_or_else(|| {
@@ -152,9 +186,14 @@ impl Engine {
 
         let mut responses: Vec<Option<Json>> = vec![None; requests.len()];
 
-        // Pass 1: the result cache.
+        // Pass 1: stats queries (always live, never cached), then the
+        // result cache.
         let mut misses: Vec<usize> = Vec::new();
         for (i, req) in requests.iter().enumerate() {
+            if req.query == Query::Stats {
+                responses[i] = Some(ok_response(req.id.as_deref(), false, &self.stats_json()));
+                continue;
+            }
             let canonical = req.query.canonical();
             match self.cache.get(req.query.key(), &canonical) {
                 Some(result) => responses[i] = Some(ok_response(req.id.as_deref(), true, &result)),
@@ -165,7 +204,9 @@ impl Engine {
         // Pass 2: group misses by technology; one LUT pass per group.
         let mut groups: Vec<((VtFlavor, Method), Vec<usize>)> = Vec::new();
         for &i in &misses {
-            let key = requests[i].query.char_key();
+            let Some(key) = requests[i].query.char_key() else {
+                continue;
+            };
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, members)) => members.push(i),
                 None => groups.push((key, vec![i])),
@@ -173,7 +214,7 @@ impl Engine {
         }
 
         for (key, members) in groups {
-            let (cell, _built) = match self.lut(key) {
+            let (cell, built) = match self.lut(key) {
                 Ok(pair) => pair,
                 Err(err) => {
                     // Characterization failed: every member of the
@@ -192,6 +233,13 @@ impl Engine {
             if shared > 0 {
                 self.coalesced.fetch_add(shared, Ordering::Relaxed);
                 sram_probe::probe_add!("serve.batch.coalesced", shared);
+            }
+            // Cross-batch accounting: the whole group reused a LUT an
+            // *earlier* batch paid to characterize.
+            if !built {
+                let reused = members.len() as u64;
+                self.cross_coalesced.fetch_add(reused, Ordering::Relaxed);
+                sram_probe::probe_add!("serve.batch.cross_coalesced", reused);
             }
 
             // Deduplicate identical queries inside the group: the
@@ -245,6 +293,7 @@ impl Engine {
     /// characterization.
     fn execute(&self, query: &Query, cell: &CellCharacterization) -> Result<Json, ServeError> {
         let _span = sram_probe::probe_span!("serve.request.exec_ns");
+        let _trace = sram_probe::trace_span!("serve.execute");
         match *query {
             Query::Optimize {
                 capacity_bytes,
@@ -362,7 +411,52 @@ impl Engine {
                     ("yield".into(), yield_json(&analysis)),
                 ]))
             }
+            // Stats never reaches the executor (answered in pass 1,
+            // skipped by the grouping); keep the match total anyway.
+            Query::Stats => Ok(self.stats_json()),
         }
+    }
+
+    /// Live server statistics: uptime, engine counters, cache
+    /// occupancy, queue depth, and the full probe snapshot.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        let cache = self.cache.counters();
+        let queue_depth = sram_probe::gauge("serve.queue.depth").get();
+        Json::Obj(vec![
+            (
+                "uptime_s".into(),
+                Json::Num(self.started.elapsed().as_secs_f64()),
+            ),
+            ("requests".into(), Json::Num(self.requests() as f64)),
+            ("errors".into(), Json::Num(self.errors() as f64)),
+            (
+                "characterizations".into(),
+                Json::Num(self.characterizations() as f64),
+            ),
+            ("coalesced".into(), Json::Num(self.coalesced() as f64)),
+            (
+                "cross_coalesced".into(),
+                Json::Num(self.cross_coalesced() as f64),
+            ),
+            ("queue_depth".into(), Json::Num(queue_depth)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::Num(cache.entries as f64)),
+                    ("bytes".into(), Json::Num(cache.bytes as f64)),
+                    ("hits".into(), Json::Num(cache.hits as f64)),
+                    ("misses".into(), Json::Num(cache.misses as f64)),
+                    ("insertions".into(), Json::Num(cache.insertions as f64)),
+                    ("evictions".into(), Json::Num(cache.evictions as f64)),
+                ]),
+            ),
+            (
+                "trace_dropped".into(),
+                Json::Num(sram_probe::trace::dropped() as f64),
+            ),
+            ("probe".into(), snapshot_json(&sram_probe::snapshot())),
+        ])
     }
 
     /// Sweeps the feasible design space and keeps the non-dominated
@@ -413,6 +507,71 @@ impl Engine {
         }
         Ok(front)
     }
+}
+
+/// Renders a probe snapshot as wire JSON: three objects keyed by
+/// metric name. Histograms are summarized (count/sum/mean) rather than
+/// bucket-expanded — the stats op is a health check, not an exporter.
+fn snapshot_json(snap: &sram_probe::Snapshot) -> Json {
+    let counters: Vec<(String, Json)> = snap
+        .counters
+        .iter()
+        .map(|(name, value)| ((*name).to_string(), Json::Num(*value as f64)))
+        .collect();
+    let gauges: Vec<(String, Json)> = snap
+        .gauges
+        .iter()
+        .map(|(name, value)| ((*name).to_string(), Json::Num(*value)))
+        .collect();
+    let histograms: Vec<(String, Json)> = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            (
+                (*name).to_string(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(h.count as f64)),
+                    ("sum".into(), Json::Num(h.sum as f64)),
+                    ("mean".into(), Json::Num(h.mean())),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("histograms".into(), Json::Obj(histograms)),
+    ])
+}
+
+/// Renders a reconstructed span tree as wire JSON. Start times are
+/// rebased to the root span so clients see offsets, not process epoch.
+#[must_use]
+pub(crate) fn trace_json(node: &sram_probe::trace::SpanNode) -> Json {
+    trace_json_rebased(node, node.start_ns)
+}
+
+fn trace_json_rebased(node: &sram_probe::trace::SpanNode, epoch: u64) -> Json {
+    let args: Vec<(String, Json)> = node
+        .args
+        .iter()
+        .map(|&(key, value)| (key.to_string(), Json::Num(value as f64)))
+        .collect();
+    let children: Vec<Json> = node
+        .children
+        .iter()
+        .map(|child| trace_json_rebased(child, epoch))
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(node.name.to_string())),
+        (
+            "start_ns".into(),
+            Json::Num(node.start_ns.saturating_sub(epoch) as f64),
+        ),
+        ("dur_ns".into(), Json::Num(node.dur_ns as f64)),
+        ("args".into(), Json::Obj(args)),
+        ("children".into(), Json::Arr(children)),
+    ])
 }
 
 fn metrics_vssc_mv(vssc: Voltage) -> i32 {
@@ -611,6 +770,84 @@ mod tests {
             .map(|p| p.get("delay_s").and_then(Json::as_f64).unwrap())
             .collect();
         assert!(delays.windows(2).all(|w| w[0] <= w[1]), "sorted by delay");
+    }
+
+    #[test]
+    fn second_batch_reuses_the_first_batches_characterization() {
+        let engine = coarse_engine();
+        let first = engine.handle(&req(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2"}"#,
+        ));
+        assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(engine.characterizations(), 1);
+        assert_eq!(engine.cross_coalesced(), 0);
+        // A later batch of *new* queries on the same technology pays
+        // for no LUT pass — every member is cross-batch coalesced.
+        let batch = vec![
+            req(r#"{"op":"optimize","capacity_bytes":256,"flavor":"hvt","method":"m2"}"#),
+            req(
+                r#"{"op":"evaluate-point","capacity_bytes":1024,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":0,"n_pre":10,"n_wr":8}"#,
+            ),
+        ];
+        let responses = engine.handle_batch(&batch);
+        for r in &responses {
+            assert_eq!(r.get("status").and_then(Json::as_str), Some("ok"));
+        }
+        assert_eq!(engine.characterizations(), 1, "LUT built exactly once");
+        assert_eq!(engine.cross_coalesced(), 2);
+    }
+
+    #[test]
+    fn stats_query_reports_live_counters_and_is_never_cached() {
+        let engine = coarse_engine();
+        let _ = engine.handle(&req(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2"}"#,
+        ));
+        for _ in 0..2 {
+            let resp = engine.handle(&req(r#"{"op":"stats","id":"s"}"#));
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+            assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(false));
+            let result = resp.get("result").unwrap();
+            assert!(result.get("uptime_s").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(result.get("requests").and_then(Json::as_f64).unwrap() >= 2.0);
+            assert_eq!(
+                result.get("characterizations").and_then(Json::as_f64),
+                Some(1.0)
+            );
+            let cache = result.get("cache").unwrap();
+            assert_eq!(cache.get("entries").and_then(Json::as_f64), Some(1.0));
+            let probe = result.get("probe").unwrap();
+            assert!(probe.get("counters").is_some());
+        }
+        // Stats answers never enter the result cache.
+        assert_eq!(engine.cache_counters().entries, 1);
+    }
+
+    #[test]
+    fn traced_request_inlines_its_span_tree() {
+        let engine = coarse_engine();
+        let resp = engine.handle(&req(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"lvt","method":"m1","trace":true}"#,
+        ));
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let tree = resp.get("trace").expect("traced response carries a tree");
+        assert_eq!(
+            tree.get("name").and_then(Json::as_str),
+            Some("serve.request")
+        );
+        assert_eq!(tree.get("start_ns").and_then(Json::as_f64), Some(0.0));
+        let children = tree.get("children").and_then(Json::as_array).unwrap();
+        let names: Vec<&str> = children
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"serve.characterize"), "{names:?}");
+        assert!(names.contains(&"serve.execute"), "{names:?}");
+        // An untraced request carries no tree.
+        let plain = engine.handle(&req(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"lvt","method":"m1"}"#,
+        ));
+        assert!(plain.get("trace").is_none());
     }
 
     #[test]

@@ -26,9 +26,13 @@
 //! ← {"status":"ok","cached":false,"result":{"label":"6T-HVT-M2",...}}
 //! ```
 //!
-//! Ops: `optimize`, `evaluate-point`, `pareto-front`, `yield-check`.
-//! Envelope fields `id` (echoed) and `deadline_ms` (per-request budget)
-//! are accepted on every op. Error replies carry `"status":"error"`,
+//! Ops: `optimize`, `evaluate-point`, `pareto-front`, `yield-check`,
+//! and `stats` (live probe snapshot, uptime, queue depth, and cache
+//! occupancy — answered directly, never cached). Envelope fields `id`
+//! (echoed), `deadline_ms` (per-request budget), and `trace` (when
+//! `true`, the response carries the request's span tree inline under
+//! `"trace"`: parse → queue wait → characterize/execute → respond) are
+//! accepted on every op. Error replies carry `"status":"error"`,
 //! `"busy"` (queue full — retry), or `"shutting_down"`.
 //!
 //! # Example (in-process)

@@ -2,9 +2,10 @@
 //! keys, and the batching key.
 //!
 //! Every request line is an object with an `"op"` field naming one of
-//! the four query kinds, the kind's own fields, and two optional
-//! envelope fields: `"id"` (echoed verbatim in the response) and
-//! `"deadline_ms"` (per-request budget). Unknown fields are rejected —
+//! the query kinds, the kind's own fields, and three optional envelope
+//! fields: `"id"` (echoed verbatim in the response), `"deadline_ms"`
+//! (per-request budget), and `"trace"` (when `true`, the response
+//! carries the request's span tree inline). Unknown fields are rejected —
 //! a misspelled parameter silently falling back to a default is the
 //! worst failure mode a query service can have.
 //!
@@ -131,15 +132,22 @@ pub enum Query {
         /// Monte Carlo sample count.
         samples: u64,
     },
+    /// Live server statistics: probe snapshot, uptime, queue depth,
+    /// cache occupancy. Answered directly by the engine (never cached,
+    /// never characterized).
+    Stats,
 }
 
-/// A query plus its request envelope (client id, deadline).
+/// A query plus its request envelope (client id, deadline, trace flag).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Client-chosen id, echoed verbatim in the response.
     pub id: Option<String>,
     /// Per-request deadline budget in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// When `true`, the server traces this request and inlines its span
+    /// tree in the response under `"trace"`.
+    pub trace: bool,
     /// The validated query.
     pub query: Query,
 }
@@ -235,7 +243,7 @@ impl<'a> Fields<'a> {
 }
 
 /// Envelope fields accepted on every op.
-const ENVELOPE: [&str; 3] = ["op", "id", "deadline_ms"];
+const ENVELOPE: [&str; 4] = ["op", "id", "deadline_ms", "trace"];
 
 fn capacity_field(fields: &Fields<'_>) -> Result<u64, ServeError> {
     let bytes = fields.u64_field("capacity_bytes")?;
@@ -284,6 +292,12 @@ impl Request {
                 }
                 Some(ms)
             }
+        };
+        let trace = match fields.get("trace") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ServeError::InvalidQuery("trace must be a boolean".into()))?,
         };
 
         let op = fields.str_field("op")?;
@@ -364,9 +378,13 @@ impl Request {
                     samples,
                 }
             }
+            "stats" => {
+                fields.reject_unknown(&[])?;
+                Query::Stats
+            }
             other => {
                 return Err(ServeError::InvalidQuery(format!(
-                "unknown op {other:?} (expected optimize|evaluate-point|pareto-front|yield-check)"
+                "unknown op {other:?} (expected optimize|evaluate-point|pareto-front|yield-check|stats)"
             )))
             }
         };
@@ -374,6 +392,7 @@ impl Request {
         Ok(Request {
             id,
             deadline_ms,
+            trace,
             query,
         })
     }
@@ -387,6 +406,9 @@ impl Request {
         }
         if let Some(ms) = self.deadline_ms {
             pairs.push(("deadline_ms".into(), Json::Num(ms as f64)));
+        }
+        if self.trace {
+            pairs.push(("trace".into(), Json::Bool(true)));
         }
         let num = |v: f64| Json::Num(v);
         match &self.query {
@@ -441,6 +463,9 @@ impl Request {
                 pairs.push(("flavor".into(), Json::Str(flavor_wire(*flavor).into())));
                 pairs.push(("method".into(), Json::Str(method_wire(*method).into())));
                 pairs.push(("samples".into(), num(*samples as f64)));
+            }
+            Query::Stats => {
+                pairs.push(("op".into(), Json::Str("stats".into())));
             }
         }
         Json::Obj(pairs)
@@ -497,6 +522,7 @@ impl Query {
                 flavor_wire(*flavor),
                 method_wire(*method)
             ),
+            Query::Stats => "stats".to_string(),
         }
     }
 
@@ -507,14 +533,16 @@ impl Query {
     }
 
     /// The batching key: queries sharing a `(flavor, method)` pair can
-    /// share one cell characterization pass.
+    /// share one cell characterization pass. `None` for queries that
+    /// need no characterization at all ([`Query::Stats`]).
     #[must_use]
-    pub fn char_key(&self) -> (VtFlavor, Method) {
+    pub fn char_key(&self) -> Option<(VtFlavor, Method)> {
         match *self {
             Query::Optimize { flavor, method, .. }
             | Query::EvaluatePoint { flavor, method, .. }
             | Query::ParetoFront { flavor, method, .. }
-            | Query::YieldCheck { flavor, method, .. } => (flavor, method),
+            | Query::YieldCheck { flavor, method, .. } => Some((flavor, method)),
+            Query::Stats => None,
         }
     }
 }
@@ -643,7 +671,44 @@ mod tests {
         .unwrap()
         .query;
         assert_eq!(q1.char_key(), q2.char_key());
-        assert_eq!(q1.char_key(), (VtFlavor::Hvt, Method::M2));
+        assert_eq!(q1.char_key(), Some((VtFlavor::Hvt, Method::M2)));
+    }
+
+    #[test]
+    fn stats_parses_and_needs_no_characterization() {
+        let r = Request::from_line(r#"{"op":"stats","id":"s1"}"#).unwrap();
+        assert_eq!(r.query, Query::Stats);
+        assert_eq!(r.query.char_key(), None);
+        assert_eq!(r.query.canonical(), "stats");
+        let back = Request::from_line(&r.to_json().render()).unwrap();
+        assert_eq!(back, r);
+        // Stats takes no op fields of its own.
+        assert!(matches!(
+            Request::from_line(r#"{"op":"stats","capacity_bytes":64}"#),
+            Err(ServeError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn trace_flag_parses_and_round_trips() {
+        let r = Request::from_line(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2","trace":true}"#,
+        )
+        .unwrap();
+        assert!(r.trace);
+        let back = Request::from_line(&r.to_json().render()).unwrap();
+        assert_eq!(back, r);
+        // Absent means off; non-boolean is rejected.
+        let plain = Request::from_line(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2"}"#,
+        )
+        .unwrap();
+        assert!(!plain.trace);
+        let err = Request::from_line(
+            r#"{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2","trace":1}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trace must be a boolean"), "{err}");
     }
 
     #[test]

@@ -64,7 +64,12 @@ impl Default for ServerConfig {
 struct Job {
     request: Request,
     enqueued: Instant,
+    /// Enqueue time on the trace clock — lets the worker emit the
+    /// queue-wait interval even though it did not observe the start.
+    enqueued_ns: u64,
     deadline: Option<Instant>,
+    /// Root span id when the request asked for a trace (0 otherwise).
+    trace_root: u64,
     reply: mpsc::Sender<Json>,
 }
 
@@ -322,7 +327,13 @@ fn connection_loop(stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueue, p
 }
 
 /// Parses, enqueues, and awaits one request line.
+///
+/// A request with `"trace": true` forces tracing on for its lifetime
+/// and opens a `serve.request` root span covering parse → queue wait →
+/// evaluate → respond; the reconstructed span tree is inlined in the
+/// response under `"trace"`.
 fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
+    let t_parse = sram_probe::trace::now_ns();
     if line.is_empty() {
         return error_response(None, &ServeError::Protocol("empty request line".into()));
     }
@@ -337,6 +348,25 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
         return error_response(request.id.as_deref(), &ServeError::ShuttingDown);
     }
 
+    // The root span starts retroactively at the parse timestamp so the
+    // tree covers the whole request, not just the queued part.
+    let _force = request.trace.then(sram_probe::trace::force);
+    let root = if request.trace {
+        sram_probe::trace::span_at("serve.request", t_parse)
+    } else {
+        sram_probe::trace::TraceSpan::disabled()
+    };
+    let root_id = root.id();
+    if root_id != 0 {
+        sram_probe::trace::emit_complete(
+            "serve.parse",
+            root_id,
+            t_parse,
+            sram_probe::trace::now_ns(),
+            &[],
+        );
+    }
+
     let now = Instant::now();
     let deadline = request
         .deadline_ms
@@ -346,7 +376,9 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
     let job = Job {
         request,
         enqueued: now,
+        enqueued_ns: sram_probe::trace::now_ns(),
         deadline,
+        trace_root: root_id,
         reply: tx,
     };
     if let Err(e) = queue.push(job) {
@@ -355,12 +387,21 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
         }
         return error_response(id.as_deref(), &e);
     }
-    let response = match rx.recv() {
+    let mut response = match rx.recv() {
         Ok(json) => json,
         // Worker pool went away mid-request (shutdown race).
         Err(_) => error_response(id.as_deref(), &ServeError::ShuttingDown),
     };
     sram_probe::probe_record!("serve.request.latency_ns", now.elapsed().as_nanos() as u64);
+    if root_id != 0 {
+        drop(root); // close the root before reading its interval back
+        let events = sram_probe::trace::capture();
+        if let Some(tree) = sram_probe::trace::span_tree(&events, root_id) {
+            if let Json::Obj(pairs) = &mut response {
+                pairs.push(("trace".into(), crate::engine::trace_json(&tree)));
+            }
+        }
+    }
     response
 }
 
@@ -372,6 +413,12 @@ fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
 }
 
 /// Worker body: drain a batch, expire stale deadlines, run the rest.
+///
+/// Traced jobs get three extras: a `serve.queue_wait` interval (stamped
+/// by the enqueuing thread, emitted here as a complete event), the
+/// engine's spans nested under the first traced job's root (adopted
+/// cross-thread parent), and a `serve.evaluate` interval spanning the
+/// batch execution.
 fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
     while let Some(jobs) = queue.pop_batch(max_batch) {
         let now = Instant::now();
@@ -391,13 +438,44 @@ fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
         if live.is_empty() {
             continue;
         }
+        let t_eval = sram_probe::trace::now_ns();
+        for job in &live {
+            if job.trace_root != 0 {
+                sram_probe::trace::emit_complete(
+                    "serve.queue_wait",
+                    job.trace_root,
+                    job.enqueued_ns,
+                    t_eval,
+                    &[],
+                );
+            }
+        }
+        let adopted_root = live
+            .iter()
+            .map(|j| j.trace_root)
+            .find(|&root| root != 0)
+            .unwrap_or(0);
         let requests: Vec<Request> = live.iter().map(|j| j.request.clone()).collect();
-        let responses = engine.handle_batch(&requests);
+        let responses = {
+            let _adopt = sram_probe::trace::adopt_parent(adopted_root);
+            engine.handle_batch(&requests)
+        };
+        let t_done = sram_probe::trace::now_ns();
+        let batch = live.len() as i64;
         for (job, response) in live.into_iter().zip(responses) {
             sram_probe::probe_record!(
                 "serve.request.queue_wait_ns",
                 job.enqueued.elapsed().as_nanos() as u64
             );
+            if job.trace_root != 0 {
+                sram_probe::trace::emit_complete(
+                    "serve.evaluate",
+                    job.trace_root,
+                    t_eval,
+                    t_done,
+                    &[("batch", batch)],
+                );
+            }
             let _ = job.reply.send(response);
         }
     }
@@ -417,7 +495,9 @@ mod tests {
             Job {
                 request,
                 enqueued: Instant::now(),
+                enqueued_ns: sram_probe::trace::now_ns(),
                 deadline: None,
+                trace_root: 0,
                 reply: tx,
             },
             rx,

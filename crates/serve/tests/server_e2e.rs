@@ -81,6 +81,96 @@ fn protocol_errors_come_back_as_envelopes_not_disconnects() {
 }
 
 #[test]
+fn stats_query_returns_live_snapshot_over_tcp() {
+    let engine = engine();
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let warmup = client
+        .call_line(r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#)
+        .expect("warmup succeeds");
+    assert_eq!(warmup.get("status").and_then(Json::as_str), Some("ok"));
+
+    let stats = client
+        .call_line(r#"{"op":"stats","id":"st"}"#)
+        .expect("stats reply arrives");
+    assert_eq!(stats.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(stats.get("id").and_then(Json::as_str), Some("st"));
+    let result = stats.get("result").expect("stats has a result");
+    assert!(result.get("uptime_s").and_then(Json::as_f64).unwrap() >= 0.0);
+    assert!(result.get("requests").and_then(Json::as_f64).unwrap() >= 2.0);
+    assert_eq!(
+        result.get("characterizations").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert!(result.get("queue_depth").and_then(Json::as_f64).is_some());
+    assert!(result
+        .get("probe")
+        .and_then(|p| p.get("counters"))
+        .is_some());
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn traced_request_over_tcp_carries_the_full_span_tree() {
+    let engine = engine();
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let resp = client
+        .call_line(
+            r#"{"op":"optimize","capacity_bytes":1024,"flavor":"lvt","method":"m1","trace":true}"#,
+        )
+        .expect("traced call succeeds");
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{}",
+        resp.render()
+    );
+    let tree = resp.get("trace").expect("traced response carries a tree");
+    assert_eq!(
+        tree.get("name").and_then(Json::as_str),
+        Some("serve.request")
+    );
+    // The root covers parse → queue wait → evaluate; the engine's
+    // characterize/execute spans nest under the adopted root.
+    let mut names = Vec::new();
+    collect_names(tree, &mut names);
+    for expected in [
+        "serve.parse",
+        "serve.queue_wait",
+        "serve.evaluate",
+        "serve.characterize",
+        "serve.execute",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}: {names:?}");
+    }
+
+    // An untraced request on the same connection stays lean.
+    let plain = client
+        .call_line(r#"{"op":"optimize","capacity_bytes":1024,"flavor":"lvt","method":"m1"}"#)
+        .expect("plain call succeeds");
+    assert!(plain.get("trace").is_none());
+
+    drop(client);
+    server.shutdown();
+}
+
+fn collect_names<'j>(node: &'j Json, out: &mut Vec<&'j str>) {
+    if let Some(name) = node.get("name").and_then(Json::as_str) {
+        out.push(name);
+    }
+    if let Some(children) = node.get("children").and_then(Json::as_array) {
+        for child in children {
+            collect_names(child, out);
+        }
+    }
+}
+
+#[test]
 fn shutdown_is_graceful_for_connected_clients() {
     let server = Server::start(engine(), ServerConfig::default()).expect("server binds");
     let addr = server.local_addr();

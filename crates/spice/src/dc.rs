@@ -170,6 +170,7 @@ impl DcSolver {
         }
         sram_probe::probe_inc!("spice.dc_solves");
         let _span = sram_probe::probe_span!("spice.dc_solve_ns");
+        let _trace = sram_probe::trace_span!("spice.dc_solve");
         let mut x = guess.to_vec();
 
         // Hard-pinned mode: solve once with stiff pins and return that

@@ -74,6 +74,7 @@ impl Transient {
     pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, SpiceError> {
         sram_probe::probe_inc!("spice.transient_runs");
         let _span = sram_probe::probe_span!("spice.transient_ns");
+        let _trace = sram_probe::trace_span!("spice.transient");
         let n = circuit.unknown_count();
         let dc = self.dc_solver.solve_with_guess(circuit, &vec![0.0; n])?;
         let mut x = dc.as_vector().to_vec();
