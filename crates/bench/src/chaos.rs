@@ -1,0 +1,557 @@
+//! `chaos-soak`: opt-in robustness experiment — a multi-client TCP
+//! load run against the query server with a fixed fault plan installed,
+//! hard-failing on any hang, double reply, dropped reply, or probe
+//! counter drift.
+//!
+//! Four phases:
+//!
+//! 1. **replay** — two [`sram_faults::ActiveSet`]s built from the same
+//!    plan and seed must produce bit-identical fire sequences over
+//!    10,000 draws of a fractional-probability rule.
+//! 2. **soak** — several concurrent clients drive a real server while
+//!    the plan injects NaN characterizations (recovered by the engine's
+//!    bounded retry), a slow characterization, two worker panics
+//!    (isolated and respawned), and one connection drop (survived by
+//!    reconnect). Every request must be answered exactly once; a
+//!    stream-alignment check at the end catches double or dropped
+//!    replies.
+//! 3. **repeat** — the soak runs a second time from a fresh install of
+//!    the same plan; the per-point fire counts must be identical.
+//! 4. **deadline** — a deadline-bounded optimize against a warm LUT
+//!    must return the typed cancellation promptly, not burn the sweep.
+//!
+//! Determinism: every rule fires with probability 1 under a `max_fires`
+//! cap, so the total `faults.injected` count is the sum of the caps
+//! regardless of thread interleaving — which requests *observe* each
+//! fault varies, the totals never do.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sram_array::Capacity;
+use sram_coopt::{CoOptimizationFramework, DesignSpace, EnergyDelayProduct, Method};
+use sram_device::VtFlavor;
+use sram_faults::{ActiveSet, CancelReason, CancelToken, FaultPlan, FaultRule};
+use sram_serve::{CacheConfig, Client, Engine, Json, Server, ServerConfig};
+
+/// Concurrent soak clients.
+const CLIENTS: usize = 4;
+/// Requests each client must see answered exactly once.
+const REQUESTS_PER_CLIENT: usize = 6;
+/// Resend budget per request (panics, busy rejections, and the
+/// connection drop all trigger resends; a request needing more than
+/// this is effectively hung).
+const MAX_ATTEMPTS: usize = 10;
+/// Client-side reply timeout — the hang detector.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Structured outcome (consumed by the unit tests; the report is built
+/// from it).
+#[derive(Debug, Clone)]
+pub struct ChaosSoak {
+    /// Phase 1: were the two seeded fire sequences bit-identical?
+    pub replay_identical: bool,
+    /// Requests issued across all soak clients (per round).
+    pub requests: usize,
+    /// Requests answered `ok` exactly once (must equal `requests`).
+    pub answered: usize,
+    /// Typed `internal` replies observed (isolated worker panics).
+    pub internal_replies: usize,
+    /// `busy` backpressure replies observed.
+    pub busy_replies: usize,
+    /// Client reconnects after the injected connection drop.
+    pub reconnects: usize,
+    /// `serve.worker.panics` delta across the first soak round.
+    pub worker_panics: u64,
+    /// `serve.retry.recovered` delta across the first soak round.
+    pub retry_recovered: u64,
+    /// `faults.injected` probe delta across the first soak round.
+    pub injected_probe: u64,
+    /// The registry's own injected total (drift check partner).
+    pub injected_registry: u64,
+    /// Sorted per-point fire counts from round one.
+    pub counts: Vec<(String, u64)>,
+    /// Phase 3: did round two reproduce round one's counts exactly?
+    pub counts_reproduced: bool,
+    /// Phase 4: did the deadline-bounded optimize return the typed
+    /// cancellation?
+    pub deadline_typed: bool,
+    /// Phase 4 wall time — must be far below an uncancelled sweep.
+    pub deadline_elapsed: Duration,
+}
+
+/// The fixed soak plan. Every rule is `p = 1` with a cap, so totals are
+/// timing-independent: 2 + 1 + 2 + 1 = 6 injected faults per round.
+fn soak_plan() -> FaultPlan {
+    FaultPlan::new(0x00DA_C201)
+        .rule(FaultRule::always("cell.characterize_nan", 2))
+        .rule(FaultRule::always("cell.slow", 1).with_latency_ms(25))
+        .rule(FaultRule::always("serve.worker_panic", 2))
+        .rule(FaultRule::always("serve.conn_drop", 1))
+}
+
+/// Expected per-point fire counts for [`soak_plan`] once the soak has
+/// drawn every point past its cap.
+fn expected_counts() -> Vec<(String, u64)> {
+    vec![
+        ("cell.characterize_nan".to_owned(), 2),
+        ("cell.slow".to_owned(), 1),
+        ("serve.conn_drop".to_owned(), 1),
+        ("serve.worker_panic".to_owned(), 2),
+    ]
+}
+
+fn counter(name: &'static str) -> u64 {
+    sram_probe::counter(name).get()
+}
+
+fn engine(threads: usize) -> Arc<Engine> {
+    Arc::new(Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(threads),
+        CacheConfig::default(),
+    ))
+}
+
+/// Per-client tally from one soak round.
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientTally {
+    answered: usize,
+    internal: usize,
+    busy: usize,
+    reconnects: usize,
+}
+
+fn connect(addr: SocketAddr) -> Result<Client, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_timeout(Some(REPLY_TIMEOUT))
+        .map_err(|e| format!("set_timeout: {e}"))?;
+    Ok(client)
+}
+
+/// Drives one client's request schedule to completion: resend on
+/// `internal` and `busy`, reconnect-and-resend on a dropped connection,
+/// hard-fail on a timeout (hang) or an attempt-budget blowout
+/// (unanswered request).
+fn run_client(addr: SocketAddr, index: usize) -> Result<ClientTally, String> {
+    let mut client = connect(addr)?;
+    let mut tally = ClientTally::default();
+    let capacities = [128u64, 256, 512, 1024, 2048, 4096];
+    for r in 0..REQUESTS_PER_CLIENT {
+        let id = format!("c{index}-r{r}");
+        let line = format!(
+            r#"{{"id":"{id}","op":"optimize","capacity_bytes":{},"flavor":"hvt","method":"m2"}}"#,
+            capacities[r % capacities.len()]
+        );
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(format!(
+                    "request {id} unanswered after {MAX_ATTEMPTS} attempts"
+                ));
+            }
+            match client.call_line(&line) {
+                Ok(reply) => match reply.get("status").and_then(Json::as_str) {
+                    Some("ok") => {
+                        if reply.get("id").and_then(Json::as_str) != Some(id.as_str()) {
+                            return Err(format!(
+                                "reply stream misaligned at {id}: {}",
+                                reply.render()
+                            ));
+                        }
+                        tally.answered += 1;
+                        break;
+                    }
+                    Some("internal") => tally.internal += 1,
+                    Some("busy") => {
+                        tally.busy += 1;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    other => {
+                        return Err(format!(
+                            "request {id}: unexpected status {other:?}: {}",
+                            reply.render()
+                        ))
+                    }
+                },
+                Err(sram_serve::ServeError::Remote(_)) => {
+                    // The injected connection drop: clean EOF, no reply.
+                    tally.reconnects += 1;
+                    client = connect(addr)?;
+                }
+                Err(sram_serve::ServeError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(format!("request {id}: reply timed out — server hang"));
+                }
+                Err(e) => return Err(format!("request {id}: transport error: {e}")),
+            }
+        }
+    }
+    // Stream-alignment epilogue: if any earlier reply was doubled or
+    // dropped, this echo comes back with the wrong id.
+    let fin = format!("fin-{index}");
+    let reply = client
+        .call_line(&format!(r#"{{"id":"{fin}","op":"stats"}}"#))
+        .map_err(|e| format!("final stats call: {e}"))?;
+    if reply.get("id").and_then(Json::as_str) != Some(fin.as_str()) {
+        return Err(format!(
+            "double or dropped reply detected: final echo was {}",
+            reply.render()
+        ));
+    }
+    Ok(tally)
+}
+
+/// One soak round: fresh engine + server, concurrent clients, graceful
+/// shutdown. Returns the aggregate tally.
+fn soak_round(threads: usize) -> Result<ClientTally, String> {
+    let server = Server::start(
+        engine(threads),
+        ServerConfig {
+            workers: 2,
+            cache_file: None,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = server.local_addr();
+
+    let mut total = ClientTally::default();
+    let results: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| scope.spawn(move || run_client(addr, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("client thread panicked".to_owned()),
+            })
+            .collect()
+    });
+    server.shutdown();
+    for result in results {
+        let tally = result?;
+        total.answered += tally.answered;
+        total.internal += tally.internal;
+        total.busy += tally.busy;
+        total.reconnects += tally.reconnects;
+    }
+    Ok(total)
+}
+
+/// Keeps the injected worker panics (which are the point of the
+/// exercise) from spraying backtraces over the report; every other
+/// panic still reaches the previous hook.
+fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("(fault plan)"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs all four phases.
+///
+/// # Errors
+///
+/// Any hang, unanswered or doubly-answered request, counter drift, or
+/// non-reproducible fault schedule.
+pub fn soak(threads: usize) -> Result<ChaosSoak, String> {
+    // Counter assertions need the probe layer on regardless of the
+    // environment.
+    sram_probe::set_level(sram_probe::Level::Summary);
+    silence_injected_panics();
+
+    // Phase 1: bit-identical replay of a fractional-probability rule.
+    let replay_plan =
+        FaultPlan::new(0xC0FF_EE00).rule(FaultRule::sometimes("spice.nonconverge", 0.37));
+    let mut first = ActiveSet::new(&replay_plan);
+    let mut second = ActiveSet::new(&replay_plan);
+    let fires_a: Vec<bool> = (0..10_000)
+        .map(|_| first.should_fire("spice.nonconverge"))
+        .collect();
+    let fires_b: Vec<bool> = (0..10_000)
+        .map(|_| second.should_fire("spice.nonconverge"))
+        .collect();
+    let replay_identical = fires_a == fires_b && first.injected_total() > 0;
+
+    // Phase 2: the soak proper, under the fixed plan.
+    let panics_before = counter("serve.worker.panics");
+    let recovered_before = counter("serve.retry.recovered");
+    let injected_before = counter("faults.injected");
+    sram_faults::install(&soak_plan());
+    let round_one = match soak_round(threads) {
+        Ok(tally) => tally,
+        Err(e) => {
+            sram_faults::uninstall();
+            return Err(e);
+        }
+    };
+    let counts = sram_faults::counts();
+    let injected_registry = sram_faults::injected_total();
+    let worker_panics = counter("serve.worker.panics") - panics_before;
+    let retry_recovered = counter("serve.retry.recovered") - recovered_before;
+    let injected_probe = counter("faults.injected") - injected_before;
+
+    // Phase 3: a fresh install of the same plan must reproduce the
+    // per-point fire counts exactly.
+    sram_faults::install(&soak_plan());
+    let round_two = match soak_round(threads) {
+        Ok(tally) => tally,
+        Err(e) => {
+            sram_faults::uninstall();
+            return Err(e);
+        }
+    };
+    let counts_reproduced = sram_faults::counts() == counts && counts == expected_counts();
+    sram_faults::uninstall();
+    if round_two.answered != CLIENTS * REQUESTS_PER_CLIENT {
+        return Err(format!(
+            "round two answered {} of {} requests",
+            round_two.answered,
+            CLIENTS * REQUESTS_PER_CLIENT
+        ));
+    }
+
+    // Phase 4: deadline-bounded optimize. The token is already expired,
+    // so the search must return the typed cancellation at its first
+    // slice boundary instead of completing the sweep.
+    let framework = CoOptimizationFramework::paper_mode()
+        .with_space(DesignSpace::coarse())
+        .with_threads(threads);
+    let cell = framework
+        .characterize_cell(VtFlavor::Hvt, Method::M2)
+        .map_err(|e| format!("characterize: {e}"))?;
+    let token = CancelToken::with_deadline(Instant::now());
+    let started = Instant::now();
+    let outcome = framework.optimize_with_cell_cancel(
+        &cell,
+        Capacity::from_bytes(4096),
+        VtFlavor::Hvt,
+        Method::M2,
+        &EnergyDelayProduct,
+        &token,
+    );
+    let deadline_elapsed = started.elapsed();
+    let deadline_typed = matches!(
+        &outcome,
+        Err(e) if e.cancel_reason() == Some(CancelReason::Deadline)
+    );
+
+    Ok(ChaosSoak {
+        replay_identical,
+        requests: CLIENTS * REQUESTS_PER_CLIENT,
+        answered: round_one.answered,
+        internal_replies: round_one.internal,
+        busy_replies: round_one.busy,
+        reconnects: round_one.reconnects,
+        worker_panics,
+        retry_recovered,
+        injected_probe,
+        injected_registry,
+        counts,
+        counts_reproduced,
+        deadline_typed,
+        deadline_elapsed,
+    })
+}
+
+/// Formats the chaos-soak report from a finished [`ChaosSoak`],
+/// enforcing every invariant.
+///
+/// # Errors
+///
+/// Any invariant violation: replay divergence, unanswered requests, no
+/// injected panic, no retry recovery, probe/registry drift, a
+/// non-reproducible schedule, or an unbounded deadline cancellation.
+pub fn report(c: &ChaosSoak) -> Result<String, String> {
+    let mut out = String::from(
+        "Chaos soak (sram-faults): deterministic injection under multi-client load\n\n",
+    );
+    out.push_str(&format!(
+        "  replay:   10,000 seeded draws, two independent sets: {}\n",
+        if c.replay_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    ));
+    out.push_str(&format!(
+        "  soak:     {} requests over {CLIENTS} clients -> {} answered exactly once\n",
+        c.requests, c.answered
+    ));
+    out.push_str(&format!(
+        "            {} internal replies (worker panics isolated), {} busy, {} reconnects\n",
+        c.internal_replies, c.busy_replies, c.reconnects
+    ));
+    out.push_str(&format!(
+        "  faults:   injected {} (probe) / {} (registry); panics {}, retries recovered {}\n",
+        c.injected_probe, c.injected_registry, c.worker_panics, c.retry_recovered
+    ));
+    let count_list: Vec<String> = c
+        .counts
+        .iter()
+        .map(|(point, fires)| format!("{point}={fires}"))
+        .collect();
+    out.push_str(&format!(
+        "            per-point fires: {} — second run {}\n",
+        count_list.join(", "),
+        if c.counts_reproduced {
+            "identical"
+        } else {
+            "DRIFTED"
+        }
+    ));
+    out.push_str(&format!(
+        "  deadline: expired-token optimize -> {} in {:.1} ms\n",
+        if c.deadline_typed {
+            "typed deadline_exceeded"
+        } else {
+            "WRONG OUTCOME"
+        },
+        c.deadline_elapsed.as_secs_f64() * 1e3
+    ));
+
+    if !c.replay_identical {
+        return Err("seeded replay diverged".to_owned());
+    }
+    if c.answered != c.requests {
+        return Err(format!(
+            "{} of {} requests answered",
+            c.answered, c.requests
+        ));
+    }
+    if c.worker_panics < 1 {
+        return Err("no worker panic was injected".to_owned());
+    }
+    if c.retry_recovered < 1 {
+        return Err("bounded retry never recovered".to_owned());
+    }
+    if c.injected_probe != c.injected_registry {
+        return Err(format!(
+            "probe counter drift: probe {} vs registry {}",
+            c.injected_probe, c.injected_registry
+        ));
+    }
+    if !c.counts_reproduced {
+        return Err("fault schedule was not reproducible".to_owned());
+    }
+    if !c.deadline_typed || c.deadline_elapsed > Duration::from_millis(250) {
+        return Err(format!(
+            "deadline cancellation broken: typed={}, elapsed={:?}",
+            c.deadline_typed, c.deadline_elapsed
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs all four phases and renders the invariant-checked report.
+///
+/// # Errors
+///
+/// Propagates [`soak`] failures and [`report`] invariant violations.
+pub fn run(threads: usize) -> Result<String, String> {
+    report(&soak(threads)?)
+}
+
+// The soak itself installs a process-global fault plan, so its tests
+// live in `tests/chaos_soak.rs` (their own process) instead of racing
+// the other unit tests in this binary. Only global-free pieces are
+// tested here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_replay_is_bit_identical_without_touching_globals() {
+        let plan =
+            FaultPlan::new(0xC0FF_EE00).rule(FaultRule::sometimes("spice.nonconverge", 0.37));
+        let mut first = ActiveSet::new(&plan);
+        let mut second = ActiveSet::new(&plan);
+        for draw in 0..10_000 {
+            assert_eq!(
+                first.should_fire("spice.nonconverge"),
+                second.should_fire("spice.nonconverge"),
+                "diverged at draw {draw}"
+            );
+        }
+        assert!(first.injected_total() > 0, "p=0.37 must fire sometimes");
+        assert!(first.injected_total() < 10_000, "and must not always fire");
+    }
+
+    #[test]
+    fn soak_plan_caps_sum_to_the_expected_injection_total() {
+        let total: u64 = expected_counts().iter().map(|(_, fires)| fires).sum();
+        assert_eq!(total, 6, "2 nan + 1 slow + 2 panic + 1 drop");
+        let mut set = ActiveSet::new(&soak_plan());
+        for _ in 0..1_000 {
+            for (point, _) in expected_counts() {
+                set.decide(&point);
+            }
+        }
+        assert_eq!(set.counts(), expected_counts(), "caps bound every point");
+        assert_eq!(set.injected_total(), total);
+    }
+
+    fn healthy_outcome() -> ChaosSoak {
+        ChaosSoak {
+            replay_identical: true,
+            requests: 24,
+            answered: 24,
+            internal_replies: 2,
+            busy_replies: 0,
+            reconnects: 1,
+            worker_panics: 2,
+            retry_recovered: 1,
+            injected_probe: 6,
+            injected_registry: 6,
+            counts: expected_counts(),
+            counts_reproduced: true,
+            deadline_typed: true,
+            deadline_elapsed: Duration::from_millis(3),
+        }
+    }
+
+    #[test]
+    fn report_names_the_invariants() {
+        let text = report(&healthy_outcome()).expect("healthy outcome renders");
+        assert!(text.contains("bit-identical"));
+        assert!(text.contains("answered exactly once"));
+        assert!(text.contains("typed deadline_exceeded"));
+        assert!(text.contains("second run identical"));
+    }
+
+    type Sabotage = fn(&mut ChaosSoak);
+
+    #[test]
+    fn report_rejects_each_broken_invariant() {
+        let broken: [(&str, Sabotage); 5] = [
+            ("replay", |c| c.replay_identical = false),
+            ("answered", |c| c.answered = 23),
+            ("drift", |c| c.injected_probe = 5),
+            ("schedule", |c| c.counts_reproduced = false),
+            ("deadline", |c| c.deadline_typed = false),
+        ];
+        for (label, sabotage) in broken {
+            let mut c = healthy_outcome();
+            sabotage(&mut c);
+            assert!(report(&c).is_err(), "{label} violation must be fatal");
+        }
+    }
+}

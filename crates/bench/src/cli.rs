@@ -72,6 +72,10 @@ fn bench_trajectory(threads: usize) -> Result<String, String> {
     crate::trajectory::run(threads)
 }
 
+fn chaos_soak(threads: usize) -> Result<String, String> {
+    crate::chaos::run(threads)
+}
+
 /// Every experiment the binary can run, in execution order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -146,6 +150,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         in_all: false,
         run: rails_sim,
     },
+    Experiment {
+        name: "chaos-soak",
+        summary: "fault-injection soak: panic isolation, retry, cancellation under load — opt-in",
+        in_all: false,
+        run: chaos_soak,
+    },
 ];
 
 /// Outcome of resolving a CLI experiment argument.
@@ -219,7 +229,7 @@ mod tests {
         assert!(chosen.iter().all(|e| e.in_all));
         assert_eq!(
             skipped.iter().map(|e| e.name).collect::<Vec<_>>(),
-            vec!["bench-trajectory", "rails-sim"]
+            vec!["bench-trajectory", "rails-sim", "chaos-soak"]
         );
     }
 

@@ -18,12 +18,14 @@
 //! | [`extensions`] | Banking, drowsy standby, statistically derated optimization |
 //! | [`serve`] | Query-server bench: batching, result cache, TCP round trip |
 //! | [`trajectory`] | Performance trajectory: search throughput, cache latency, trace overhead |
+//! | [`chaos`] | Chaos soak: deterministic fault injection under multi-client load |
 //! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod cli;
 pub mod extensions;
 pub mod fig2;

@@ -1,0 +1,38 @@
+//! End-to-end chaos-soak run. Lives in its own test binary (own
+//! process) because the soak installs a process-global fault plan that
+//! would otherwise leak panics and latency into unrelated unit tests.
+
+use std::time::Duration;
+
+use sram_bench::chaos;
+
+#[test]
+fn chaos_soak_answers_everything_and_reproduces_fault_counts() {
+    let c = chaos::soak(2).expect("soak runs");
+    assert!(c.replay_identical, "seeded replay must be bit-identical");
+    assert_eq!(c.answered, c.requests, "exactly-once accounting");
+    // Both planned panic fires are consumed, but batching decides
+    // whether they land in one doomed batch or two.
+    assert!(
+        (1..=2).contains(&c.worker_panics),
+        "planned panics fire: got {}",
+        c.worker_panics
+    );
+    assert_eq!(c.retry_recovered, 1, "retry recovers the LUT build");
+    assert_eq!(c.injected_probe, 6, "2 nan + 1 slow + 2 panic + 1 drop");
+    assert_eq!(c.injected_probe, c.injected_registry, "no counter drift");
+    assert!(c.counts_reproduced, "same plan + seed, same schedule");
+    assert!(c.deadline_typed, "typed cancellation");
+    assert!(c.deadline_elapsed < Duration::from_millis(250));
+    // Every panic fire strands the drawn job (and possibly batchmates),
+    // each of which must have received a typed internal reply.
+    assert!(
+        c.internal_replies >= 2,
+        "stranded requests get typed replies: got {}",
+        c.internal_replies
+    );
+    assert_eq!(c.reconnects, 1, "one injected connection drop");
+
+    let text = chaos::report(&c).expect("healthy soak renders a report");
+    assert!(text.contains("answered exactly once"));
+}

@@ -1,6 +1,7 @@
 //! Cell-characterization error type.
 
 use core::fmt;
+use sram_faults::CancelReason;
 use sram_spice::SpiceError;
 
 /// Errors produced during cell characterization.
@@ -24,6 +25,23 @@ pub enum CellError {
         /// Which search failed.
         what: &'static str,
     },
+    /// A cooperative cancellation token fired mid-run (deadline or
+    /// shutdown); the work was abandoned, not completed.
+    Cancelled(CancelReason),
+}
+
+impl CellError {
+    /// Whether retrying could plausibly succeed: transient simulation
+    /// failures and threshold-miss measurements are retry candidates;
+    /// structural/config errors and cancellations are not.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CellError::Simulation(e) => e.is_transient(),
+            CellError::MeasurementFailed { .. } => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CellError {
@@ -37,6 +55,7 @@ impl fmt::Display for CellError {
             CellError::BracketingFailed { what } => {
                 write!(f, "bisection could not bracket {what}")
             }
+            CellError::Cancelled(reason) => write!(f, "characterization cancelled: {reason}"),
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::{AssistVoltages, CellCharacterizer, CellError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sram_faults::CancelToken;
 use sram_units::Voltage;
 
 /// Which margin a statistic describes.
@@ -155,6 +156,22 @@ impl YieldAnalyzer {
     ///
     /// Propagates simulator errors other than margin collapse.
     pub fn run(&self, bias: &AssistVoltages) -> Result<YieldAnalysis, CellError> {
+        self.run_with_cancel(bias, &CancelToken::never())
+    }
+
+    /// [`YieldAnalyzer::run`] with a cooperative [`CancelToken`], polled
+    /// once per sample so a deadline or shutdown aborts the analysis
+    /// within one sample's work.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Cancelled`] when the token fires mid-run, otherwise
+    /// the same errors as [`YieldAnalyzer::run`].
+    pub fn run_with_cancel(
+        &self,
+        bias: &AssistVoltages,
+        cancel: &CancelToken,
+    ) -> Result<YieldAnalysis, CellError> {
         sram_probe::probe_inc!("cell.mc_runs");
         let _span = sram_probe::probe_span!("cell.mc_run_ns");
         let _trace = sram_probe::trace_span!("cell.mc_run");
@@ -168,6 +185,10 @@ impl YieldAnalyzer {
         let mut rsnm = Vec::with_capacity(self.config.samples);
         let mut wm = Vec::with_capacity(self.config.samples);
         for _ in 0..self.config.samples {
+            if let Some(reason) = cancel.cancelled() {
+                sram_probe::probe_inc!("cell.mc_cancelled");
+                return Err(CellError::Cancelled(reason));
+            }
             sram_probe::probe_inc!("cell.mc_samples");
             let cell = self.characterizer.cell().with_variation(&mut rng);
             let chr = self
@@ -260,6 +281,25 @@ mod tests {
         assert_eq!(y.hsnm.samples, 8);
         assert!(y.hsnm.sigma.volts() > 0.0, "variation must spread margins");
         assert!(y.hsnm.mean > y.rsnm.mean, "read disturb persists under MC");
+    }
+
+    #[test]
+    fn expired_token_cancels_before_the_first_sample() {
+        use std::time::{Duration, Instant};
+        let lib = DeviceLibrary::sevennm();
+        let chr = CellCharacterizer::new(&lib, VtFlavor::Hvt);
+        let analyzer = YieldAnalyzer::new(chr, MonteCarloConfig::default());
+        let bias = AssistVoltages::nominal(Voltage::from_millivolts(450.0));
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let started = Instant::now();
+        let err = analyzer.run_with_cancel(&bias, &token).unwrap_err();
+        assert!(matches!(err, CellError::Cancelled(_)), "{err}");
+        assert!(err.to_string().contains("deadline"));
+        assert!(!err.is_transient(), "cancellation must not be retried");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "200-sample default run was not short-circuited"
+        );
     }
 
     #[test]

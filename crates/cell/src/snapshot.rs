@@ -88,6 +88,16 @@ impl CellCharacterization {
         sram_probe::probe_inc!("cell.characterizations");
         let _span = sram_probe::probe_span!("cell.characterize_ns");
         let _trace = sram_probe::trace_span!("cell.characterize");
+        // Chaos hooks: `cell.slow` stretches this snapshot by the plan's
+        // injected latency; `cell.characterize_nan` poisons it outright —
+        // the transient measurement failure the retry layer must absorb.
+        sram_faults::maybe_sleep("cell.slow");
+        if sram_faults::should_fire("cell.characterize_nan") {
+            return Err(CellError::MeasurementFailed {
+                what: "characterization",
+                reason: "injected NaN measurement (fault plan)".to_string(),
+            });
+        }
         let vdd = characterizer.vdd();
         let nominal = AssistVoltages::nominal(vdd);
         let leakage = characterizer.leakage_power(&nominal)?;

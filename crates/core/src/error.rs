@@ -3,6 +3,7 @@
 use core::fmt;
 use sram_array::ArrayError;
 use sram_cell::CellError;
+use sram_faults::CancelReason;
 
 /// Errors produced by the co-optimization framework.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,32 @@ pub enum CooptError {
         /// Which rail failed (`"V_DDC"` or `"V_WL"`).
         rail: &'static str,
     },
+    /// A cooperative cancellation token fired mid-search (deadline or
+    /// shutdown); the sweep was abandoned at a slice boundary.
+    Cancelled(CancelReason),
+}
+
+impl CooptError {
+    /// Whether retrying the same call could plausibly succeed — only
+    /// transient characterization failures qualify; infeasibility,
+    /// empty spaces, and cancellations are final.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CooptError::Cell(e) if e.is_transient())
+    }
+
+    /// The cancellation reason, when this error is a cancellation at any
+    /// layer (the serve layer maps `Deadline` and `Shutdown` to distinct
+    /// wire statuses).
+    #[must_use]
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        match self {
+            CooptError::Cancelled(reason) | CooptError::Cell(CellError::Cancelled(reason)) => {
+                Some(*reason)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CooptError {
@@ -53,6 +80,7 @@ impl fmt::Display for CooptError {
                     "could not find a {rail} level meeting the yield requirement"
                 )
             }
+            CooptError::Cancelled(reason) => write!(f, "search cancelled: {reason}"),
         }
     }
 }

@@ -8,6 +8,7 @@ use crate::{
 use sram_array::{ArrayParams, Capacity, Periphery};
 use sram_cell::{CellCharacterization, CellCharacterizer, CharacterizationGrid};
 use sram_device::{DeviceLibrary, VtFlavor};
+use sram_faults::CancelToken;
 use sram_units::Voltage;
 use std::collections::HashMap;
 
@@ -194,6 +195,18 @@ impl CoOptimizationFramework {
         let rails = self.rails(flavor, method)?;
         Ok(match self.mode {
             CharacterizationMode::PaperModel => {
+                // Chaos hooks for the analytic path: the simulated path
+                // draws these inside `CellCharacterization::characterize`,
+                // so paper-mode serve traffic exercises the same injected
+                // latency and transient-failure handling without ever
+                // double-drawing a point.
+                sram_faults::maybe_sleep("cell.slow");
+                if sram_faults::should_fire("cell.characterize_nan") {
+                    return Err(CooptError::Cell(sram_cell::CellError::MeasurementFailed {
+                        what: "characterization",
+                        reason: "injected NaN measurement (fault plan)".to_string(),
+                    }));
+                }
                 CellCharacterization::paper_with_rails(flavor, self.vdd(), rails.vddc, rails.vwl)
             }
             CharacterizationMode::Simulated => {
@@ -266,6 +279,7 @@ impl CoOptimizationFramework {
             flavor,
             method,
             objective,
+            &CancelToken::never(),
         )
     }
 
@@ -289,6 +303,36 @@ impl CoOptimizationFramework {
         method: Method,
         objective: &(impl Objective + Sync + ?Sized),
     ) -> Result<OptimalDesign, CooptError> {
+        self.optimize_with_cell_cancel(
+            cell,
+            capacity,
+            flavor,
+            method,
+            objective,
+            &CancelToken::never(),
+        )
+    }
+
+    /// [`Self::optimize_with_cell`] with a cooperative [`CancelToken`]:
+    /// the serve layer links each request's deadline and the server's
+    /// shutdown flag into the token, and the search polls it at slice
+    /// boundaries — an expired deadline surfaces as a typed
+    /// [`CooptError::Cancelled`] within one slice instead of burning the
+    /// rest of the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`CooptError::Cancelled`] when the token fires mid-search, plus
+    /// everything [`Self::optimize_with_cell`] returns.
+    pub fn optimize_with_cell_cancel(
+        &self,
+        cell: &CellCharacterization,
+        capacity: Capacity,
+        flavor: VtFlavor,
+        method: Method,
+        objective: &(impl Objective + Sync + ?Sized),
+        cancel: &CancelToken,
+    ) -> Result<OptimalDesign, CooptError> {
         Self::optimize_with_cell_inner(
             cell,
             &self.periphery,
@@ -302,6 +346,7 @@ impl CoOptimizationFramework {
             flavor,
             method,
             objective,
+            cancel,
         )
     }
 
@@ -322,6 +367,7 @@ impl CoOptimizationFramework {
         flavor: VtFlavor,
         method: Method,
         objective: &(impl Objective + Sync + ?Sized),
+        cancel: &CancelToken,
     ) -> Result<OptimalDesign, CooptError> {
         let space = match method {
             Method::M1 => space.clone().without_negative_gnd(),
@@ -335,7 +381,8 @@ impl CoOptimizationFramework {
             YieldConstraint::MinMargin { delta },
             word_bits,
         )
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_cancel(cancel.clone());
         let outcome = search.run(capacity, objective)?;
 
         Ok(OptimalDesign {
@@ -367,6 +414,23 @@ impl CoOptimizationFramework {
         design: &crate::OptimalDesign,
         samples: usize,
     ) -> Result<sram_cell::YieldAnalysis, CooptError> {
+        self.verify_statistical_yield_cancel(design, samples, &CancelToken::never())
+    }
+
+    /// [`Self::verify_statistical_yield`] with a cooperative
+    /// [`CancelToken`], polled once per Monte Carlo sample.
+    ///
+    /// # Errors
+    ///
+    /// [`CooptError::Cell`] wrapping a cancellation when the token fires
+    /// mid-run, plus everything [`Self::verify_statistical_yield`]
+    /// returns.
+    pub fn verify_statistical_yield_cancel(
+        &self,
+        design: &crate::OptimalDesign,
+        samples: usize,
+        cancel: &CancelToken,
+    ) -> Result<sram_cell::YieldAnalysis, CooptError> {
         use sram_cell::{AssistVoltages, MonteCarloConfig, YieldAnalyzer};
         let chr = CellCharacterizer::new(&self.library, design.flavor);
         let bias = AssistVoltages::nominal(self.vdd())
@@ -381,7 +445,7 @@ impl CoOptimizationFramework {
                 vtc_points: 25,
             },
         )
-        .run(&bias)
+        .run_with_cancel(&bias, cancel)
         .map_err(CooptError::Cell)
     }
 

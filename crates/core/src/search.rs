@@ -3,7 +3,9 @@
 use crate::{CooptError, DesignSpace, Objective, SearchStatistics, YieldConstraint};
 use sram_array::{ArrayMetrics, ArrayModel, ArrayOrganization, ArrayParams, Capacity, Periphery};
 use sram_cell::CellCharacterization;
+use sram_faults::{CancelReason, CancelToken};
 use sram_units::Voltage;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One candidate assignment of the searched variables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +48,7 @@ pub struct ExhaustiveSearch<'a> {
     constraint: YieldConstraint,
     word_bits: u32,
     threads: usize,
+    cancel: CancelToken,
 }
 
 impl<'a> ExhaustiveSearch<'a> {
@@ -68,6 +71,7 @@ impl<'a> ExhaustiveSearch<'a> {
             constraint,
             word_bits,
             threads: 1,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -76,6 +80,15 @@ impl<'a> ExhaustiveSearch<'a> {
     #[must_use]
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, polled once per slice
+    /// on both the serial and parallel paths — a fired token aborts the
+    /// sweep within one slice's work instead of running to completion.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -169,6 +182,12 @@ impl<'a> ExhaustiveSearch<'a> {
         (best, stats)
     }
 
+    /// Builds the typed cancellation error (and counts the abort).
+    fn cancelled(&self, reason: CancelReason) -> CooptError {
+        sram_probe::probe_inc!("coopt.search_cancelled");
+        CooptError::Cancelled(reason)
+    }
+
     /// Runs the search for `capacity` under `objective`.
     ///
     /// # Errors
@@ -176,7 +195,9 @@ impl<'a> ExhaustiveSearch<'a> {
     /// * [`CooptError::EmptyDesignSpace`] when the capacity admits no
     ///   organization within the row range;
     /// * [`CooptError::Infeasible`] when no candidate meets the yield
-    ///   constraint.
+    ///   constraint;
+    /// * [`CooptError::Cancelled`] when the attached [`CancelToken`]
+    ///   fires mid-sweep (checked at slice boundaries).
     pub fn run(
         &self,
         capacity: Capacity,
@@ -198,24 +219,40 @@ impl<'a> ExhaustiveSearch<'a> {
         let search_span = _trace.id();
 
         let results: Vec<(Option<ScoredCandidate>, SearchStatistics)> = if self.threads <= 1 {
-            slices
-                .iter()
-                .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
-                .collect()
+            let mut out = Vec::with_capacity(slices.len());
+            for &(org, vssc) in &slices {
+                if let Some(reason) = self.cancel.cancelled() {
+                    return Err(self.cancelled(reason));
+                }
+                out.push(self.best_in_slice(org, vssc, objective));
+            }
+            out
         } else {
+            // Workers poll the token per slice and trip a shared latch so
+            // every sibling chunk stops at its next slice boundary too.
+            let stop = AtomicBool::new(false);
             let chunks: Vec<&[(ArrayOrganization, Voltage)]> =
                 slices.chunks(slices.len().div_ceil(self.threads)).collect();
-            std::thread::scope(|scope| {
+            let results = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                         .into_iter()
                         .map(|chunk| {
                             sram_probe::probe_record!(detail "coopt.slices_per_worker", chunk.len() as u64);
+                            let stop = &stop;
                             scope.spawn(move || {
                                 let _adopt = sram_probe::trace::adopt_parent(search_span);
-                                chunk
-                                    .iter()
-                                    .map(|&(org, vssc)| self.best_in_slice(org, vssc, objective))
-                                    .collect::<Vec<_>>()
+                                let mut partial = Vec::with_capacity(chunk.len());
+                                for &(org, vssc) in chunk {
+                                    if stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    if self.cancel.is_cancelled() {
+                                        stop.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    partial.push(self.best_in_slice(org, vssc, objective));
+                                }
+                                partial
                             })
                         })
                         .collect();
@@ -223,8 +260,15 @@ impl<'a> ExhaustiveSearch<'a> {
                     .into_iter()
                     // sram-lint: allow(no-panic) re-raising a worker panic at the join is the scoped-thread contract
                     .flat_map(|h| h.join().expect("search worker panicked"))
-                    .collect()
-            })
+                    .collect::<Vec<_>>()
+            });
+            if stop.load(Ordering::Relaxed) {
+                // Deadlines and shutdown flags are monotonic, so the token
+                // still reports the reason the workers observed.
+                let reason = self.cancel.cancelled().unwrap_or(CancelReason::Shutdown);
+                return Err(self.cancelled(reason));
+            }
+            results
         };
 
         let mut stats = SearchStatistics::default();
@@ -327,6 +371,73 @@ mod tests {
         assert_eq!(serial.best, parallel.best);
         assert_eq!(serial.stats, parallel.stats);
         assert!((serial.score - parallel.score).abs() < 1e-30);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_within_one_slice() {
+        use std::time::{Duration, Instant};
+        let fx = fixture();
+        // Measure one uncancelled run to bound what "one slice" costs.
+        let started = Instant::now();
+        search(&fx)
+            .run(Capacity::from_bytes(4096), &EnergyDelayProduct)
+            .unwrap();
+        let full_run = started.elapsed();
+        let slice_count = search(&fx).slices(Capacity::from_bytes(4096)).len();
+        assert!(slice_count > 1, "need a multi-slice space for this test");
+        let slice_budget = full_run / slice_count as u32;
+
+        // An already-expired deadline must abort before the first slice.
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let started = Instant::now();
+        let err = search(&fx)
+            .with_cancel(token)
+            .run(Capacity::from_bytes(4096), &EnergyDelayProduct)
+            .unwrap_err();
+        let stopped_after = started.elapsed();
+        assert!(
+            matches!(err, CooptError::Cancelled(CancelReason::Deadline)),
+            "{err}"
+        );
+        assert_eq!(err.cancel_reason(), Some(CancelReason::Deadline));
+        assert!(!err.is_transient(), "cancellation must not be retried");
+        // "Within one slice of expiry": generous scheduling slack plus the
+        // measured per-slice cost, still far below the full-run duration.
+        assert!(
+            stopped_after <= slice_budget + Duration::from_millis(250),
+            "took {stopped_after:?} to observe an already-expired deadline \
+             (slice budget {slice_budget:?}, full run {full_run:?})"
+        );
+    }
+
+    #[test]
+    fn parallel_workers_observe_shutdown_between_slices() {
+        let fx = fixture();
+        let token = CancelToken::never();
+        token.cancel();
+        let err = search(&fx)
+            .with_threads(4)
+            .with_cancel(token)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap_err();
+        assert!(
+            matches!(err, CooptError::Cancelled(CancelReason::Shutdown)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn never_token_changes_nothing() {
+        let fx = fixture();
+        let plain = search(&fx)
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        let with_token = search(&fx)
+            .with_cancel(CancelToken::never())
+            .run(Capacity::from_bytes(1024), &EnergyDelayProduct)
+            .unwrap();
+        assert_eq!(plain.best, with_token.best);
+        assert_eq!(plain.stats, with_token.stats);
     }
 
     #[test]

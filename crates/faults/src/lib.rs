@@ -1,0 +1,59 @@
+//! # sram-faults — deterministic fault injection and cooperative cancellation
+//!
+//! Std-only, like the rest of the workspace. Two halves:
+//!
+//! 1. **Fault injection.** A [`FaultPlan`] names injection points
+//!    (`spice.nonconverge`, `cell.characterize_nan`, `cell.slow`,
+//!    `serve.worker_panic`, `serve.conn_drop`), each with a firing
+//!    probability, an optional injected latency, and an optional cap on
+//!    total fires. Installing a plan ([`install`] / `SRAM_FAULTS=plan.json`
+//!    via [`install_from_env`]) arms the process-wide registry; hardened
+//!    call sites then ask [`should_fire`] / [`maybe_sleep`] at their named
+//!    point. Every point draws from its own PRNG stream seeded
+//!    `plan.seed ^ fnv1a64(point)`, so the fire/no-fire sequence at a point
+//!    depends only on the plan — never on thread interleaving or on how
+//!    draws at *other* points are ordered — and runs replay bit-identically.
+//!    With no plan installed, the fast path is a single relaxed atomic load.
+//!
+//! 2. **Cancellation.** A [`CancelToken`] carries a deadline and a shared
+//!    shutdown flag. It is plumbed from the serve layer through
+//!    `optimize_with_cell` into the exhaustive-search slice loop and the
+//!    Monte Carlo sample loop, which poll it cooperatively — an expired
+//!    deadline aborts a sweep mid-flight with a typed error instead of
+//!    running to completion.
+//!
+//! The crate sits below `serve`, `core`, `cell`, and `spice` in the
+//! dependency graph (it depends only on `sram-probe` and the vendored
+//! `rand`), so every layer can share the same token and registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cancel;
+mod plan;
+mod registry;
+
+pub use cancel::{CancelReason, CancelToken};
+pub use plan::{FaultError, FaultPlan, FaultRule};
+pub use registry::{
+    counts, enabled, injected_total, install, install_from_env, maybe_sleep, should_fire,
+    uninstall, ActiveSet,
+};
+
+/// Environment variable naming a fault-plan JSON file; read by
+/// [`install_from_env`].
+pub const SRAM_FAULTS_ENV: &str = "SRAM_FAULTS";
+
+/// FNV-1a 64-bit hash — the same content-addressing primitive the serve
+/// cache uses. Exposed so tests can predict per-point stream seeds.
+#[must_use]
+pub fn fnv1a64(s: &str) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = BASIS;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}

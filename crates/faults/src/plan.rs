@@ -1,0 +1,490 @@
+//! Fault plans: which injection points can fire, with what probability,
+//! latency, and cap — plus a dependency-free JSON reader so plans load
+//! from `SRAM_FAULTS=plan.json` without pulling the serve codec down the
+//! dependency graph.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// One injection rule: a named point, a firing probability, an optional
+/// injected latency, and an optional hard cap on total fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Injection-point name, e.g. `spice.nonconverge`.
+    pub point: String,
+    /// Probability in `[0, 1]` that a single draw at this point fires.
+    pub probability: f64,
+    /// Latency injected when a latency point (e.g. `cell.slow`) fires.
+    pub latency_ms: u64,
+    /// Hard cap on total fires at this point; `None` means unbounded.
+    pub max_fires: Option<u64>,
+}
+
+impl FaultRule {
+    /// A rule that fires every draw until `max_fires` is exhausted — the
+    /// workhorse for deterministic chaos plans, since the fire count then
+    /// never depends on how many draws each thread happens to make.
+    #[must_use]
+    pub fn always(point: &str, max_fires: u64) -> Self {
+        Self {
+            point: point.to_string(),
+            probability: 1.0,
+            latency_ms: 0,
+            max_fires: Some(max_fires),
+        }
+    }
+
+    /// A rule that fires each draw independently with `probability`.
+    #[must_use]
+    pub fn sometimes(point: &str, probability: f64) -> Self {
+        Self {
+            point: point.to_string(),
+            probability,
+            latency_ms: 0,
+            max_fires: None,
+        }
+    }
+
+    /// Attaches an injected latency to the rule (milliseconds).
+    #[must_use]
+    pub fn with_latency_ms(mut self, latency_ms: u64) -> Self {
+        self.latency_ms = latency_ms;
+        self
+    }
+}
+
+/// A deterministic, seeded set of fault rules. Install with
+/// [`crate::install`] or load from a file via [`FaultPlan::from_file`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Master seed; each point derives its own stream as
+    /// `seed ^ fnv1a64(point)`.
+    pub seed: u64,
+    /// The rules, one per injection point.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Appends a rule (builder style).
+    #[must_use]
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Parses a plan from its JSON form:
+    ///
+    /// ```json
+    /// {"seed": 7, "rules": [
+    ///   {"point": "spice.nonconverge", "probability": 1.0, "max_fires": 2},
+    ///   {"point": "cell.slow", "probability": 0.5, "latency_ms": 25}
+    /// ]}
+    /// ```
+    ///
+    /// `p` is accepted as a shorthand for `probability` (default 1.0);
+    /// `latency_ms` defaults to 0 and `max_fires` to unbounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Parse`] on malformed JSON and
+    /// [`FaultError::Invalid`] on a well-formed plan that is semantically
+    /// bad (empty point name, probability outside `[0, 1]`).
+    pub fn parse(json: &str) -> Result<Self, FaultError> {
+        let value = Parser::new(json).document()?;
+        let top = value.as_object("plan")?;
+        let mut plan = FaultPlan::default();
+        for (key, val) in top {
+            match key.as_str() {
+                "seed" => plan.seed = val.as_u64("seed")?,
+                "rules" => {
+                    for entry in val.as_array("rules")? {
+                        plan.rules.push(rule_from(entry)?);
+                    }
+                }
+                other => {
+                    return Err(FaultError::Invalid {
+                        message: format!("unknown plan key `{other}`"),
+                    })
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Reads and parses a plan file (see [`FaultPlan::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::Io`] if the file is unreadable, otherwise
+    /// whatever [`FaultPlan::parse`] returns.
+    pub fn from_file(path: &Path) -> Result<Self, FaultError> {
+        let text = fs::read_to_string(path).map_err(|e| FaultError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::parse(&text)
+    }
+
+    fn validate(&self) -> Result<(), FaultError> {
+        for rule in &self.rules {
+            if rule.point.is_empty() {
+                return Err(FaultError::Invalid {
+                    message: "rule with empty point name".to_string(),
+                });
+            }
+            if !(0.0..=1.0).contains(&rule.probability) {
+                return Err(FaultError::Invalid {
+                    message: format!(
+                        "rule `{}`: probability {} outside [0, 1]",
+                        rule.point, rule.probability
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn rule_from(value: &Value) -> Result<FaultRule, FaultError> {
+    let fields = value.as_object("rule")?;
+    let mut rule = FaultRule {
+        point: String::new(),
+        probability: 1.0,
+        latency_ms: 0,
+        max_fires: None,
+    };
+    for (key, val) in fields {
+        match key.as_str() {
+            "point" => rule.point = val.as_str("point")?.to_string(),
+            "probability" | "p" => rule.probability = val.as_f64("probability")?,
+            "latency_ms" => rule.latency_ms = val.as_u64("latency_ms")?,
+            "max_fires" => rule.max_fires = Some(val.as_u64("max_fires")?),
+            other => {
+                return Err(FaultError::Invalid {
+                    message: format!("unknown rule key `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(rule)
+}
+
+/// Errors loading or validating a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The plan file could not be read.
+    Io {
+        /// Path we tried to read.
+        path: String,
+        /// Underlying I/O error text.
+        message: String,
+    },
+    /// The plan text is not well-formed JSON (of the subset we accept).
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The plan parsed but is semantically invalid.
+    Invalid {
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, message } => write!(f, "fault plan `{path}`: {message}"),
+            Self::Parse { offset, message } => {
+                write!(f, "fault plan parse error at byte {offset}: {message}")
+            }
+            Self::Invalid { message } => write!(f, "invalid fault plan: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Minimal JSON value tree — just enough for fault plans. The serve crate
+/// has a full codec, but it sits *above* this crate in the dependency
+/// graph, so plans get their own ~150-line reader.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&[(String, Value)], FaultError> {
+        match self {
+            Self::Obj(fields) => Ok(fields),
+            _ => Err(FaultError::Invalid {
+                message: format!("{what} must be a JSON object"),
+            }),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value], FaultError> {
+        match self {
+            Self::Arr(items) => Ok(items),
+            _ => Err(FaultError::Invalid {
+                message: format!("{what} must be a JSON array"),
+            }),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, FaultError> {
+        match self {
+            Self::Str(s) => Ok(s),
+            _ => Err(FaultError::Invalid {
+                message: format!("{what} must be a JSON string"),
+            }),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, FaultError> {
+        match self {
+            Self::Num(n) => Ok(*n),
+            _ => Err(FaultError::Invalid {
+                message: format!("{what} must be a JSON number"),
+            }),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, FaultError> {
+        let n = self.as_f64(what)?;
+        if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Ok(n as u64)
+        } else {
+            Err(FaultError::Invalid {
+                message: format!("{what} must be a non-negative integer, got {n}"),
+            })
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn document(&mut self) -> Result<Value, FaultError> {
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after document"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, message: &str) -> FaultError {
+        FaultError::Parse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, byte: u8) -> Result<(), FaultError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, FaultError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, FaultError> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect_byte(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, FaultError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, FaultError> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'\\' {
+                return Err(self.err("escapes are not supported in plan strings"));
+            }
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, FaultError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_of_a_full_plan() {
+        let plan = FaultPlan::parse(
+            r#"{"seed": 42, "rules": [
+                {"point": "spice.nonconverge", "probability": 1.0, "max_fires": 2},
+                {"point": "cell.slow", "p": 0.5, "latency_ms": 25}
+            ]}"#,
+        )
+        .expect("valid plan parses");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0], FaultRule::always("spice.nonconverge", 2));
+        assert_eq!(
+            plan.rules[1],
+            FaultRule::sometimes("cell.slow", 0.5).with_latency_ms(25)
+        );
+    }
+
+    #[test]
+    fn defaults_apply_when_fields_are_omitted() {
+        let plan = FaultPlan::parse(r#"{"rules": [{"point": "serve.conn_drop"}]}"#)
+            .expect("minimal plan parses");
+        assert_eq!(plan.seed, 0);
+        let rule = &plan.rules[0];
+        assert_eq!(rule.probability, 1.0);
+        assert_eq!(rule.latency_ms, 0);
+        assert_eq!(rule.max_fires, None);
+    }
+
+    #[test]
+    fn semantic_validation_rejects_bad_probability_and_unknown_keys() {
+        let out_of_range =
+            FaultPlan::parse(r#"{"rules": [{"point": "x", "probability": 1.5}]}"#).unwrap_err();
+        assert!(matches!(out_of_range, FaultError::Invalid { .. }));
+
+        let unknown = FaultPlan::parse(r#"{"sede": 3}"#).unwrap_err();
+        assert!(matches!(unknown, FaultError::Invalid { .. }));
+    }
+
+    #[test]
+    fn parse_errors_carry_an_offset() {
+        let truncated = FaultPlan::parse(r#"{"seed": 1, "rules": ["#).unwrap_err();
+        match truncated {
+            FaultError::Parse { offset, .. } => assert!(offset > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(FaultPlan::parse("").is_err());
+        assert!(
+            FaultPlan::parse("[1, 2]").is_err(),
+            "top level must be an object"
+        );
+    }
+
+    #[test]
+    fn from_file_reports_missing_files_as_io_errors() {
+        let err = FaultPlan::from_file(Path::new("/nonexistent/plan.json")).unwrap_err();
+        assert!(matches!(err, FaultError::Io { .. }));
+    }
+}

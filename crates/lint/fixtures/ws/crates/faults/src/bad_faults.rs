@@ -1,0 +1,9 @@
+//! Fixture: the fault layer must namespace its metrics under `faults.`
+//! — one `probe-naming` finding (wrong crate prefix); the well-formed
+//! name and the sanctioned detached timer spawn are fine.
+
+pub fn arm() {
+    sram_probe::probe_inc!("serve.not_ours");
+    sram_probe::probe_inc!("faults.injected");
+    std::thread::spawn(|| {});
+}

@@ -65,6 +65,7 @@ fn expected_prefixes(crate_name: &str) -> Option<&'static [&'static str]> {
         "lint" => Some(&["lint"]),
         "serve" => Some(&["serve"]),
         "probe" => Some(&["probe"]),
+        "faults" => Some(&["faults"]),
         _ => None,
     }
 }

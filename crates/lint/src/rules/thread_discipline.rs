@@ -6,7 +6,9 @@
 //! worker lifetimes are bounded and panics propagate at the join.
 //! `crates/serve` is the second sanctioned crate: a server's acceptor,
 //! connection, and worker threads genuinely outlive any one stack frame,
-//! and its shutdown path joins every handle it spawns. A detached
+//! and its shutdown path joins every handle it spawns. `crates/faults`
+//! is the third: `CancelToken::cancel_after` arms a timer thread whose
+//! whole purpose is to outlive the calling frame. A detached
 //! `std::thread::spawn` anywhere else would leak work past the end of
 //! an experiment and race the probe registry snapshot; this rule keeps
 //! the policy enforced as configuration rather than as per-line
@@ -17,9 +19,10 @@ use crate::lexer::TokenKind;
 use crate::rules::RawDiag;
 
 /// Crates whose library code may call `std::thread::spawn`: the search
-/// core (owns compute parallelism) and the query server (owns I/O
-/// threads, joined on shutdown).
-const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve"];
+/// core (owns compute parallelism), the query server (owns I/O
+/// threads, joined on shutdown), and the fault layer (cancellation
+/// timer threads).
+const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve", "faults"];
 
 /// Scans one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
@@ -41,7 +44,7 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
             out.push(RawDiag::at(
                 "thread-discipline",
                 token,
-                "detached `std::thread::spawn` outside the sanctioned crates (core, serve)"
+                "detached `std::thread::spawn` outside the sanctioned crates (core, serve, faults)"
                     .to_owned(),
                 Some(
                     "route parallelism through the search layer's scoped threads \
@@ -84,7 +87,7 @@ mod tests {
 
     #[test]
     fn sanctioned_crates_and_tests_are_exempt() {
-        for crate_dir in ["core", "serve"] {
+        for crate_dir in ["core", "serve", "faults"] {
             assert!(
                 run(
                     &format!("crates/{crate_dir}/src/a.rs"),

@@ -31,17 +31,17 @@ fn in_file<'r>(report: &'r Report, file: &str) -> Vec<&'r Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture_tree() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 12, "fixture tree changed shape");
+    assert_eq!(report.files_scanned, 13, "fixture tree changed shape");
     assert_eq!(count(&report, "no-panic"), 6);
     assert_eq!(count(&report, "unit-hygiene"), 1);
     assert_eq!(count(&report, "nan-unsafe"), 2);
-    assert_eq!(count(&report, "probe-naming"), 5);
+    assert_eq!(count(&report, "probe-naming"), 6);
     assert_eq!(count(&report, "thread-discipline"), 1);
     assert_eq!(count(&report, "registry-sync"), 2);
     assert_eq!(count(&report, "suppression-syntax"), 1);
     assert_eq!(count(&report, "unused-suppression"), 1);
     assert_eq!(count(&report, "parse-error"), 1);
-    assert_eq!(report.diagnostics.len(), 20);
+    assert_eq!(report.diagnostics.len(), 21);
     assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
 }
 
@@ -155,15 +155,15 @@ fn warn_level_keeps_exit_clean() {
     }
     let report = run(&fixture_root(), &config).expect("fixture tree readable");
     assert_eq!(report.deny_count(), 0);
-    assert_eq!(report.warn_count(), 20);
+    assert_eq!(report.warn_count(), 21);
 }
 
 #[test]
 fn json_rendering_of_the_fixture_report_is_well_formed() {
     let report = fixture_report();
     let json = report.render_json();
-    assert!(json.contains("\"files_scanned\": 12"));
-    assert!(json.contains("\"counts\": {\"deny\": 20, \"warn\": 0}"));
+    assert!(json.contains("\"files_scanned\": 13"));
+    assert!(json.contains("\"counts\": {\"deny\": 21, \"warn\": 0}"));
     // Balanced braces/brackets outside strings — cheap well-formedness
     // check without a JSON parser in the dependency-free workspace.
     let mut depth = 0i32;

@@ -214,6 +214,25 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A point-in-time copy of every resident entry as
+    /// `(canonical query, cached result)` pairs, ordered by canonical
+    /// string so persistence output is deterministic. Shards are locked
+    /// one at a time, so the copy is per-shard consistent but not a
+    /// global atomic snapshot — fine for spill-on-shutdown, where the
+    /// workers have already drained.
+    #[must_use]
+    pub fn export(&self) -> Vec<(String, Arc<Json>)> {
+        let mut out: Vec<(String, Arc<Json>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for entry in shard.entries.values() {
+                out.push((entry.canonical.clone(), Arc::clone(&entry.value)));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 /// Fixed per-entry accounting overhead (hash-map slot, `Arc`, recency
@@ -283,6 +302,18 @@ mod tests {
         assert!(after > before);
         cache.insert(7, "q", val("short"));
         assert_eq!(cache.counters().bytes, before);
+    }
+
+    #[test]
+    fn export_returns_all_entries_sorted_by_canonical() {
+        let cache = small_cache(1 << 20);
+        cache.insert(2, "q-b", val("b"));
+        cache.insert(1, "q-a", val("a"));
+        let entries = cache.export();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "q-a");
+        assert_eq!(entries[1].0, "q-b");
+        assert_eq!(entries[1].1.as_str(), Some("b"));
     }
 
     #[test]

@@ -21,14 +21,17 @@
 //! key so the search itself also runs once.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use sram_faults::CancelToken;
 
 use crate::cache::{CacheConfig, CacheCounters, ResultCache};
 use crate::error::{wire_status, ServeError};
 use crate::json::Json;
-use crate::query::{Query, Request};
+use crate::query::{fnv1a64, Query, Request};
 use sram_array::{ArrayModel, ArrayOrganization, Capacity};
 use sram_cell::{CellCharacterization, MarginStats, YieldAnalysis};
 use sram_coopt::{
@@ -41,6 +44,15 @@ use sram_units::Voltage;
 /// The sigma multiplier reported by yield-check responses (the paper's
 /// headline constraint is `μ − 3σ ≥ 0`).
 const YIELD_K: f64 = 3.0;
+
+/// Total characterization attempts per LUT build (one initial try plus
+/// up to two retries) when the failure is transient.
+const RETRY_ATTEMPTS: u32 = 3;
+
+/// Base backoff before the first retry; doubles per attempt (1 ms,
+/// 2 ms). Deterministic — no jitter — so fault-plan replays take the
+/// same path.
+const RETRY_BASE_BACKOFF: Duration = Duration::from_millis(1);
 
 /// The query engine: framework + LUT store + result cache.
 pub struct Engine {
@@ -136,11 +148,41 @@ impl Engine {
         }
         let _span = sram_probe::probe_span!("serve.batch.characterize_ns");
         let _trace = sram_probe::trace_span!("serve.characterize");
-        let cell = Arc::new(self.framework.characterize_cell(key.0, key.1)?);
+        let cell = Arc::new(self.characterize_with_retry(key)?);
         store.insert(key, Arc::clone(&cell));
         self.characterizations.fetch_add(1, Ordering::Relaxed);
         sram_probe::probe_inc!("serve.batch.characterizations");
         Ok((cell, true))
+    }
+
+    /// Characterizes with bounded retry: transient failures (injected
+    /// NaN measurements, non-convergent SPICE sweeps) get up to
+    /// [`RETRY_ATTEMPTS`] tries with a deterministic doubling backoff;
+    /// anything fatal propagates immediately.
+    fn characterize_with_retry(
+        &self,
+        key: (VtFlavor, Method),
+    ) -> Result<CellCharacterization, ServeError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.framework.characterize_cell(key.0, key.1) {
+                Ok(cell) => {
+                    if attempt > 0 {
+                        sram_probe::probe_inc!("serve.retry.recovered");
+                    }
+                    return Ok(cell);
+                }
+                Err(e) => {
+                    let err = ServeError::from(e);
+                    if attempt + 1 >= RETRY_ATTEMPTS || !err.is_retryable() {
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    sram_probe::probe_inc!("serve.retry.attempts");
+                    std::thread::sleep(RETRY_BASE_BACKOFF * 2u32.pow(attempt - 1));
+                }
+            }
+        }
     }
 
     /// Handles one request (a batch of one). When the request's
@@ -173,12 +215,27 @@ impl Engine {
             })
     }
 
+    /// Handles a batch with no deadlines or shutdown awareness — every
+    /// request runs under a never-cancelled token. See
+    /// [`Engine::handle_batch_cancel`].
+    #[must_use]
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Json> {
+        self.handle_batch_cancel(requests, &[])
+    }
+
     /// Handles a batch: answers cache hits immediately, groups the
     /// misses by technology so each group shares one characterization
     /// pass, deduplicates identical queries, and returns responses in
     /// request order.
+    ///
+    /// `tokens` pairs with `requests` by index (missing entries act as
+    /// never-cancelled). A token that fires mid-execution turns into a
+    /// typed `deadline_exceeded` / `shutting_down` error envelope for
+    /// its request. Deduplicated queries run under the most permissive
+    /// member token, so one client's tight deadline cannot starve a
+    /// duplicate that asked for longer.
     #[must_use]
-    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Json> {
+    pub fn handle_batch_cancel(&self, requests: &[Request], tokens: &[CancelToken]) -> Vec<Json> {
         sram_probe::probe_record!("serve.batch.size", requests.len() as u64);
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -255,7 +312,8 @@ impl Engine {
 
             for (canonical, idxs) in unique {
                 let first = idxs[0];
-                match self.execute(&requests[first].query, &cell) {
+                let cancel = most_permissive_token(tokens, &idxs);
+                match self.execute(&requests[first].query, &cell, &cancel) {
                     Ok(result) => {
                         let result = Arc::new(result);
                         self.cache.insert(
@@ -290,8 +348,15 @@ impl Engine {
     }
 
     /// Executes one cache-missing query against a resolved
-    /// characterization.
-    fn execute(&self, query: &Query, cell: &CellCharacterization) -> Result<Json, ServeError> {
+    /// characterization, honoring `cancel` at each query's natural
+    /// cooperation points (search slices, Monte Carlo samples, Pareto
+    /// sweep rows).
+    fn execute(
+        &self,
+        query: &Query,
+        cell: &CellCharacterization,
+        cancel: &CancelToken,
+    ) -> Result<Json, ServeError> {
         let _span = sram_probe::probe_span!("serve.request.exec_ns");
         let _trace = sram_probe::trace_span!("serve.execute");
         match *query {
@@ -301,12 +366,13 @@ impl Engine {
                 method,
                 objective,
             } => {
-                let design = self.framework.optimize_with_cell(
+                let design = self.framework.optimize_with_cell_cancel(
                     cell,
                     Capacity::from_bytes(capacity_bytes as usize),
                     flavor,
                     method,
                     objective.objective(),
+                    cancel,
                 )?;
                 Ok(design_json(&design))
             }
@@ -369,7 +435,7 @@ impl Engine {
                 flavor: _,
                 method,
             } => {
-                let front = self.pareto_front(cell, capacity_bytes, method)?;
+                let front = self.pareto_front(cell, capacity_bytes, method, cancel)?;
                 let points: Vec<Json> = front
                     .sorted_by_delay()
                     .into_iter()
@@ -396,16 +462,19 @@ impl Engine {
                 method,
                 samples,
             } => {
-                let design = self.framework.optimize_with_cell(
+                let design = self.framework.optimize_with_cell_cancel(
                     cell,
                     Capacity::from_bytes(capacity_bytes as usize),
                     flavor,
                     method,
                     crate::query::ObjectiveKind::Edp.objective(),
+                    cancel,
                 )?;
-                let analysis = self
-                    .framework
-                    .verify_statistical_yield(&design, samples as usize)?;
+                let analysis = self.framework.verify_statistical_yield_cancel(
+                    &design,
+                    samples as usize,
+                    cancel,
+                )?;
                 Ok(Json::Obj(vec![
                     ("design".into(), design_json(&design)),
                     ("yield".into(), yield_json(&analysis)),
@@ -466,6 +535,7 @@ impl Engine {
         cell: &CellCharacterization,
         capacity_bytes: u64,
         method: Method,
+        cancel: &CancelToken,
     ) -> Result<ParetoFront<(u32, u32, u32, i32)>, ServeError> {
         let space = match method {
             Method::M1 => self.framework.space().clone().without_negative_gnd(),
@@ -479,6 +549,11 @@ impl Engine {
         for org in
             ArrayOrganization::enumerate(capacity, self.framework.word_bits(), space.rows_range())
         {
+            // One cooperation point per organization — the sweep's
+            // outer loop is the natural slice boundary.
+            if let Some(reason) = cancel.cancelled() {
+                return Err(CooptError::Cancelled(reason).into());
+            }
             for &vssc in space.vssc_values() {
                 if !constraint.check_snapshot(cell, vssc) {
                     continue;
@@ -507,6 +582,97 @@ impl Engine {
         }
         Ok(front)
     }
+
+    /// Spills the result cache to `path`, one `{"q":…,"r":…}` JSON
+    /// object per line, sorted by canonical query so the file is
+    /// byte-stable for identical cache contents. Returns the number of
+    /// entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_cache(&self, path: &Path) -> Result<usize, ServeError> {
+        let entries = self.cache.export();
+        let mut out = String::new();
+        for (canonical, value) in &entries {
+            let line = Json::Obj(vec![
+                ("q".into(), Json::Str(canonical.clone())),
+                ("r".into(), (**value).clone()),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+        sram_probe::probe_add!("serve.cache.persisted", entries.len() as u64);
+        Ok(entries.len())
+    }
+
+    /// Warm-starts the result cache from a file written by
+    /// [`Engine::save_cache`]. Corrupt or truncated lines are skipped
+    /// (counted on `serve.cache.load_errors`), never fatal — a partial
+    /// warm start beats an empty cache, and a wrong answer is impossible
+    /// because entries are re-keyed from their stored canonical string.
+    /// Returns the number of entries restored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (an unreadable file, not a
+    /// malformed one).
+    pub fn load_cache(&self, path: &Path) -> Result<usize, ServeError> {
+        let text = std::fs::read_to_string(path)?;
+        let mut loaded = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = match Json::parse(line) {
+                Ok(v) => v,
+                Err(_) => {
+                    sram_probe::probe_inc!("serve.cache.load_errors");
+                    continue;
+                }
+            };
+            let (Some(canonical), Some(result)) =
+                (entry.get("q").and_then(Json::as_str), entry.get("r"))
+            else {
+                sram_probe::probe_inc!("serve.cache.load_errors");
+                continue;
+            };
+            self.cache.insert(
+                fnv1a64(canonical.as_bytes()),
+                canonical,
+                Arc::new(result.clone()),
+            );
+            loaded += 1;
+        }
+        sram_probe::probe_add!("serve.cache.warmed", loaded as u64);
+        Ok(loaded)
+    }
+}
+
+/// The most permissive token among a dedup group's members: a member
+/// with no deadline wins outright; otherwise the latest deadline does.
+/// Indices missing from `tokens` count as never-cancelled.
+fn most_permissive_token(tokens: &[CancelToken], idxs: &[usize]) -> CancelToken {
+    let mut best: Option<CancelToken> = None;
+    for &i in idxs {
+        let token = tokens.get(i).cloned().unwrap_or_default();
+        best = Some(match best {
+            None => token,
+            Some(held) => match (held.deadline(), token.deadline()) {
+                (None, _) => held,
+                (_, None) => token,
+                (Some(a), Some(b)) => {
+                    if b > a {
+                        token
+                    } else {
+                        held
+                    }
+                }
+            },
+        });
+    }
+    best.unwrap_or_default()
 }
 
 /// Renders a probe snapshot as wire JSON: three objects keyed by
@@ -651,8 +817,11 @@ pub fn ok_response(id: Option<&str>, cached: bool, result: &Json) -> Json {
     Json::Obj(pairs)
 }
 
-/// Builds an error envelope: `{"id":…,"status":…,"error":…}` where the
-/// status is [`wire_status`] (`"busy"`, `"shutting_down"`, `"error"`).
+/// Builds an error envelope:
+/// `{"id":…,"status":…,"error":…,"retryable":…}` where the status is
+/// [`wire_status`] (`"busy"`, `"shutting_down"`, `"deadline_exceeded"`,
+/// `"internal"`, `"error"`) and `retryable` tells the client whether
+/// resending the same request can plausibly succeed.
 #[must_use]
 pub fn error_response(id: Option<&str>, error: &ServeError) -> Json {
     let mut pairs: Vec<(String, Json)> = Vec::new();
@@ -661,6 +830,7 @@ pub fn error_response(id: Option<&str>, error: &ServeError) -> Json {
     }
     pairs.push(("status".into(), Json::Str(wire_status(error).into())));
     pairs.push(("error".into(), Json::Str(error.to_string())));
+    pairs.push(("retryable".into(), Json::Bool(error.is_retryable())));
     Json::Obj(pairs)
 }
 

@@ -33,7 +33,10 @@
 //! `true`, the response carries the request's span tree inline under
 //! `"trace"`: parse → queue wait → characterize/execute → respond) are
 //! accepted on every op. Error replies carry `"status":"error"`,
-//! `"busy"` (queue full — retry), or `"shutting_down"`.
+//! `"busy"` (queue full — retry), `"deadline_exceeded"`,
+//! `"shutting_down"`, or `"internal"` (a worker panicked mid-request;
+//! the panic was isolated and the worker respawned), plus a
+//! `"retryable"` boolean so clients can react without parsing messages.
 //!
 //! # Example (in-process)
 //!
@@ -76,4 +79,4 @@ pub use json::{Json, JsonError};
 pub use query::{
     fnv1a64, ObjectiveKind, Query, Request, MAX_CAPACITY_BYTES, MAX_DEADLINE_MS, MAX_YIELD_SAMPLES,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, SRAM_CACHE_FILE_ENV};

@@ -21,16 +21,25 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sram_faults::CancelToken;
+
 use crate::engine::{error_response, Engine};
 use crate::error::ServeError;
 use crate::json::Json;
 use crate::query::Request;
+
+/// Environment variable naming the cache spill file ([`ServerConfig`]
+/// default). When set, the server warm-starts its result cache from the
+/// file at startup and spills the cache back on graceful shutdown.
+pub const SRAM_CACHE_FILE_ENV: &str = "SRAM_CACHE_FILE";
 
 /// Server sizing and timing knobs.
 #[derive(Debug, Clone)]
@@ -46,6 +55,10 @@ pub struct ServerConfig {
     /// Connection read timeout — the cadence at which idle connections
     /// notice shutdown.
     pub poll_interval: Duration,
+    /// Result-cache spill file: loaded (if present) at startup, written
+    /// on graceful shutdown. `None` disables persistence. The default
+    /// reads the `SRAM_CACHE_FILE` environment variable.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +69,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_batch: 16,
             poll_interval: Duration::from_millis(25),
+            cache_file: std::env::var_os(SRAM_CACHE_FILE_ENV).map(PathBuf::from),
         }
     }
 }
@@ -143,6 +157,13 @@ impl JobQueue {
     }
 }
 
+/// Per-worker registry of the jobs it currently holds, written before a
+/// batch is processed and cleared after every reply is sent. If the
+/// worker panics mid-batch, the respawn wrapper drains this registry and
+/// sends each stranded client a typed `"internal"` reply — the channel
+/// never hangs.
+type Inflight = Mutex<Vec<(Option<String>, mpsc::Sender<Json>)>>;
+
 /// A running server; dropped or [`Server::shutdown`] to stop.
 pub struct Server {
     addr: SocketAddr,
@@ -151,6 +172,8 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     queue: Arc<JobQueue>,
+    engine: Arc<Engine>,
+    cache_file: Option<PathBuf>,
 }
 
 impl Server {
@@ -164,6 +187,15 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        if let Some(path) = &config.cache_file {
+            if path.exists() {
+                match engine.load_cache(path) {
+                    Ok(n) => sram_probe::probe_add!("serve.cache.warm_started", n as u64),
+                    Err(_) => sram_probe::probe_inc!("serve.cache.load_failed"),
+                }
+            }
+        }
+
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -172,9 +204,10 @@ impl Server {
         for _ in 0..config.workers.max(1) {
             let engine = Arc::clone(&engine);
             let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
             let max_batch = config.max_batch;
             workers.push(std::thread::spawn(move || {
-                worker_loop(&engine, &queue, max_batch);
+                worker_thread(&engine, &queue, max_batch, &shutdown);
             }));
         }
 
@@ -195,6 +228,8 @@ impl Server {
             workers,
             conns,
             queue,
+            engine,
+            cache_file: config.cache_file,
         })
     }
 
@@ -227,6 +262,13 @@ impl Server {
         self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers are gone, so the cache is quiescent — spill it now.
+        if let Some(path) = self.cache_file.take() {
+            match self.engine.save_cache(&path) {
+                Ok(n) => sram_probe::probe_add!("serve.cache.spilled", n as u64),
+                Err(_) => sram_probe::probe_inc!("serve.cache.save_failed"),
+            }
         }
     }
 }
@@ -308,6 +350,12 @@ fn connection_loop(stream: TcpStream, shutdown: &AtomicBool, queue: &JobQueue, p
             Ok(_) => {
                 if !line.ends_with('\n') {
                     continue; // timeout split the line; keep reading
+                }
+                if sram_faults::should_fire("serve.conn_drop") {
+                    // Simulated transport failure: the client sees a
+                    // clean EOF with no reply and must reconnect.
+                    sram_probe::probe_inc!("serve.conn.injected_drops");
+                    return;
                 }
                 let response = serve_line(line.trim_end(), shutdown, queue);
                 line.clear();
@@ -412,21 +460,79 @@ fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
     writer.flush()
 }
 
+/// Worker shell: runs [`worker_loop`] inside `catch_unwind` and respawns
+/// it after a panic, first draining the inflight registry so every
+/// client holding a reply channel gets a typed `"internal"` reply
+/// instead of a hung `recv`.
+///
+/// Soundness of `catch_unwind` here: the worker shares only the job
+/// queue, the engine, and the inflight registry across the unwind
+/// boundary, and each is either lock-free or repaired on reacquire —
+/// queue and cache locks use `PoisonError::into_inner` (their invariants
+/// hold at every release point), the engine's LUT store holds completed
+/// immutable characterizations only, and the inflight registry is never
+/// locked across the panic window (see DESIGN.md §11).
+fn worker_thread(engine: &Engine, queue: &JobQueue, max_batch: usize, shutdown: &Arc<AtomicBool>) {
+    let inflight: Inflight = Mutex::new(Vec::new());
+    loop {
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(engine, queue, max_batch, shutdown, &inflight);
+        }));
+        match ran {
+            Ok(()) => return, // queue closed and drained — normal exit
+            Err(_) => {
+                sram_probe::probe_inc!("serve.worker.panics");
+                let stranded: Vec<(Option<String>, mpsc::Sender<Json>)> = {
+                    let mut guard = inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                    guard.drain(..).collect()
+                };
+                for (id, reply) in stranded {
+                    let _ = reply.send(error_response(
+                        id.as_deref(),
+                        &ServeError::Internal("worker panicked while processing request".into()),
+                    ));
+                }
+                sram_probe::probe_inc!("serve.worker.respawns");
+            }
+        }
+    }
+}
+
 /// Worker body: drain a batch, expire stale deadlines, run the rest.
+///
+/// Deadline handling happens twice: requests whose deadline passed while
+/// they sat in the queue are rejected here with a typed
+/// `deadline_exceeded` reply (and the `serve.request.expired` counter),
+/// and the rest carry a [`CancelToken`] into the engine so a deadline
+/// that fires mid-search is honored at the next slice boundary. The
+/// token also observes the server's shutdown flag.
 ///
 /// Traced jobs get three extras: a `serve.queue_wait` interval (stamped
 /// by the enqueuing thread, emitted here as a complete event), the
 /// engine's spans nested under the first traced job's root (adopted
 /// cross-thread parent), and a `serve.evaluate` interval spanning the
 /// batch execution.
-fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
+fn worker_loop(
+    engine: &Engine,
+    queue: &JobQueue,
+    max_batch: usize,
+    shutdown: &Arc<AtomicBool>,
+    inflight: &Inflight,
+) {
     while let Some(jobs) = queue.pop_batch(max_batch) {
+        // Draw the panic fault once per dequeued job so a plan's
+        // `max_fires` cap is consumed deterministically regardless of
+        // how jobs batch together.
+        let mut doomed = false;
+        for _ in &jobs {
+            doomed |= sram_faults::should_fire("serve.worker_panic");
+        }
         let now = Instant::now();
         let mut live: Vec<Job> = Vec::with_capacity(jobs.len());
         for job in jobs {
             match job.deadline {
                 Some(deadline) if deadline <= now => {
-                    sram_probe::probe_inc!("serve.request.deadline_expired");
+                    sram_probe::probe_inc!("serve.request.expired");
                     let _ = job.reply.send(error_response(
                         job.request.id.as_deref(),
                         &ServeError::DeadlineExceeded,
@@ -437,6 +543,17 @@ fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
         }
         if live.is_empty() {
             continue;
+        }
+        {
+            let mut guard = inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.clear();
+            for job in &live {
+                guard.push((job.request.id.clone(), job.reply.clone()));
+            }
+        }
+        if doomed {
+            // sram-lint: allow(no-panic) fault-plan injection point; the worker_thread shell isolates and respawns
+            panic!("injected worker panic (fault plan)");
         }
         let t_eval = sram_probe::trace::now_ns();
         for job in &live {
@@ -456,9 +573,13 @@ fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
             .find(|&root| root != 0)
             .unwrap_or(0);
         let requests: Vec<Request> = live.iter().map(|j| j.request.clone()).collect();
+        let tokens: Vec<CancelToken> = live
+            .iter()
+            .map(|j| CancelToken::linked(j.deadline, Arc::clone(shutdown)))
+            .collect();
         let responses = {
             let _adopt = sram_probe::trace::adopt_parent(adopted_root);
-            engine.handle_batch(&requests)
+            engine.handle_batch_cancel(&requests, &tokens)
         };
         let t_done = sram_probe::trace::now_ns();
         let batch = live.len() as i64;
@@ -478,6 +599,10 @@ fn worker_loop(engine: &Engine, queue: &JobQueue, max_batch: usize) {
             }
             let _ = job.reply.send(response);
         }
+        inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 

@@ -1,0 +1,136 @@
+//! Result-cache persistence: spill on graceful shutdown, warm start on
+//! the next boot, and recovery from corrupt or truncated spill files.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sram_coopt::{CoOptimizationFramework, DesignSpace};
+use sram_serve::{CacheConfig, Client, Engine, Json, Request, Server, ServerConfig};
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(2),
+        CacheConfig::default(),
+    ))
+}
+
+/// A unique scratch path, removed on drop.
+struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "sram-serve-cache-{}-{tag}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        Self(path)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+const OPTIMIZE: &str =
+    r#"{"id":"c1","op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#;
+
+#[test]
+fn shutdown_spills_and_restart_warm_starts_the_cache() {
+    let scratch = ScratchFile::new("roundtrip");
+
+    // First server lifetime: answer one query cold, spill on shutdown.
+    let config = ServerConfig {
+        cache_file: Some(scratch.0.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine(), config.clone()).expect("first server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    let cold = client.call_line(OPTIMIZE).expect("cold call succeeds");
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false));
+    drop(client);
+    server.shutdown();
+    assert!(scratch.0.exists(), "shutdown wrote the spill file");
+
+    // Second lifetime: the same query is a cache hit with the identical
+    // payload, without a single new characterization.
+    let warm_engine = engine();
+    let server = Server::start(Arc::clone(&warm_engine), config).expect("second server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client reconnects");
+    let warm = client.call_line(OPTIMIZE).expect("warm call succeeds");
+    assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        cold.get("result").map(Json::render),
+        warm.get("result").map(Json::render),
+        "warm-started result must be byte-identical"
+    );
+    assert_eq!(warm_engine.characterizations(), 0);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn save_load_roundtrip_preserves_every_entry() {
+    let scratch = ScratchFile::new("saveload");
+    let first = engine();
+    for line in [
+        OPTIMIZE,
+        r#"{"op":"optimize","capacity_bytes":256,"flavor":"hvt","method":"m2"}"#,
+    ] {
+        let reply = first.handle(&Request::from_line(line).expect("well-formed"));
+        assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    let saved = first.save_cache(&scratch.0).expect("save succeeds");
+    assert_eq!(saved, 2);
+
+    let second = engine();
+    let loaded = second.load_cache(&scratch.0).expect("load succeeds");
+    assert_eq!(loaded, 2);
+    let reply = second.handle(&Request::from_line(OPTIMIZE).expect("well-formed"));
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn corrupt_and_truncated_lines_are_skipped_not_fatal() {
+    let scratch = ScratchFile::new("corrupt");
+    let first = engine();
+    let reply = first.handle(&Request::from_line(OPTIMIZE).expect("well-formed"));
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    first.save_cache(&scratch.0).expect("save succeeds");
+
+    // Sandwich the valid line between garbage, a schema-less object,
+    // and a truncation mid-object (a crash during a previous spill).
+    let valid = std::fs::read_to_string(&scratch.0).expect("spill file readable");
+    let valid_line = valid.lines().next().expect("one entry");
+    let mangled = format!(
+        "not json at all\n{{\"wrong\":\"shape\"}}\n{valid_line}\n{}",
+        &valid_line[..valid_line.len() / 2]
+    );
+    std::fs::write(&scratch.0, mangled).expect("rewrite spill file");
+
+    let second = engine();
+    let loaded = second
+        .load_cache(&scratch.0)
+        .expect("partial load succeeds");
+    assert_eq!(loaded, 1, "only the intact entry is restored");
+    let reply = second.handle(&Request::from_line(OPTIMIZE).expect("well-formed"));
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+
+    // A missing file at startup is simply a cold start.
+    let missing = ScratchFile::new("missing");
+    let server = Server::start(
+        engine(),
+        ServerConfig {
+            cache_file: Some(missing.0.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts without a spill file");
+    server.shutdown();
+    assert!(missing.0.exists(), "shutdown still writes the (empty) file");
+}

@@ -171,6 +171,17 @@ impl DcSolver {
         sram_probe::probe_inc!("spice.dc_solves");
         let _span = sram_probe::probe_span!("spice.dc_solve_ns");
         let _trace = sram_probe::trace_span!("spice.dc_solve");
+        // Chaos hook: a plan rule for `spice.nonconverge` makes this solve
+        // fail exactly as a real homotopy breakdown would, so the layers
+        // above prove their retry/degradation paths against the same error
+        // they see in production.
+        if sram_faults::should_fire("spice.nonconverge") {
+            sram_probe::probe_inc!("spice.dc_nonconvergent");
+            return Err(SpiceError::NonConvergent {
+                analysis: "dc (injected)",
+                iterations: 0,
+            });
+        }
         let mut x = guess.to_vec();
 
         // Hard-pinned mode: solve once with stiff pins and return that

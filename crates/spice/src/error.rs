@@ -32,6 +32,19 @@ pub enum SpiceError {
     InvalidAnalysis(String),
 }
 
+impl SpiceError {
+    /// Whether retrying the same analysis could plausibly succeed.
+    /// Non-convergence is iteration-budget- and operating-point-sensitive
+    /// (and is what fault injection simulates); structural errors are not.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SpiceError::NonConvergent { .. } | SpiceError::TimestepTooSmall { .. }
+        )
+    }
+}
+
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
