@@ -248,8 +248,9 @@ fn soak_round(threads: usize) -> Result<ClientTally, String> {
 
 /// Keeps the injected worker panics (which are the point of the
 /// exercise) from spraying backtraces over the report; every other
-/// panic still reaches the previous hook.
-fn silence_injected_panics() {
+/// panic still reaches the previous hook. Shared with the
+/// telemetry soak, which injects the same panics.
+pub(crate) fn silence_injected_panics() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {

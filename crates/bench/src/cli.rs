@@ -76,6 +76,10 @@ fn chaos_soak(threads: usize) -> Result<String, String> {
     crate::chaos::run(threads)
 }
 
+fn telemetry_soak(threads: usize) -> Result<String, String> {
+    crate::telemetry::run(threads)
+}
+
 /// Every experiment the binary can run, in execution order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -156,6 +160,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         in_all: false,
         run: chaos_soak,
     },
+    Experiment {
+        name: "telemetry-soak",
+        summary: "telemetry soak: windowed metrics, SLO health verdict, sampled tracing — opt-in",
+        in_all: false,
+        run: telemetry_soak,
+    },
 ];
 
 /// Outcome of resolving a CLI experiment argument.
@@ -229,7 +239,12 @@ mod tests {
         assert!(chosen.iter().all(|e| e.in_all));
         assert_eq!(
             skipped.iter().map(|e| e.name).collect::<Vec<_>>(),
-            vec!["bench-trajectory", "rails-sim", "chaos-soak"]
+            vec![
+                "bench-trajectory",
+                "rails-sim",
+                "chaos-soak",
+                "telemetry-soak"
+            ]
         );
     }
 

@@ -19,6 +19,7 @@
 //! | [`serve`] | Query-server bench: batching, result cache, TCP round trip |
 //! | [`trajectory`] | Performance trajectory: search throughput, cache latency, trace overhead |
 //! | [`chaos`] | Chaos soak: deterministic fault injection under multi-client load |
+//! | [`telemetry`] | Telemetry soak: windowed metrics, SLO health, sampled tracing under load |
 //! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
@@ -35,6 +36,7 @@ pub mod fig7;
 pub mod readfit;
 pub mod serve;
 pub mod table4;
+pub mod telemetry;
 pub mod trajectory;
 pub mod yieldk;
 

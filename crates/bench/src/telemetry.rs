@@ -1,0 +1,578 @@
+//! `telemetry-soak`: opt-in observability experiment — mixed
+//! multi-client TCP load against the query server with sampled tracing
+//! on, verifying the windowed telemetry surface end to end.
+//!
+//! Three phases:
+//!
+//! 1. **sampling** — per-root trace sampling must be deterministic: the
+//!    same seed and rate over the same root keys must accept the exact
+//!    same subset twice, and the accepted fraction must sit near the
+//!    configured rate (that proportionality is what makes sampling a
+//!    ring-pressure control rather than a coin flip).
+//! 2. **clean** — a warmed server answers a mixed load (optimize +
+//!    stats, all traced) from several concurrent clients at sample rate
+//!    [`SAMPLE_RATE`]; afterwards `metrics` over the wire must carry at
+//!    least one closed window, the Prometheus text exposition and the
+//!    JSON form must agree exactly on every latency quantile (they are
+//!    rendered from one export — any drift is a bug), `health` must
+//!    report `ok`, and `probe.trace.dropped` must stay at zero.
+//! 3. **faulted** — the same load runs again under an injected fault
+//!    plan (two worker panics, one connection drop); once the fault
+//!    window closes, `health` must leave `ok`. A health surface that
+//!    never degrades under injected faults is decoration, not
+//!    monitoring.
+//!
+//! Hard failures: a missing window, any text-vs-JSON quantile drift, a
+//! `health` verdict that ignores the fault plan, non-deterministic
+//! sampling, or trace-ring drops under sampled load.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sram_coopt::{CoOptimizationFramework, DesignSpace};
+use sram_faults::{FaultPlan, FaultRule};
+use sram_serve::{CacheConfig, Client, Engine, Json, Request, Server, ServerConfig};
+
+/// Concurrent soak clients.
+const CLIENTS: usize = 3;
+/// Requests each client issues per round.
+const REQUESTS_PER_CLIENT: usize = 8;
+/// Resend budget per request (panics, busy rejections, and the
+/// connection drop all trigger resends).
+const MAX_ATTEMPTS: usize = 10;
+/// Client-side reply timeout — the hang detector.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+/// Per-root trace sample rate the soak drives load under.
+pub const SAMPLE_RATE: f64 = 0.25;
+/// Seed for the sampling-determinism phase (restored to the probe
+/// default before the soak returns).
+const SAMPLE_SEED: u64 = 0x7E1E_50AC;
+/// Root keys drawn in the sampling-determinism phase.
+const SAMPLE_KEYS: u64 = 4096;
+/// Tolerance on the observed accept fraction. At 4096 draws the
+/// binomial standard deviation of the fraction is ~0.007, so 0.05 is a
+/// seven-sigma envelope — loose enough to never flake, tight enough to
+/// catch a broken hash.
+const SAMPLE_TOLERANCE: f64 = 0.05;
+
+/// Capacities cycled through by the optimize load.
+const CAPACITIES: [u64; 4] = [128, 512, 1024, 4096];
+
+/// Structured outcome (consumed by the unit tests; the report is built
+/// from it).
+#[derive(Debug, Clone)]
+pub struct TelemetrySoak {
+    /// Phase 1: did two passes over the same keys accept the same set?
+    pub sampling_deterministic: bool,
+    /// Phase 1: observed accept fraction (target [`SAMPLE_RATE`]).
+    pub sampled_fraction: f64,
+    /// Requests issued per round across all clients.
+    pub requests: usize,
+    /// Clean-round requests answered `ok` exactly once.
+    pub answered: usize,
+    /// `health` verdict on the clean run (must be `ok`).
+    pub clean_verdict: String,
+    /// Closed windows reported by `metrics` (must be ≥ 1).
+    pub windows: u64,
+    /// Max |text − JSON| over the latency quantiles (must be 0).
+    pub quantile_drift: f64,
+    /// Quantiles present in BOTH expositions (must be 3).
+    pub quantiles_compared: usize,
+    /// `probe.trace.dropped` delta across the soak (must be 0).
+    pub trace_drops: u64,
+    /// Fault-round requests answered `ok` exactly once.
+    pub fault_answered: usize,
+    /// `health` verdict after the fault round (must not be `ok`).
+    pub fault_verdict: String,
+    /// Reasons attached to the fault-round verdict.
+    pub fault_reasons: Vec<String>,
+    /// Typed `internal` replies observed (isolated worker panics).
+    pub internal_replies: usize,
+    /// Client reconnects after the injected connection drop.
+    pub reconnects: usize,
+}
+
+/// The fixed fault plan: every rule is `p = 1` with a cap, so the
+/// injected totals are timing-independent.
+fn soak_plan() -> FaultPlan {
+    FaultPlan::new(0x7E1E_FA17)
+        .rule(FaultRule::always("serve.worker_panic", 2))
+        .rule(FaultRule::always("serve.conn_drop", 1))
+}
+
+fn engine(threads: usize) -> Arc<Engine> {
+    Arc::new(Engine::new(
+        CoOptimizationFramework::paper_mode()
+            .with_space(DesignSpace::coarse())
+            .with_threads(threads),
+        CacheConfig::default(),
+    ))
+}
+
+fn optimize_line(id: &str, capacity: u64) -> String {
+    format!(
+        r#"{{"id":"{id}","op":"optimize","capacity_bytes":{capacity},"flavor":"hvt","method":"m2","trace":true}}"#
+    )
+}
+
+fn connect(addr: SocketAddr) -> Result<Client, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_timeout(Some(REPLY_TIMEOUT))
+        .map_err(|e| format!("set_timeout: {e}"))?;
+    Ok(client)
+}
+
+/// Per-client tally from one round.
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientTally {
+    answered: usize,
+    internal: usize,
+    reconnects: usize,
+}
+
+/// Drives one client's mixed (optimize + stats, all traced) schedule to
+/// completion: resend on `internal` and `busy`, reconnect-and-resend on
+/// a dropped connection, hard-fail on a timeout or an attempt-budget
+/// blowout.
+fn run_client(addr: SocketAddr, index: usize) -> Result<ClientTally, String> {
+    let mut client = connect(addr)?;
+    let mut tally = ClientTally::default();
+    for r in 0..REQUESTS_PER_CLIENT {
+        let id = format!("t{index}-r{r}");
+        let line = if r % 3 == 2 {
+            format!(r#"{{"id":"{id}","op":"stats","trace":true}}"#)
+        } else {
+            optimize_line(&id, CAPACITIES[(index + r) % CAPACITIES.len()])
+        };
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(format!(
+                    "request {id} unanswered after {MAX_ATTEMPTS} attempts"
+                ));
+            }
+            match client.call_line(&line) {
+                Ok(reply) => match reply.get("status").and_then(Json::as_str) {
+                    Some("ok") => {
+                        if reply.get("id").and_then(Json::as_str) != Some(id.as_str()) {
+                            return Err(format!(
+                                "reply stream misaligned at {id}: {}",
+                                reply.render()
+                            ));
+                        }
+                        tally.answered += 1;
+                        break;
+                    }
+                    Some("internal") => tally.internal += 1,
+                    Some("busy") => std::thread::sleep(Duration::from_millis(20)),
+                    other => {
+                        return Err(format!(
+                            "request {id}: unexpected status {other:?}: {}",
+                            reply.render()
+                        ))
+                    }
+                },
+                Err(sram_serve::ServeError::Remote(_)) => {
+                    // The injected connection drop: clean EOF, no reply.
+                    tally.reconnects += 1;
+                    client = connect(addr)?;
+                }
+                Err(sram_serve::ServeError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(format!("request {id}: reply timed out — server hang"));
+                }
+                Err(e) => return Err(format!("request {id}: transport error: {e}")),
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// One round of concurrent clients against an already-running server.
+fn load_round(addr: SocketAddr) -> Result<ClientTally, String> {
+    let mut total = ClientTally::default();
+    let results: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| scope.spawn(move || run_client(addr, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("client thread panicked".to_owned()),
+            })
+            .collect()
+    });
+    for result in results {
+        let tally = result?;
+        total.answered += tally.answered;
+        total.internal += tally.internal;
+        total.reconnects += tally.reconnects;
+    }
+    Ok(total)
+}
+
+/// Pulls `<metric>{quantile="<q>"} <value>` out of the text exposition.
+fn text_quantile(text: &str, metric: &str, q: &str) -> Option<f64> {
+    let needle = format!("{metric}{{quantile=\"{q}\"}} ");
+    text.lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l[needle.len()..].trim().parse().ok())
+}
+
+fn call(client: &mut Client, line: &str) -> Result<Json, String> {
+    let reply = client.call_line(line).map_err(|e| format!("{line}: {e}"))?;
+    if reply.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("{line}: non-ok reply {}", reply.render()));
+    }
+    Ok(reply)
+}
+
+fn health_verdict(client: &mut Client, id: &str) -> Result<(String, Vec<String>), String> {
+    let reply = call(client, &format!(r#"{{"op":"health","id":"{id}"}}"#))?;
+    let result = reply.get("result").ok_or("health reply without result")?;
+    let verdict = result
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("health reply without verdict")?
+        .to_owned();
+    let reasons = result
+        .get("reasons")
+        .and_then(Json::as_array)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok((verdict, reasons))
+}
+
+/// Runs all three phases.
+///
+/// # Errors
+///
+/// Any transport failure, unanswered request, or malformed
+/// `metrics`/`health` reply. Invariant violations that have a
+/// well-formed outcome (drift, a stuck verdict) are detected by
+/// [`report`].
+pub fn soak(threads: usize) -> Result<TelemetrySoak, String> {
+    sram_probe::set_level(sram_probe::Level::Summary);
+    crate::chaos::silence_injected_panics();
+
+    // Phase 1: deterministic per-root sampling at a fractional rate.
+    sram_probe::trace::set_sampling(SAMPLE_RATE, SAMPLE_SEED);
+    let first: Vec<bool> = (0..SAMPLE_KEYS)
+        .map(|k| sram_probe::trace::sample(k).is_some())
+        .collect();
+    let second: Vec<bool> = (0..SAMPLE_KEYS)
+        .map(|k| sram_probe::trace::sample(k).is_some())
+        .collect();
+    let accepted = first.iter().filter(|hit| **hit).count();
+    let sampled_fraction = accepted as f64 / SAMPLE_KEYS as f64;
+    let sampling_deterministic = first == second;
+
+    // Phase 2: clean round. Warm every distinct query in-process first
+    // so wire latencies are cache hits and the clean health check is
+    // not at the mercy of a cold LUT build blowing the SLO.
+    let engine = engine(threads);
+    for capacity in CAPACITIES {
+        let line = optimize_line("warm", capacity);
+        let request = Request::from_line(&line).map_err(|e| format!("warm parse: {e}"))?;
+        let reply = engine.handle(&request);
+        if reply.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(format!("warm-up failed: {}", reply.render()));
+        }
+    }
+    let drops_before = sram_probe::trace::dropped();
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: 2,
+            cache_file: None,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = server.local_addr();
+
+    let outcome = soak_rounds(addr);
+    server.shutdown();
+    sram_probe::trace::set_sampling(1.0, sram_probe::trace::DEFAULT_SAMPLE_SEED);
+    let (clean, windows, drift, compared, clean_verdict, faulted, fault_verdict, fault_reasons) =
+        outcome?;
+
+    Ok(TelemetrySoak {
+        sampling_deterministic,
+        sampled_fraction,
+        requests: CLIENTS * REQUESTS_PER_CLIENT,
+        answered: clean.answered,
+        clean_verdict,
+        windows,
+        quantile_drift: drift,
+        quantiles_compared: compared,
+        trace_drops: sram_probe::trace::dropped() - drops_before,
+        fault_answered: faulted.answered,
+        fault_verdict,
+        fault_reasons,
+        internal_replies: faulted.internal,
+        reconnects: faulted.reconnects,
+    })
+}
+
+/// Results of the clean and faulted rounds, bundled so [`soak`] can
+/// shut the server down on every exit path.
+type Rounds = (
+    ClientTally,
+    u64,
+    f64,
+    usize,
+    String,
+    ClientTally,
+    String,
+    Vec<String>,
+);
+
+fn soak_rounds(addr: SocketAddr) -> Result<Rounds, String> {
+    // Clean load, then a deterministically closed window.
+    let clean = load_round(addr)?;
+    sram_probe::telemetry::force_sample();
+
+    let mut client = connect(addr)?;
+    let metrics = call(&mut client, r#"{"op":"metrics","id":"m0"}"#)?;
+    let result = metrics
+        .get("result")
+        .ok_or("metrics reply without result")?;
+    let windows = result
+        .get("windows")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+        .max(0.0) as u64;
+    let text = result
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or("metrics reply without text exposition")?;
+    let latency = result
+        .get("quantiles")
+        .and_then(|q| q.get("serve.request.latency_ns"));
+    let mut drift = 0.0f64;
+    let mut compared = 0usize;
+    for (q, key) in [("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")] {
+        let from_text = text_quantile(text, "sram_serve_request_latency_ns", q);
+        let from_json = latency.and_then(|l| l.get(key)).and_then(Json::as_f64);
+        if let (Some(t), Some(j)) = (from_text, from_json) {
+            drift = drift.max((t - j).abs());
+            compared += 1;
+        }
+    }
+    let (clean_verdict, _) = health_verdict(&mut client, "h-clean")?;
+
+    // Faulted load under the injected plan, then the verdict check.
+    sram_faults::install(&soak_plan());
+    let faulted = match load_round(addr) {
+        Ok(tally) => tally,
+        Err(e) => {
+            sram_faults::uninstall();
+            return Err(e);
+        }
+    };
+    sram_faults::uninstall();
+    sram_probe::telemetry::force_sample();
+    let (fault_verdict, fault_reasons) = health_verdict(&mut client, "h-fault")?;
+
+    Ok((
+        clean,
+        windows,
+        drift,
+        compared,
+        clean_verdict,
+        faulted,
+        fault_verdict,
+        fault_reasons,
+    ))
+}
+
+/// Formats the telemetry-soak report from a finished [`TelemetrySoak`],
+/// enforcing every invariant.
+///
+/// # Errors
+///
+/// Any invariant violation: non-deterministic sampling, an accept
+/// fraction off the configured rate, unanswered requests, a non-`ok`
+/// clean verdict, a missing window, quantile drift between the two
+/// expositions, trace-ring drops, or a verdict that ignored the fault
+/// plan.
+pub fn report(t: &TelemetrySoak) -> Result<String, String> {
+    let mut out = String::from(
+        "Telemetry soak (sram-probe + sram-serve): windowed metrics, SLO health, sampled tracing\n\n",
+    );
+    out.push_str(&format!(
+        "  sampling: {SAMPLE_KEYS} roots at rate {SAMPLE_RATE} -> fraction {:.3}, replay {}\n",
+        t.sampled_fraction,
+        if t.sampling_deterministic {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    ));
+    out.push_str(&format!(
+        "  clean:    {} requests over {CLIENTS} clients -> {} answered; health: {}\n",
+        t.requests, t.answered, t.clean_verdict
+    ));
+    out.push_str(&format!(
+        "  metrics:  {} closed window(s); text vs JSON drift {:e} over {} quantiles\n",
+        t.windows, t.quantile_drift, t.quantiles_compared
+    ));
+    out.push_str(&format!(
+        "  tracing:  {} ring drops under sampled load\n",
+        t.trace_drops
+    ));
+    out.push_str(&format!(
+        "  faulted:  {} answered ({} internal, {} reconnects); health: {}\n",
+        t.fault_answered, t.internal_replies, t.reconnects, t.fault_verdict
+    ));
+    for reason in &t.fault_reasons {
+        out.push_str(&format!("            - {reason}\n"));
+    }
+
+    if !t.sampling_deterministic {
+        return Err("trace sampling was not deterministic for a fixed seed".to_owned());
+    }
+    if (t.sampled_fraction - SAMPLE_RATE).abs() > SAMPLE_TOLERANCE {
+        return Err(format!(
+            "accept fraction {:.3} is off the configured rate {SAMPLE_RATE}",
+            t.sampled_fraction
+        ));
+    }
+    if t.answered != t.requests {
+        return Err(format!(
+            "clean round answered {} of {}",
+            t.answered, t.requests
+        ));
+    }
+    if t.clean_verdict != "ok" {
+        return Err(format!("clean-run health was {}, not ok", t.clean_verdict));
+    }
+    if t.windows == 0 {
+        return Err("metrics carried no closed telemetry window".to_owned());
+    }
+    if t.quantiles_compared != 3 {
+        return Err(format!(
+            "only {} of 3 latency quantiles were present in both expositions",
+            t.quantiles_compared
+        ));
+    }
+    if t.quantile_drift != 0.0 {
+        return Err(format!(
+            "text and JSON expositions drifted by {:e}",
+            t.quantile_drift
+        ));
+    }
+    if t.trace_drops != 0 {
+        return Err(format!(
+            "{} trace-ring drops under sampled load",
+            t.trace_drops
+        ));
+    }
+    if t.fault_answered != t.requests {
+        return Err(format!(
+            "fault round answered {} of {}",
+            t.fault_answered, t.requests
+        ));
+    }
+    if t.fault_verdict == "ok" {
+        return Err("health verdict never degraded under the injected fault plan".to_owned());
+    }
+    Ok(out)
+}
+
+/// Runs all three phases and renders the invariant-checked report.
+///
+/// # Errors
+///
+/// Propagates [`soak`] failures and [`report`] invariant violations.
+pub fn run(threads: usize) -> Result<String, String> {
+    report(&soak(threads)?)
+}
+
+// The soak mutates process globals (sampling state, the telemetry
+// ring, the fault registry), so its end-to-end test lives in
+// `tests/telemetry_soak.rs` (its own process). Only global-free pieces
+// are tested here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_outcome() -> TelemetrySoak {
+        TelemetrySoak {
+            sampling_deterministic: true,
+            sampled_fraction: 0.248,
+            requests: 24,
+            answered: 24,
+            clean_verdict: "ok".to_owned(),
+            windows: 2,
+            quantile_drift: 0.0,
+            quantiles_compared: 3,
+            trace_drops: 0,
+            fault_answered: 24,
+            fault_verdict: "degraded".to_owned(),
+            fault_reasons: vec!["2 worker panics in the ring".to_owned()],
+            internal_replies: 2,
+            reconnects: 1,
+        }
+    }
+
+    #[test]
+    fn report_names_the_invariants() {
+        let text = report(&healthy_outcome()).expect("healthy outcome renders");
+        assert!(text.contains("replay identical"));
+        assert!(text.contains("health: ok"));
+        assert!(text.contains("0 ring drops"));
+        assert!(text.contains("health: degraded"));
+        assert!(text.contains("worker panics"));
+    }
+
+    type Sabotage = fn(&mut TelemetrySoak);
+
+    #[test]
+    fn report_rejects_each_broken_invariant() {
+        let broken: [(&str, Sabotage); 8] = [
+            ("sampling", |t| t.sampling_deterministic = false),
+            ("fraction", |t| t.sampled_fraction = 0.9),
+            ("answered", |t| t.answered = 23),
+            ("clean verdict", |t| t.clean_verdict = "degraded".into()),
+            ("windows", |t| t.windows = 0),
+            ("drift", |t| t.quantile_drift = 1.0),
+            ("drops", |t| t.trace_drops = 4),
+            ("stuck verdict", |t| t.fault_verdict = "ok".into()),
+        ];
+        for (label, sabotage) in broken {
+            let mut t = healthy_outcome();
+            sabotage(&mut t);
+            assert!(report(&t).is_err(), "{label} violation must be fatal");
+        }
+    }
+
+    #[test]
+    fn soak_plan_injects_both_fault_kinds() {
+        let mut set = sram_faults::ActiveSet::new(&soak_plan());
+        for _ in 0..100 {
+            set.decide("serve.worker_panic");
+            set.decide("serve.conn_drop");
+        }
+        assert_eq!(set.injected_total(), 3, "2 panics + 1 drop, capped");
+    }
+
+    #[test]
+    fn text_quantile_parses_the_exposition_line() {
+        let text = "# header\nsram_x{quantile=\"0.5\"} 1.25e3\nsram_x_count 4\n";
+        assert_eq!(text_quantile(text, "sram_x", "0.5"), Some(1250.0));
+        assert_eq!(text_quantile(text, "sram_x", "0.9"), None);
+    }
+}

@@ -43,6 +43,15 @@ pub const MAX_DISABLED_OVERHEAD: f64 = 0.05;
 /// Output file written by [`run`] (in the working directory).
 pub const OUTPUT_FILE: &str = "BENCH_trajectory.json";
 
+/// Trajectory history schema: `{"schema_version":2,"entries":[…]}`,
+/// newest entry last. Version 1 was a single overwritten snapshot; a
+/// v1 (or corrupt) file is discarded and the history restarts.
+pub const SCHEMA_VERSION: f64 = 2.0;
+
+/// Most entries kept in the history file — old runs age out so the
+/// file stays reviewable in a diff.
+pub const MAX_HISTORY: usize = 100;
+
 /// The workload every phase measures: one Table-4-style optimization.
 const CAPACITY_BYTES: u64 = 4096;
 const FLAVOR: VtFlavor = VtFlavor::Hvt;
@@ -314,12 +323,13 @@ pub fn bench(threads: usize) -> Result<Trajectory, String> {
     })
 }
 
-/// Renders the trajectory as the JSON written to [`OUTPUT_FILE`].
+/// Renders one timestamped history entry (the per-run payload inside
+/// the [`SCHEMA_VERSION`] envelope).
 #[must_use]
-pub fn to_json(t: &Trajectory) -> String {
+pub fn to_json(t: &Trajectory, unix_ms: u64) -> String {
     let num = |v: f64| Json::Num(v);
     Json::Obj(vec![
-        ("schema_version".into(), num(1.0)),
+        ("unix_ms".into(), num(unix_ms as f64)),
         ("smoke".into(), Json::Bool(t.smoke)),
         ("threads".into(), num(t.threads as f64)),
         (
@@ -360,14 +370,52 @@ pub fn to_json(t: &Trajectory) -> String {
     .render()
 }
 
-/// Runs the bench, writes [`OUTPUT_FILE`], and formats the report.
+/// Appends one rendered entry to an existing history file's text,
+/// returning the new file content. A missing, corrupt, or
+/// wrong-schema history starts fresh; the history is bounded to the
+/// newest [`MAX_HISTORY`] entries.
+#[must_use]
+pub fn append_history(existing: Option<&str>, entry: Json) -> String {
+    let mut entries: Vec<Json> = existing
+        .and_then(|text| Json::parse(text).ok())
+        .filter(|j| j.get("schema_version").and_then(Json::as_f64) == Some(SCHEMA_VERSION))
+        .and_then(|j| {
+            j.get("entries")
+                .and_then(Json::as_array)
+                .map(|a| a.to_vec())
+        })
+        .unwrap_or_default();
+    entries.push(entry);
+    if entries.len() > MAX_HISTORY {
+        let excess = entries.len() - MAX_HISTORY;
+        entries.drain(..excess);
+    }
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION)),
+        ("entries".into(), Json::Arr(entries)),
+    ])
+    .render()
+}
+
+/// Runs the bench, appends a timestamped entry to [`OUTPUT_FILE`]
+/// (bounded history — the trajectory accumulates across runs instead
+/// of overwriting), and formats the report.
 ///
 /// # Errors
 ///
 /// Propagates [`bench`] failures and the file write.
 pub fn run(threads: usize) -> Result<String, String> {
     let t = bench(threads)?;
-    let json = to_json(&t);
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let entry = Json::parse(&to_json(&t, unix_ms)).map_err(|e| format!("entry render: {e}"))?;
+    let existing = std::fs::read_to_string(OUTPUT_FILE).ok();
+    let json = append_history(existing.as_deref(), entry);
+    let entry_count = Json::parse(&json)
+        .ok()
+        .and_then(|j| j.get("entries").and_then(Json::as_array).map(<[Json]>::len))
+        .unwrap_or(0);
     std::fs::write(OUTPUT_FILE, &json)
         .map_err(|e| format!("failed to write {OUTPUT_FILE}: {e}"))?;
 
@@ -403,7 +451,9 @@ pub fn run(threads: usize) -> Result<String, String> {
         "  overhead: disabled trace_span! {:.2} ns/call -> {:.5} of the traced wall (budget {})\n",
         t.disabled_ns_per_call, t.disabled_overhead_ratio, MAX_DISABLED_OVERHEAD
     ));
-    out.push_str(&format!("\n  written: {OUTPUT_FILE}\n"));
+    out.push_str(&format!(
+        "\n  appended: {OUTPUT_FILE} (entry {entry_count} of at most {MAX_HISTORY})\n"
+    ));
     Ok(out)
 }
 
@@ -445,15 +495,8 @@ mod tests {
             disabled_ns_per_call: 1.5,
             disabled_overhead_ratio: 0.0001,
         };
-        let json = Json::parse(&to_json(&t)).expect("renders valid JSON");
-        for key in [
-            "schema_version",
-            "smoke",
-            "threads",
-            "search",
-            "serve",
-            "trace",
-        ] {
+        let json = Json::parse(&to_json(&t, 1_754_000_000_000)).expect("renders valid JSON");
+        for key in ["unix_ms", "smoke", "threads", "search", "serve", "trace"] {
             assert!(json.get(key).is_some(), "missing {key}");
         }
         assert!(json
@@ -465,6 +508,63 @@ mod tests {
                 .and_then(|s| s.get("stats_ok"))
                 .and_then(Json::as_bool),
             Some(true)
+        );
+    }
+
+    #[test]
+    fn history_appends_bounds_and_survives_corrupt_files() {
+        let entry = |n: f64| Json::Obj(vec![("unix_ms".into(), Json::Num(n))]);
+        // Fresh start.
+        let one = append_history(None, entry(1.0));
+        let parsed = Json::parse(&one).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(
+            parsed
+                .get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        // Appending keeps earlier entries, newest last.
+        let two = append_history(Some(&one), entry(2.0));
+        let entries = Json::parse(&two).unwrap();
+        let entries = entries
+            .get("entries")
+            .and_then(Json::as_array)
+            .unwrap()
+            .to_vec();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].get("unix_ms").and_then(Json::as_f64), Some(2.0));
+        // A v1 overwrite-era file (no envelope) restarts the history.
+        let reset = append_history(Some(r#"{"schema_version":1,"smoke":true}"#), entry(3.0));
+        let parsed = Json::parse(&reset).unwrap();
+        assert_eq!(
+            parsed
+                .get("entries")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+        // Corrupt text also restarts rather than failing.
+        let reset = append_history(Some("{truncated"), entry(4.0));
+        assert!(Json::parse(&reset).is_ok());
+        // The history is bounded: old entries age out, newest kept.
+        let mut text = append_history(None, entry(0.0));
+        for n in 1..=(MAX_HISTORY + 5) {
+            text = append_history(Some(&text), entry(n as f64));
+        }
+        let parsed = Json::parse(&text).unwrap();
+        let entries = parsed.get("entries").and_then(Json::as_array).unwrap();
+        assert_eq!(entries.len(), MAX_HISTORY);
+        assert_eq!(
+            entries
+                .last()
+                .and_then(|e| e.get("unix_ms"))
+                .and_then(Json::as_f64),
+            Some((MAX_HISTORY + 5) as f64)
         );
     }
 

@@ -1,0 +1,19 @@
+//! End-to-end run of the `telemetry-soak` experiment.
+//!
+//! The soak mutates process globals (trace sampling state, the
+//! telemetry ring, the fault registry), so everything lives in ONE
+//! test function in its own integration binary — `cargo test` runs
+//! sibling `#[test]`s concurrently, and a second test in this file
+//! would race the globals.
+
+#[test]
+fn telemetry_soak_passes_every_invariant() {
+    let report = sram_bench::telemetry::run(2).expect("telemetry soak holds its invariants");
+    assert!(report.contains("replay identical"), "{report}");
+    assert!(report.contains("health: ok"), "{report}");
+    assert!(report.contains("0 ring drops"), "{report}");
+    assert!(
+        report.contains("health: degraded") || report.contains("health: unhealthy"),
+        "fault round must move the verdict:\n{report}"
+    );
+}

@@ -2,6 +2,7 @@
 //! silence the violation below it — one `suppression-syntax` plus one
 //! `no-panic`.
 
+/// Unwraps under a reasonless (hence void) suppression.
 pub fn nope(v: Option<f64>) -> f64 {
     // sram-lint: allow(no-panic)
     v.unwrap()

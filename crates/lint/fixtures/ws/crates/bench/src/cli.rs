@@ -3,11 +3,15 @@
 //! `registry-sync` finding on this file, one on the ledger's stale
 //! `ghost-ledger` row).
 
+/// One fixture experiment.
 pub struct Experiment {
+    /// CLI name.
     pub name: &'static str,
+    /// One-line summary.
     pub summary: &'static str,
 }
 
+/// The fixture registry.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
         name: "fig2",

@@ -1,10 +1,12 @@
 //! Fixture: a detached thread outside the search core — one
 //! `thread-discipline` finding; the scoped spawn is fine.
 
+/// Spawns a detached thread (the finding).
 pub fn leak_work() {
     std::thread::spawn(|| {});
 }
 
+/// Spawns a scoped thread (fine).
 pub fn bounded_work() {
     std::thread::scope(|s| {
         s.spawn(|| {});

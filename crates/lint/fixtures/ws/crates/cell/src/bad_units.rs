@@ -3,11 +3,13 @@
 
 const WRITE_DELAY_SECONDS: f64 = 1.5e-12;
 
+/// Uses constructors and named consts (fine).
 pub fn good(x: f64) -> f64 {
     let t = Time::from_seconds(2.5e-12);
     t * x * WRITE_DELAY_SECONDS
 }
 
+/// Multiplies by a bare magnitude (the finding).
 pub fn bad(x: f64) -> f64 {
     x * 9.5e-5
 }

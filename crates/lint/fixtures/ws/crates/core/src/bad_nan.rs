@@ -1,14 +1,17 @@
 //! Fixture: NaN-unsafe comparisons — two `nan-unsafe` findings (the
 //! `partial_cmp` chain also draws `no-panic` for its unwrap).
 
+/// Sorts through a NaN-unsafe `partial_cmp` chain.
 pub fn pick(scores: &mut [f64]) {
     scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }
 
+/// Asserts float equality.
 pub fn check(x: f64) {
     assert_eq!(x, 1.5);
 }
 
+/// Compares within a tolerance (fine).
 pub fn fine(a: f64, b: f64) {
     assert!((a - b).abs() < 1e-2, "tolerance compares are legal");
 }

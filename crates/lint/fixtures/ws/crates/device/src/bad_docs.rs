@@ -1,0 +1,23 @@
+//! Fixture: undocumented public API — two `doc-coverage` findings (the
+//! bare fn and the bare struct field). The documented items, the
+//! crate-visible fn, and the private fn stay quiet.
+
+/// A threshold-voltage window.
+pub struct VtWindow {
+    /// Lower bound in volts.
+    pub low: f64,
+    pub high: f64,
+}
+
+pub fn undocumented(x: f64) -> f64 {
+    x
+}
+
+/// Identity, but documented.
+pub fn documented(x: f64) -> f64 {
+    x
+}
+
+pub(crate) fn crate_visible() {}
+
+fn private() {}

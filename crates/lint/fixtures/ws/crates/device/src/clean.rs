@@ -1,5 +1,6 @@
 //! Fixture: a clean library file — zero findings.
 
+/// Gate overdrive, clamped at zero.
 pub fn overdrive(vgs: f64, vt: f64) -> f64 {
     (vgs - vt).max(0.0)
 }

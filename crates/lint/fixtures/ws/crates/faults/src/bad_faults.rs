@@ -2,6 +2,7 @@
 //! — one `probe-naming` finding (wrong crate prefix); the well-formed
 //! name and the sanctioned detached timer spawn are fine.
 
+/// Registers one mis-namespaced metric.
 pub fn arm() {
     sram_probe::probe_inc!("serve.not_ours");
     sram_probe::probe_inc!("faults.injected");

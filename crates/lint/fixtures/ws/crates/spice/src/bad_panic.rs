@@ -1,6 +1,7 @@
 //! Fixture: panicking escape hatches in library code — each one must
 //! fire `no-panic`.
 
+/// Panics four different ways.
 pub fn solve(v: Option<f64>, w: Result<f64, ()>) -> f64 {
     let a = v.unwrap();
     let b = w.expect("no result");

@@ -2,6 +2,7 @@
 //! `probe-naming` findings (bad format, cross-kind collision at the
 //! second registration, wrong crate prefix).
 
+/// Registers malformed and colliding names.
 pub fn register() {
     sram_probe::probe_inc!("NotDotted");
     sram_probe::probe_inc!("spice.solves");

@@ -2,6 +2,7 @@
 //! `probe-naming` findings (bad format, wrong crate prefix). The
 //! well-named span at the end must stay quiet.
 
+/// Opens mis-named trace spans.
 pub fn traced() {
     let _a = sram_probe::trace_span!("NotDottedTrace");
     let _b = sram_probe::trace_span!("cell.trace_not_ours");

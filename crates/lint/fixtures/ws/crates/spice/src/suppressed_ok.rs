@@ -1,6 +1,7 @@
 //! Fixture: a justified suppression keeps the walk quiet (counted as
 //! suppressed, not reported).
 
+/// Unwraps under a justified suppression.
 pub fn checked(v: Option<f64>) -> f64 {
     // sram-lint: allow(no-panic) fixture: invariant is checked by the caller
     v.unwrap()

@@ -27,7 +27,12 @@ pub const RULES: &[(&str, Level, &str)] = &[
     (
         "thread-discipline",
         Level::Deny,
-        "std::thread::spawn forbidden outside the sanctioned crates (core, serve)",
+        "std::thread::spawn forbidden outside the sanctioned crates (core, serve, faults, probe)",
+    ),
+    (
+        "doc-coverage",
+        Level::Deny,
+        "pub items and named pub fields in library code must carry a /// doc comment",
     ),
     (
         "registry-sync",

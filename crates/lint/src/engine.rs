@@ -5,8 +5,8 @@ use crate::config::Config;
 use crate::context::FileCtx;
 use crate::diag::{Diagnostic, Level, Report};
 use crate::rules::{
-    nan_unsafe, no_panic, probe_naming, registry_sync, thread_discipline, unit_hygiene,
-    unused_suppression, RawDiag,
+    doc_coverage, nan_unsafe, no_panic, probe_naming, registry_sync, thread_discipline,
+    unit_hygiene, unused_suppression, RawDiag,
 };
 use std::io;
 use std::path::{Path, PathBuf};
@@ -81,6 +81,7 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
         nan_unsafe::check(&ctx, &mut raw);
         probe_naming::check(&ctx, &mut probe_state, &mut raw);
         thread_discipline::check(&ctx, &mut raw);
+        doc_coverage::check(&ctx, &mut raw);
         registry_sync::check(&ctx, &mut registry_state);
         // Resolve suppressions here (not in `push`) so each one's slot in
         // `used` records whether it ever absorbed a finding; the stale

@@ -1,0 +1,302 @@
+//! `doc-coverage`: every `pub` item in library code carries a doc
+//! comment.
+//!
+//! The workspace builds with `#![warn(missing_docs)]` and CI denies
+//! warnings, but rustc only requires docs on items *reachable* from the
+//! crate root — a `pub fn` inside an impl of a private type, or a pub
+//! item in a private module, slips through and then surprises the next
+//! reader who makes the enclosing type public. This rule closes that
+//! gap at the token level: any `pub` item or `pub` struct field in a
+//! [`FileClass::Library`] file must have an adjacent outer doc comment
+//! (`///` or `/** … */`), looking through attributes and plain
+//! comments exactly as rustdoc does.
+//!
+//! Deliberately out of scope:
+//!
+//! * `pub mod name;` declarations — module docs conventionally live as
+//!   `//!` inner docs in the module's own file, which a single-file
+//!   token scan cannot see; rustc's `missing_docs` already covers the
+//!   reachable ones.
+//! * `pub use` re-exports and `pub macro` items — rustdoc inlines the
+//!   target's docs.
+//! * restricted visibility (`pub(crate)`, `pub(super)`, `pub(in …)`) —
+//!   not public API.
+//! * tuple-struct fields — their meaning is positional; the struct's
+//!   own doc comment is the right home.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::TokenKind;
+use crate::rules::RawDiag;
+
+/// Item keywords that take a doc comment. `const` doubles as a
+/// qualifier (`pub const fn`) and is disambiguated at the use site;
+/// `mod` is deliberately absent (see the module docs).
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "union", "const", "static",
+];
+
+/// Qualifiers that may sit between `pub` and the item keyword.
+const QUALIFIERS: &[&str] = &["unsafe", "async", "extern"];
+
+/// Scans one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
+    // A file that failed to tokenize has an unreliable item structure;
+    // `parse-error` already reports it.
+    if ctx.class != FileClass::Library || !ctx.lex_errors.is_empty() {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (pos, &idx) in code.iter().enumerate() {
+        let token = &ctx.tokens[idx];
+        if token.kind != TokenKind::Ident || token.text != "pub" || ctx.in_test(token.line) {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` / `pub(in …)` are not public API.
+        if next_text(ctx, &code, pos + 1) == Some("(") {
+            continue;
+        }
+        let Some((what, name)) = item_after_pub(ctx, &code, pos) else {
+            continue;
+        };
+        if documented(ctx, idx) {
+            continue;
+        }
+        out.push(RawDiag::at(
+            "doc-coverage",
+            token,
+            format!("public {what} `{name}` has no doc comment"),
+            Some(
+                "add a `///` comment saying what the item is for — the workspace's \
+                 `#![warn(missing_docs)]` only covers items reachable from the crate root"
+                    .to_owned(),
+            ),
+        ));
+    }
+}
+
+fn next_text<'c>(ctx: &'c FileCtx, code: &[usize], pos: usize) -> Option<&'c str> {
+    code.get(pos).map(|&n| ctx.tokens[n].text.as_str())
+}
+
+/// Classifies what follows a `pub` token: `Some((kind, name))` for an
+/// item or named struct field this rule covers, `None` for exempt or
+/// unrecognized shapes.
+fn item_after_pub(ctx: &FileCtx, code: &[usize], pub_pos: usize) -> Option<(&'static str, String)> {
+    let mut k = pub_pos + 1;
+    // Bound the qualifier scan; real items need at most
+    // `pub unsafe extern "C" fn`.
+    while k <= pub_pos + 5 {
+        let &tok_idx = code.get(k)?;
+        let token = &ctx.tokens[tok_idx];
+        let text = token.text.as_str();
+        if text == "use" || text == "macro" || text == "mod" {
+            return None;
+        }
+        if QUALIFIERS.contains(&text) || token.kind == TokenKind::Str {
+            k += 1; // `extern` and its ABI string
+            continue;
+        }
+        if text == "const" && next_text(ctx, code, k + 1) == Some("fn") {
+            k += 1; // `pub const fn` — `const` is a qualifier here
+            continue;
+        }
+        if let Some(&kw) = ITEM_KEYWORDS.iter().find(|&&kw| kw == text) {
+            // `pub fn $name` inside a `macro_rules!` template: docs are
+            // supplied by the expansion site (`$(#[$meta])*`, `#[doc =
+            // …]`), which this single-pass scan cannot resolve.
+            if next_text(ctx, code, k + 1) == Some("$") {
+                return None;
+            }
+            let name = code
+                .get(k + 1)
+                .map(|&n| &ctx.tokens[n])
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map_or_else(|| "_".to_owned(), |t| t.text.clone());
+            return Some((kw, name));
+        }
+        // A named struct field: `pub name: Type`.
+        if token.kind == TokenKind::Ident && next_text(ctx, code, k + 1) == Some(":") {
+            return Some(("field", token.text.clone()));
+        }
+        return None;
+    }
+    None
+}
+
+/// Walks the raw token stream backwards from the `pub` token, skipping
+/// attributes (`#[…]`, `#![…]`) and plain comments, to find an
+/// adjacent outer doc comment.
+fn documented(ctx: &FileCtx, pub_raw_idx: usize) -> bool {
+    let mut attr_depth = 0usize;
+    // First identifier of the attribute currently being crossed
+    // (backwards, so the last one seen before its `[` closes).
+    let mut attr_head: Option<&str> = None;
+    let mut i = pub_raw_idx;
+    while i > 0 {
+        i -= 1;
+        let token = &ctx.tokens[i];
+        match token.kind {
+            TokenKind::LineComment => {
+                if attr_depth > 0 {
+                    continue;
+                }
+                if token.text.starts_with("///") {
+                    return true;
+                }
+                if token.text.starts_with("//!") {
+                    return false; // inner docs belong to the enclosing scope
+                }
+                // A plain comment between docs and item is fine.
+            }
+            TokenKind::BlockComment => {
+                if attr_depth > 0 {
+                    continue;
+                }
+                if token.text.starts_with("/**") && token.text.len() > 4 {
+                    return true;
+                }
+                if token.text.starts_with("/*!") {
+                    return false;
+                }
+            }
+            _ => {
+                if attr_depth > 0 {
+                    match token.text.as_str() {
+                        "]" => attr_depth += 1,
+                        "[" => {
+                            attr_depth -= 1;
+                            // `#[doc = …]` (rustdoc's own desugaring of
+                            // `///`) documents the item directly.
+                            if attr_depth == 0 && attr_head == Some("doc") {
+                                return true;
+                            }
+                        }
+                        _ if token.kind == TokenKind::Ident => attr_head = Some(&token.text),
+                        _ => {}
+                    }
+                    continue;
+                }
+                match token.text.as_str() {
+                    "]" => {
+                        attr_depth = 1;
+                        attr_head = None;
+                    }
+                    // The `#` (and `!` of an inner attribute) just
+                    // crossed, between the item and an earlier comment.
+                    "#" | "!" => {}
+                    _ => return false, // adjacent code — no docs
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<RawDiag> {
+        let ctx = FileCtx::new(rel.to_owned(), src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_pub_items_fire() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "pub fn f() {}\npub struct S;\npub const C: u32 = 1;\npub enum E { A }\n",
+        );
+        assert_eq!(found.len(), 4, "{found:?}");
+        assert!(found[0].message.contains("fn `f`"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn documented_items_are_quiet() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "/// Docs.\npub fn f() {}\n/** Block docs. */\npub struct S;\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn docs_reach_through_attributes_and_plain_comments() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "/// Docs.\n#[derive(Debug, Clone)]\n// plain note\npub struct S;\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn inner_docs_do_not_document_the_next_item() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "//! Module docs.\npub fn f() {}\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn named_fields_need_docs_but_tuple_fields_do_not() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "/// S.\npub struct S {\n    /// Low.\n    pub low: f64,\n    pub high: f64,\n}\n/// T.\npub struct T(pub f64);\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.contains("field `high`"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn exempt_shapes_are_skipped() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "pub use other::Thing;\npub mod sub;\npub(crate) fn internal() {}\npub(super) fn up() {}\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn qualified_fns_are_recognized() {
+        let found = run(
+            "crates/device/src/a.rs",
+            "pub const fn c() {}\npub unsafe fn u() {}\npub extern \"C\" fn x() {}\n/// Docs.\npub async fn ok() {}\n",
+        );
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn macro_templates_and_doc_attributes_are_quiet() {
+        let found = run(
+            "crates/units/src/a.rs",
+            "macro_rules! q {\n    ($name:ident) => {\n        pub struct $name(f64);\n        impl $name {\n            pub fn $name(self) -> f64 { self.0 }\n        }\n    };\n}\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+        let found = run(
+            "crates/units/src/a.rs",
+            "#[doc = concat!(\"generated \", \"docs\")]\npub fn f() {}\n#[derive(Debug)]\npub struct S;\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.contains("struct `S`"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn tests_bins_and_broken_files_are_skipped() {
+        assert!(run("crates/device/tests/a.rs", "pub fn f() {}\n").is_empty());
+        assert!(run("crates/device/src/bin/a.rs", "pub fn f() {}\n").is_empty());
+        assert!(run("crates/device/src/a.rs", "pub fn f() {}\n/* never closed\n").is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        assert!(run("crates/device/src/a.rs", in_test).is_empty());
+    }
+}

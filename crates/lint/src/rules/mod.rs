@@ -5,6 +5,7 @@
 //! the [`engine`](crate::engine) applies suppressions and severity
 //! levels. DESIGN.md §Static-analysis records why each rule exists.
 
+pub mod doc_coverage;
 pub mod nan_unsafe;
 pub mod no_panic;
 pub mod probe_naming;

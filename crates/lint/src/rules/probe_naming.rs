@@ -64,7 +64,10 @@ fn expected_prefixes(crate_name: &str) -> Option<&'static [&'static str]> {
         "bench" => Some(&["bench", "repro"]),
         "lint" => Some(&["lint"]),
         "serve" => Some(&["serve"]),
-        "probe" => Some(&["probe"]),
+        // The probe crate also owns the telemetry aggregator and the
+        // structured event log, which register their own bookkeeping
+        // metrics under dedicated namespaces.
+        "probe" => Some(&["probe", "telemetry", "log"]),
         "faults" => Some(&["faults"]),
         _ => None,
     }
@@ -288,6 +291,21 @@ mod tests {
         );
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].message.contains("trace span"));
+    }
+
+    #[test]
+    fn probe_crate_owns_telemetry_and_log_namespaces() {
+        let (found, _) = run(
+            "crates/probe/src/telemetry.rs",
+            "fn f() { sram_probe::probe_inc!(\"telemetry.windows\"); sram_probe::probe_inc!(\"log.events_written\"); sram_probe::probe_inc!(\"probe.trace.dropped\"); }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+        let (found, _) = run(
+            "crates/probe/src/telemetry.rs",
+            "fn f() { sram_probe::probe_inc!(\"metrics.wrong_home\"); }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("namespaced"));
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! connection, and worker threads genuinely outlive any one stack frame,
 //! and its shutdown path joins every handle it spawns. `crates/faults`
 //! is the third: `CancelToken::cancel_after` arms a timer thread whose
-//! whole purpose is to outlive the calling frame. A detached
-//! `std::thread::spawn` anywhere else would leak work past the end of
-//! an experiment and race the probe registry snapshot; this rule keeps
-//! the policy enforced as configuration rather than as per-line
+//! whole purpose is to outlive the calling frame. `crates/probe` is the
+//! fourth: the telemetry aggregator's background sampler thread runs
+//! for the life of the collection window and is joined on `stop()`. A
+//! detached `std::thread::spawn` anywhere else would leak work past the
+//! end of an experiment and race the probe registry snapshot; this rule
+//! keeps the policy enforced as configuration rather than as per-line
 //! suppressions. `scope.spawn(…)` (a method call) is allowed everywhere.
 
 use crate::context::{FileClass, FileCtx};
@@ -20,9 +22,10 @@ use crate::rules::RawDiag;
 
 /// Crates whose library code may call `std::thread::spawn`: the search
 /// core (owns compute parallelism), the query server (owns I/O
-/// threads, joined on shutdown), and the fault layer (cancellation
-/// timer threads).
-const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve", "faults"];
+/// threads, joined on shutdown), the fault layer (cancellation timer
+/// threads), and the probe layer (the telemetry sampler thread, joined
+/// on `telemetry::stop()`).
+const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve", "faults", "probe"];
 
 /// Scans one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
@@ -44,7 +47,8 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
             out.push(RawDiag::at(
                 "thread-discipline",
                 token,
-                "detached `std::thread::spawn` outside the sanctioned crates (core, serve, faults)"
+                "detached `std::thread::spawn` outside the sanctioned crates \
+                 (core, serve, faults, probe)"
                     .to_owned(),
                 Some(
                     "route parallelism through the search layer's scoped threads \
@@ -87,7 +91,7 @@ mod tests {
 
     #[test]
     fn sanctioned_crates_and_tests_are_exempt() {
-        for crate_dir in ["core", "serve", "faults"] {
+        for crate_dir in ["core", "serve", "faults", "probe"] {
             assert!(
                 run(
                     &format!("crates/{crate_dir}/src/a.rs"),

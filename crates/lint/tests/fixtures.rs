@@ -31,17 +31,18 @@ fn in_file<'r>(report: &'r Report, file: &str) -> Vec<&'r Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture_tree() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 13, "fixture tree changed shape");
+    assert_eq!(report.files_scanned, 15, "fixture tree changed shape");
     assert_eq!(count(&report, "no-panic"), 6);
     assert_eq!(count(&report, "unit-hygiene"), 1);
     assert_eq!(count(&report, "nan-unsafe"), 2);
-    assert_eq!(count(&report, "probe-naming"), 6);
+    assert_eq!(count(&report, "probe-naming"), 7);
     assert_eq!(count(&report, "thread-discipline"), 1);
+    assert_eq!(count(&report, "doc-coverage"), 2);
     assert_eq!(count(&report, "registry-sync"), 2);
     assert_eq!(count(&report, "suppression-syntax"), 1);
     assert_eq!(count(&report, "unused-suppression"), 1);
     assert_eq!(count(&report, "parse-error"), 1);
-    assert_eq!(report.diagnostics.len(), 21);
+    assert_eq!(report.diagnostics.len(), 24);
     assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
 }
 
@@ -105,7 +106,7 @@ fn probe_collision_is_reported_at_the_second_site() {
         .expect("cross-kind collision reported");
     assert_eq!(collision.file, "crates/spice/src/bad_probe.rs");
     assert!(
-        collision.message.contains("bad_probe.rs:7"),
+        collision.message.contains("bad_probe.rs:8"),
         "collision must name the first registration site: {}",
         collision.message
     );
@@ -146,6 +147,7 @@ fn warn_level_keeps_exit_clean() {
         "nan-unsafe",
         "probe-naming",
         "thread-discipline",
+        "doc-coverage",
         "registry-sync",
         "suppression-syntax",
         "unused-suppression",
@@ -155,15 +157,15 @@ fn warn_level_keeps_exit_clean() {
     }
     let report = run(&fixture_root(), &config).expect("fixture tree readable");
     assert_eq!(report.deny_count(), 0);
-    assert_eq!(report.warn_count(), 21);
+    assert_eq!(report.warn_count(), 24);
 }
 
 #[test]
 fn json_rendering_of_the_fixture_report_is_well_formed() {
     let report = fixture_report();
     let json = report.render_json();
-    assert!(json.contains("\"files_scanned\": 13"));
-    assert!(json.contains("\"counts\": {\"deny\": 21, \"warn\": 0}"));
+    assert!(json.contains("\"files_scanned\": 15"));
+    assert!(json.contains("\"counts\": {\"deny\": 24, \"warn\": 0}"));
     // Balanced braces/brackets outside strings — cheap well-formedness
     // check without a JSON parser in the dependency-free workspace.
     let mut depth = 0i32;
@@ -207,5 +209,36 @@ fn the_workspace_lints_clean_under_deny_all() {
         report.files_scanned > 50,
         "walker lost the workspace: only {} files",
         report.files_scanned
+    );
+}
+
+#[test]
+fn doc_coverage_fires_on_the_bare_items_only() {
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/device/src/bad_docs.rs");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "doc-coverage"), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("field `high`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("fn `undocumented`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn probe_crate_fixture_is_sanctioned_but_namespaced() {
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/probe/src/telemetry_ok.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "probe-naming");
+    assert!(
+        diags[0].message.contains("metrics.wrong_home"),
+        "{}",
+        diags[0].message
     );
 }

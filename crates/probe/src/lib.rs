@@ -60,15 +60,30 @@
 //! (`SRAM_TRACE`, [`trace::set_tracing`], [`trace::force`]) so it can
 //! run with metrics off and vice versa. [`trace_span!`] composes with
 //! [`probe_span!`]: the former records structure, the latter feeds the
-//! duration histogram.
+//! duration histogram. Under load, [`trace::sample`] force-enables
+//! tracing for a seeded, deterministic fraction of roots
+//! (`SRAM_TRACE_SAMPLE`) so a busy server keeps representative traces
+//! without ring pressure.
+//!
+//! # Telemetry and logging
+//!
+//! The [`telemetry`] module turns point-in-time snapshots into a
+//! windowed time series: a background sampler stores per-interval
+//! deltas in a bounded ring (`SRAM_TELEMETRY_WINDOW` /
+//! `SRAM_TELEMETRY_SLOTS`), with streaming p50/p90/p99 quantiles from
+//! a mergeable log-linear histogram and a Prometheus-style text
+//! exposition. The [`log`] module writes structured JSON-lines events
+//! (`SRAM_LOG=path`, leveled) for rare operator-relevant moments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod level;
+pub mod log;
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod telemetry;
 pub mod trace;
 
 pub use level::{enabled, level, set_level, Level};

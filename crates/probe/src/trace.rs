@@ -164,6 +164,97 @@ impl Drop for ForceGuard {
 }
 
 // ---------------------------------------------------------------------
+// Per-root sampling
+// ---------------------------------------------------------------------
+
+/// Default seed for [`sample`] when `SRAM_TRACE_SAMPLE_SEED` is unset
+/// — fixed so two runs of the same workload sample the same roots.
+pub const DEFAULT_SAMPLE_SEED: u64 = 0x5EED_7E1E;
+
+/// Sentinel: sampling config not yet read from the environment. The
+/// bit pattern is a specific NaN no clamped rate can produce.
+const SAMPLE_UNINIT: u64 = u64::MAX;
+
+static SAMPLE_RATE_BITS: AtomicU64 = AtomicU64::new(SAMPLE_UNINIT);
+static SAMPLE_SEED: AtomicU64 = AtomicU64::new(DEFAULT_SAMPLE_SEED);
+
+fn sample_rate() -> f64 {
+    let bits = SAMPLE_RATE_BITS.load(Ordering::Relaxed);
+    if bits != SAMPLE_UNINIT {
+        return f64::from_bits(bits);
+    }
+    let rate = std::env::var("SRAM_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(1.0, |r| {
+            if r.is_finite() {
+                r.clamp(0.0, 1.0)
+            } else {
+                1.0
+            }
+        });
+    let seed = std::env::var("SRAM_TRACE_SAMPLE_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SAMPLE_SEED);
+    SAMPLE_SEED.store(seed, Ordering::Relaxed);
+    SAMPLE_RATE_BITS.store(rate.to_bits(), Ordering::Relaxed);
+    rate
+}
+
+/// Overrides the sampling rate (clamped to `[0, 1]`) and seed at
+/// runtime, superseding `SRAM_TRACE_SAMPLE` / `SRAM_TRACE_SAMPLE_SEED`.
+pub fn set_sampling(rate: f64, seed: u64) {
+    let rate = if rate.is_finite() {
+        rate.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    SAMPLE_SEED.store(seed, Ordering::Relaxed);
+    SAMPLE_RATE_BITS.store(rate.to_bits(), Ordering::Relaxed);
+}
+
+/// The effective `(rate, seed)` sampling configuration.
+#[must_use]
+pub fn sampling() -> (f64, u64) {
+    let rate = sample_rate();
+    (rate, SAMPLE_SEED.load(Ordering::Relaxed))
+}
+
+/// SplitMix64 — the same stateless-stream construction `sram-faults`
+/// uses for per-point PRNGs: hashing `seed ^ key` makes the decision
+/// for a given root a pure function of the two, independent of thread
+/// interleaving or call order.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Probabilistically force-enables tracing for one root (a request, a
+/// search, any unit with a stable `key`): returns a [`ForceGuard`]
+/// for a deterministic, seeded fraction `rate` of keys and `None` for
+/// the rest. At rate 1 every root traces (the pre-sampling behavior);
+/// at rate 0 none do; in between a loaded node keeps tracing a
+/// representative sample without ring pressure, and the sampled
+/// subset is identical across runs with the same seed.
+#[must_use]
+pub fn sample(key: u64) -> Option<ForceGuard> {
+    let rate = sample_rate();
+    if rate >= 1.0 {
+        return Some(force());
+    }
+    if rate <= 0.0 {
+        return None;
+    }
+    let hash = splitmix64(SAMPLE_SEED.load(Ordering::Relaxed) ^ key);
+    // Top 53 bits as a uniform fraction in [0, 1).
+    let fraction = (hash >> 11) as f64 / (1u64 << 53) as f64;
+    (fraction < rate).then(force)
+}
+
+// ---------------------------------------------------------------------
 // Clock, span ids, name interning
 // ---------------------------------------------------------------------
 
@@ -1050,6 +1141,48 @@ mod tests {
         assert!(tracing_enabled());
         drop(f2);
         assert!(!tracing_enabled());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_proportional() {
+        let _guard = serial();
+        set_tracing(false);
+
+        // Rate 1 always traces, rate 0 never does.
+        set_sampling(1.0, DEFAULT_SAMPLE_SEED);
+        assert!(sample(42).is_some());
+        set_sampling(0.0, DEFAULT_SAMPLE_SEED);
+        assert!(sample(42).is_none());
+
+        // At rate r the sampled fraction of keys approaches r, and the
+        // guard actually forces tracing while held.
+        let n = 10_000u64;
+        set_sampling(0.25, 7);
+        let mut first: Vec<bool> = Vec::with_capacity(n as usize);
+        let mut hits = 0u64;
+        for key in 0..n {
+            let guard = sample(key);
+            if guard.is_some() {
+                hits += 1;
+                assert!(tracing_enabled(), "guard must force tracing");
+            }
+            first.push(guard.is_some());
+        }
+        assert!(!tracing_enabled(), "all guards dropped");
+        let fraction = hits as f64 / n as f64;
+        assert!(
+            (fraction - 0.25).abs() < 0.02,
+            "sampled fraction {fraction} far from rate 0.25"
+        );
+
+        // Same seed → identical subset; different seed → different one.
+        let second: Vec<bool> = (0..n).map(|key| sample(key).is_some()).collect();
+        assert_eq!(first, second, "same seed must sample the same roots");
+        set_sampling(0.25, 8);
+        let reseeded: Vec<bool> = (0..n).map(|key| sample(key).is_some()).collect();
+        assert_ne!(first, reseeded, "a new seed must pick a new subset");
+
+        set_sampling(1.0, DEFAULT_SAMPLE_SEED);
     }
 
     #[test]

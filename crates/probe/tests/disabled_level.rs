@@ -50,22 +50,31 @@ fn disabled_spans_are_near_zero_work() {
     assert_eq!(snap.histograms["off.summary_at_summary"].count, 1);
 
     // Phase 3: a coarse budget check. A disabled span site must cost
-    // on the order of a branch, not a clock read. Bounded loosely
-    // (≤ 50 ns/call amortized) so the test is robust on slow CI
-    // machines while still catching an accidental `Instant::now()`
-    // (~20–40 ns each, plus the register/record path it would drag in).
+    // on the order of a branch, not a clock read. The budget is loose
+    // enough for slow CI machines while still catching an accidental
+    // `Instant::now()` (~20–40 ns each, plus the register/record path
+    // it would drag in); debug builds pay unoptimized call overhead on
+    // every macro expansion, so their budget is wider. Taking the best
+    // of several rounds discards scheduler preemption noise — a real
+    // per-call regression slows every round equally.
     sram_probe::set_level(Level::Off);
     const CALLS: u32 = 200_000;
-    let start = std::time::Instant::now();
-    for _ in 0..CALLS {
-        let _span = probe_span!("off.cost_probe");
-        let _trace = trace_span!("off.cost_trace");
-        std::hint::black_box(());
+    const ROUNDS: usize = 5;
+    let budget_ns = if cfg!(debug_assertions) { 150.0 } else { 50.0 };
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        for _ in 0..CALLS {
+            let _span = probe_span!("off.cost_probe");
+            let _trace = trace_span!("off.cost_trace");
+            std::hint::black_box(());
+        }
+        let per_call = start.elapsed().as_nanos() as f64 / f64::from(CALLS);
+        best = best.min(per_call);
     }
-    let per_call = start.elapsed().as_nanos() as f64 / f64::from(CALLS);
     assert!(
-        per_call < 50.0,
-        "disabled span pair cost {per_call:.1} ns/call, expected branch-like"
+        best < budget_ns,
+        "disabled span pair cost {best:.1} ns/call, expected branch-like (budget {budget_ns})"
     );
     assert!(
         !sram_probe::snapshot()

@@ -54,6 +54,18 @@ const RETRY_ATTEMPTS: u32 = 3;
 /// same path.
 const RETRY_BASE_BACKOFF: Duration = Duration::from_millis(1);
 
+/// Queue fill fraction above which `health` degrades — the router
+/// should start hedging before the queue rejects with `busy`.
+const QUEUE_PRESSURE_DEGRADED: f64 = 0.8;
+
+/// Long-window (whole ring) SLO burn above which `health` degrades:
+/// burning faster than 1× means the error budget will not last.
+const BURN_DEGRADED_LONG: f64 = 1.0;
+
+/// Short-window (newest window) SLO burn above which `health` is
+/// unhealthy — an active fire, not a slow leak.
+const BURN_UNHEALTHY_SHORT: f64 = 10.0;
+
 /// The query engine: framework + LUT store + result cache.
 pub struct Engine {
     framework: CoOptimizationFramework,
@@ -243,12 +255,18 @@ impl Engine {
 
         let mut responses: Vec<Option<Json>> = vec![None; requests.len()];
 
-        // Pass 1: stats queries (always live, never cached), then the
-        // result cache.
+        // Pass 1: introspection queries (always live, never cached),
+        // then the result cache.
         let mut misses: Vec<usize> = Vec::new();
         for (i, req) in requests.iter().enumerate() {
-            if req.query == Query::Stats {
-                responses[i] = Some(ok_response(req.id.as_deref(), false, &self.stats_json()));
+            let direct = match req.query {
+                Query::Stats => Some(self.stats_json()),
+                Query::Metrics => Some(self.metrics_json()),
+                Query::Health => Some(self.health_json()),
+                _ => None,
+            };
+            if let Some(result) = direct {
+                responses[i] = Some(ok_response(req.id.as_deref(), false, &result));
                 continue;
             }
             let canonical = req.query.canonical();
@@ -480,9 +498,11 @@ impl Engine {
                     ("yield".into(), yield_json(&analysis)),
                 ]))
             }
-            // Stats never reaches the executor (answered in pass 1,
-            // skipped by the grouping); keep the match total anyway.
+            // Introspection ops never reach the executor (answered in
+            // pass 1, skipped by the grouping); keep the match total.
             Query::Stats => Ok(self.stats_json()),
+            Query::Metrics => Ok(self.metrics_json()),
+            Query::Health => Ok(self.health_json()),
         }
     }
 
@@ -525,6 +545,199 @@ impl Engine {
                 Json::Num(sram_probe::trace::dropped() as f64),
             ),
             ("probe".into(), snapshot_json(&sram_probe::snapshot())),
+        ])
+    }
+
+    /// Windowed telemetry for the `metrics` op: the Prometheus text
+    /// exposition under `"text"` plus a JSON rendering of the same
+    /// [`sram_probe::telemetry::Export`], so the two forms cannot
+    /// drift — `reproduce telemetry-soak` hard-fails if they do.
+    #[must_use]
+    pub fn metrics_json(&self) -> Json {
+        let export = sram_probe::telemetry::export();
+        let counters: Vec<(String, Json)> = export
+            .counters
+            .iter()
+            .map(|(name, stat)| {
+                (
+                    (*name).to_string(),
+                    Json::Obj(vec![
+                        ("total".into(), Json::Num(stat.total as f64)),
+                        ("delta".into(), Json::Num(stat.delta as f64)),
+                        ("rate".into(), Json::Num(stat.rate)),
+                        ("last_rate".into(), Json::Num(stat.last_rate)),
+                    ]),
+                )
+            })
+            .collect();
+        let gauges: Vec<(String, Json)> = export
+            .gauges
+            .iter()
+            .map(|(name, value)| ((*name).to_string(), Json::Num(*value)))
+            .collect();
+        let quantiles: Vec<(String, Json)> = export
+            .quantiles
+            .iter()
+            .map(|(name, q)| {
+                (
+                    (*name).to_string(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Num(q.count as f64)),
+                        ("sum".into(), Json::Num(q.sum as f64)),
+                        ("p50".into(), Json::Num(q.p50)),
+                        ("p90".into(), Json::Num(q.p90)),
+                        ("p99".into(), Json::Num(q.p99)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("window_ms".into(), Json::Num(export.window_ms as f64)),
+            ("slots".into(), Json::Num(export.slots as f64)),
+            ("windows".into(), Json::Num(export.windows.len() as f64)),
+            ("span_s".into(), Json::Num(export.span_s)),
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("quantiles".into(), Json::Obj(quantiles)),
+            ("text".into(), Json::Str(export.to_prometheus())),
+        ])
+    }
+
+    /// Health verdict for the `health` op: `ok|degraded|unhealthy`
+    /// plus the reasons, computed from worker liveness (panic/respawn
+    /// counters), queue pressure, windowed expiry/reject rates, and
+    /// per-op SLO burn ([`crate::slo`]). This is the contract a
+    /// cluster router polls to decide hedging, draining, or failover.
+    #[must_use]
+    pub fn health_json(&self) -> Json {
+        let export = sram_probe::telemetry::export();
+        let has_ring = !export.windows.is_empty();
+        // Windowed delta when the ring has data; lifetime total as the
+        // cold-start fallback so faults are never invisible.
+        let recent = |name: &'static str| {
+            if has_ring {
+                export.counters.get(name).map_or(0, |s| s.delta)
+            } else {
+                sram_probe::counter(name).get()
+            }
+        };
+        let rate = |name: &str| export.counters.get(name).map_or(0.0, |s| s.rate);
+
+        let panics = sram_probe::counter("serve.worker.panics").get();
+        let respawns = sram_probe::counter("serve.worker.respawns").get();
+        let depth = sram_probe::gauge("serve.queue.depth").get();
+        let capacity = sram_probe::gauge("serve.queue.capacity").get();
+        let cache = self.cache.counters();
+        let slo = crate::slo::statuses(&export);
+
+        let mut degraded: Vec<String> = Vec::new();
+        let mut unhealthy: Vec<String> = Vec::new();
+        if respawns < panics {
+            unhealthy.push(format!(
+                "worker down: {panics} panics but only {respawns} respawns"
+            ));
+        } else if recent("serve.worker.panics") > 0 {
+            degraded.push(format!(
+                "worker panics in window: {}",
+                recent("serve.worker.panics")
+            ));
+        }
+        if capacity > 0.0 && depth / capacity >= QUEUE_PRESSURE_DEGRADED {
+            degraded.push(format!("queue pressure: {depth:.0}/{capacity:.0}"));
+        }
+        let rejected = recent("serve.request.rejected");
+        if rejected > 0 {
+            degraded.push(format!("busy rejections in window: {rejected}"));
+        }
+        let expired = recent("serve.request.expired");
+        if expired > 0 {
+            degraded.push(format!("deadline expiries in window: {expired}"));
+        }
+        for s in &slo {
+            if s.burn_short > BURN_UNHEALTHY_SHORT {
+                unhealthy.push(format!(
+                    "{} SLO burning {:.1}x in the newest window",
+                    s.op, s.burn_short
+                ));
+            } else if s.burn_long > BURN_DEGRADED_LONG {
+                degraded.push(format!(
+                    "{} SLO burning {:.1}x over the ring",
+                    s.op, s.burn_long
+                ));
+            }
+        }
+
+        let verdict = if !unhealthy.is_empty() {
+            "unhealthy"
+        } else if !degraded.is_empty() {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let reasons: Vec<Json> = unhealthy
+            .into_iter()
+            .chain(degraded)
+            .map(Json::Str)
+            .collect();
+        let slo_json: Vec<(String, Json)> = slo
+            .iter()
+            .map(|s| {
+                (
+                    s.op.to_string(),
+                    Json::Obj(vec![
+                        ("objective_ms".into(), Json::Num(s.objective_ms as f64)),
+                        ("total".into(), Json::Num(s.total as f64)),
+                        ("breach".into(), Json::Num(s.breach as f64)),
+                        ("burn_long".into(), Json::Num(s.burn_long)),
+                        ("burn_short".into(), Json::Num(s.burn_short)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("verdict".into(), Json::Str(verdict.into())),
+            ("reasons".into(), Json::Arr(reasons)),
+            ("windows".into(), Json::Num(export.windows.len() as f64)),
+            ("span_s".into(), Json::Num(export.span_s)),
+            (
+                "workers".into(),
+                Json::Obj(vec![
+                    ("panics".into(), Json::Num(panics as f64)),
+                    ("respawns".into(), Json::Num(respawns as f64)),
+                ]),
+            ),
+            (
+                "queue".into(),
+                Json::Obj(vec![
+                    ("depth".into(), Json::Num(depth)),
+                    ("capacity".into(), Json::Num(capacity)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("entries".into(), Json::Num(cache.entries as f64)),
+                    ("bytes".into(), Json::Num(cache.bytes as f64)),
+                ]),
+            ),
+            (
+                "rates".into(),
+                Json::Obj(vec![
+                    (
+                        "expired_per_s".into(),
+                        Json::Num(rate("serve.request.expired")),
+                    ),
+                    (
+                        "rejected_per_s".into(),
+                        Json::Num(rate("serve.request.rejected")),
+                    ),
+                    (
+                        "errors_per_s".into(),
+                        Json::Num(rate("serve.request.errors")),
+                    ),
+                ]),
+            ),
+            ("slo".into(), Json::Obj(slo_json)),
         ])
     }
 
@@ -991,6 +1204,37 @@ mod tests {
         }
         // Stats answers never enter the result cache.
         assert_eq!(engine.cache_counters().entries, 1);
+    }
+
+    #[test]
+    fn metrics_and_health_are_answered_live_and_never_cached() {
+        let engine = coarse_engine();
+        let m = engine.handle(&req(r#"{"op":"metrics","id":"m"}"#));
+        assert_eq!(m.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(m.get("cached").and_then(Json::as_bool), Some(false));
+        let result = m.get("result").unwrap();
+        let text = result.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.starts_with("# sram-edp telemetry"), "{text}");
+        assert!(result.get("counters").is_some());
+        assert!(result.get("quantiles").is_some());
+        assert!(result.get("window_ms").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let h = engine.handle(&req(r#"{"op":"health","id":"h"}"#));
+        assert_eq!(h.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(h.get("cached").and_then(Json::as_bool), Some(false));
+        let result = h.get("result").unwrap();
+        let verdict = result.get("verdict").and_then(Json::as_str).unwrap();
+        assert!(
+            ["ok", "degraded", "unhealthy"].contains(&verdict),
+            "{verdict}"
+        );
+        assert!(result.get("reasons").and_then(Json::as_array).is_some());
+        let workers = result.get("workers").unwrap();
+        assert!(workers.get("panics").and_then(Json::as_f64).is_some());
+        assert!(result.get("queue").is_some());
+        assert!(result.get("slo").is_some());
+        // Neither op touched the result cache.
+        assert_eq!(engine.cache_counters().entries, 0);
     }
 
     #[test]

@@ -27,11 +27,18 @@
 //! ```
 //!
 //! Ops: `optimize`, `evaluate-point`, `pareto-front`, `yield-check`,
-//! and `stats` (live probe snapshot, uptime, queue depth, and cache
-//! occupancy — answered directly, never cached). Envelope fields `id`
+//! plus three introspection ops answered directly and never cached —
+//! `stats` (live probe snapshot, uptime, queue depth, cache
+//! occupancy), `metrics` (windowed telemetry: Prometheus-style text
+//! exposition plus the same export as JSON), and `health` (an
+//! `ok|degraded|unhealthy` verdict with reasons: worker liveness,
+//! queue pressure, windowed expiry/reject rates, and per-op SLO burn —
+//! the contract a cluster router polls). Envelope fields `id`
 //! (echoed), `deadline_ms` (per-request budget), and `trace` (when
 //! `true`, the response carries the request's span tree inline under
-//! `"trace"`: parse → queue wait → characterize/execute → respond) are
+//! `"trace"`: parse → queue wait → characterize/execute → respond;
+//! under `SRAM_TRACE_SAMPLE` < 1 only a seeded, deterministic fraction
+//! of traced roots actually record) are
 //! accepted on every op. Error replies carry `"status":"error"`,
 //! `"busy"` (queue full — retry), `"deadline_exceeded"`,
 //! `"shutting_down"`, or `"internal"` (a worker panicked mid-request;
@@ -70,6 +77,7 @@ mod error;
 mod json;
 mod query;
 mod server;
+pub mod slo;
 
 pub use cache::{CacheConfig, CacheCounters, ResultCache};
 pub use client::Client;

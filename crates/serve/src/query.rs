@@ -136,6 +136,16 @@ pub enum Query {
     /// cache occupancy. Answered directly by the engine (never cached,
     /// never characterized).
     Stats,
+    /// Windowed telemetry: Prometheus-style text exposition plus a JSON
+    /// form of the same export (rates, deltas, streaming quantiles).
+    /// Answered directly by the engine (never cached, never
+    /// characterized).
+    Metrics,
+    /// Health verdict (`ok|degraded|unhealthy`) with reasons: worker
+    /// liveness/respawns, queue pressure, cache occupancy, windowed
+    /// expiry/reject rates, and SLO burn rates. Answered directly by
+    /// the engine (never cached, never characterized).
+    Health,
 }
 
 /// A query plus its request envelope (client id, deadline, trace flag).
@@ -382,9 +392,17 @@ impl Request {
                 fields.reject_unknown(&[])?;
                 Query::Stats
             }
+            "metrics" => {
+                fields.reject_unknown(&[])?;
+                Query::Metrics
+            }
+            "health" => {
+                fields.reject_unknown(&[])?;
+                Query::Health
+            }
             other => {
                 return Err(ServeError::InvalidQuery(format!(
-                "unknown op {other:?} (expected optimize|evaluate-point|pareto-front|yield-check|stats)"
+                "unknown op {other:?} (expected optimize|evaluate-point|pareto-front|yield-check|stats|metrics|health)"
             )))
             }
         };
@@ -467,12 +485,33 @@ impl Request {
             Query::Stats => {
                 pairs.push(("op".into(), Json::Str("stats".into())));
             }
+            Query::Metrics => {
+                pairs.push(("op".into(), Json::Str("metrics".into())));
+            }
+            Query::Health => {
+                pairs.push(("op".into(), Json::Str("health".into())));
+            }
         }
         Json::Obj(pairs)
     }
 }
 
 impl Query {
+    /// The wire op name (`"optimize"`, `"stats"`, …) — the key SLO
+    /// tracking groups latency objectives by.
+    #[must_use]
+    pub fn op(&self) -> &'static str {
+        match self {
+            Query::Optimize { .. } => "optimize",
+            Query::EvaluatePoint { .. } => "evaluate-point",
+            Query::ParetoFront { .. } => "pareto-front",
+            Query::YieldCheck { .. } => "yield-check",
+            Query::Stats => "stats",
+            Query::Metrics => "metrics",
+            Query::Health => "health",
+        }
+    }
+
     /// Canonical rendering — field-order-independent, envelope-free.
     /// Two wire lines describing the same query always canonicalize to
     /// the same string, which is the content the cache key hashes.
@@ -523,6 +562,8 @@ impl Query {
                 method_wire(*method)
             ),
             Query::Stats => "stats".to_string(),
+            Query::Metrics => "metrics".to_string(),
+            Query::Health => "health".to_string(),
         }
     }
 
@@ -542,7 +583,7 @@ impl Query {
             | Query::EvaluatePoint { flavor, method, .. }
             | Query::ParetoFront { flavor, method, .. }
             | Query::YieldCheck { flavor, method, .. } => Some((flavor, method)),
-            Query::Stats => None,
+            Query::Stats | Query::Metrics | Query::Health => None,
         }
     }
 }
@@ -685,6 +726,30 @@ mod tests {
         // Stats takes no op fields of its own.
         assert!(matches!(
             Request::from_line(r#"{"op":"stats","capacity_bytes":64}"#),
+            Err(ServeError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_and_health_parse_and_need_no_characterization() {
+        for (line, query, canonical) in [
+            (r#"{"op":"metrics","id":"m1"}"#, Query::Metrics, "metrics"),
+            (r#"{"op":"health"}"#, Query::Health, "health"),
+        ] {
+            let r = Request::from_line(line).unwrap();
+            assert_eq!(r.query, query);
+            assert_eq!(r.query.char_key(), None);
+            assert_eq!(r.query.canonical(), canonical);
+            let back = Request::from_line(&r.to_json().render()).unwrap();
+            assert_eq!(back, r);
+        }
+        // Neither op takes fields of its own.
+        assert!(matches!(
+            Request::from_line(r#"{"op":"metrics","capacity_bytes":64}"#),
+            Err(ServeError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            Request::from_line(r#"{"op":"health","samples":1}"#),
             Err(ServeError::InvalidQuery(_))
         ));
     }

@@ -23,9 +23,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,34 @@ use crate::query::Request;
 /// default). When set, the server warm-starts its result cache from the
 /// file at startup and spills the cache back on graceful shutdown.
 pub const SRAM_CACHE_FILE_ENV: &str = "SRAM_CACHE_FILE";
+
+/// Default slow-query threshold (`SRAM_LOG_SLOW_MS` overrides): a
+/// request slower than this is logged as a `serve.slow_query` event,
+/// with its span tree attached when the request was traced.
+pub const DEFAULT_SLOW_QUERY_MS: u64 = 1_000;
+
+/// Queue-depth gauge, written directly (bypassing the probe level
+/// gate) because the `health` verdict needs queue pressure even with
+/// probes off. Cached: the gauge sits on the per-request hot path.
+fn queue_depth_gauge() -> &'static sram_probe::Gauge {
+    static HANDLE: OnceLock<&'static sram_probe::Gauge> = OnceLock::new();
+    HANDLE.get_or_init(|| sram_probe::gauge("serve.queue.depth"))
+}
+
+/// Monotone key distinguishing traced roots for deterministic
+/// per-root sampling ([`sram_probe::trace::sample`]).
+static REQUEST_KEY: AtomicU64 = AtomicU64::new(0);
+
+fn slow_threshold_ns() -> u64 {
+    static THRESHOLD: OnceLock<u64> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("SRAM_LOG_SLOW_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SLOW_QUERY_MS)
+            .saturating_mul(1_000_000)
+    })
+}
 
 /// Server sizing and timing knobs.
 #[derive(Debug, Clone)]
@@ -122,7 +150,7 @@ impl JobQueue {
             return Err(ServeError::Busy);
         }
         inner.jobs.push_back(job);
-        sram_probe::probe_gauge!("serve.queue.depth", inner.jobs.len() as u64);
+        queue_depth_gauge().set(inner.jobs.len() as f64);
         drop(inner);
         self.ready.notify_one();
         Ok(())
@@ -136,7 +164,7 @@ impl JobQueue {
             if !inner.jobs.is_empty() {
                 let n = inner.jobs.len().min(max.max(1));
                 let batch: Vec<Job> = inner.jobs.drain(..n).collect();
-                sram_probe::probe_gauge!("serve.queue.depth", inner.jobs.len() as u64);
+                queue_depth_gauge().set(inner.jobs.len() as f64);
                 return Some(batch);
             }
             if !inner.open {
@@ -199,6 +227,21 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Telemetry rides along with the server: the sampler thread
+        // starts here and is joined by `stop`. The capacity gauge is
+        // set directly (ungated) — `health` reads queue pressure as
+        // depth/capacity and must work with probes off.
+        sram_probe::gauge("serve.queue.capacity").set(config.queue_capacity.max(1) as f64);
+        sram_probe::telemetry::start();
+        sram_probe::log::log_event(
+            sram_probe::log::LogLevel::Info,
+            "serve.started",
+            &[(
+                "workers",
+                sram_probe::log::LogValue::U64(config.workers.max(1) as u64),
+            )],
+        );
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for _ in 0..config.workers.max(1) {
@@ -270,6 +313,10 @@ impl Server {
                 Err(_) => sram_probe::probe_inc!("serve.cache.save_failed"),
             }
         }
+        // Drops the telemetry refcount taken in `start`; the sampler
+        // thread takes a final drain sample and is joined here.
+        sram_probe::telemetry::stop();
+        sram_probe::log::log_event(sram_probe::log::LogLevel::Info, "serve.stopped", &[]);
     }
 }
 
@@ -397,9 +444,17 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
     }
 
     // The root span starts retroactively at the parse timestamp so the
-    // tree covers the whole request, not just the queued part.
-    let _force = request.trace.then(sram_probe::trace::force);
-    let root = if request.trace {
+    // tree covers the whole request, not just the queued part. Traced
+    // requests pass through per-root sampling: at `SRAM_TRACE_SAMPLE`
+    // below 1, only a seeded, deterministic fraction of roots force
+    // tracing on, so a loaded node keeps representative traces without
+    // ring pressure.
+    let sampled = if request.trace {
+        sram_probe::trace::sample(REQUEST_KEY.fetch_add(1, Ordering::Relaxed))
+    } else {
+        None
+    };
+    let root = if sampled.is_some() {
         sram_probe::trace::span_at("serve.request", t_parse)
     } else {
         sram_probe::trace::TraceSpan::disabled()
@@ -421,6 +476,7 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
         .map(|ms| now + Duration::from_millis(ms));
     let (tx, rx) = mpsc::channel();
     let id = request.id.clone();
+    let op = request.query.op();
     let job = Job {
         request,
         enqueued: now,
@@ -431,7 +487,8 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
     };
     if let Err(e) = queue.push(job) {
         if matches!(e, ServeError::Busy) {
-            sram_probe::probe_inc!("serve.request.rejected");
+            // Ungated (health keys off the busy-reject rate).
+            sram_probe::counter("serve.request.rejected").inc();
         }
         return error_response(id.as_deref(), &e);
     }
@@ -440,7 +497,12 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
         // Worker pool went away mid-request (shutdown race).
         Err(_) => error_response(id.as_deref(), &ServeError::ShuttingDown),
     };
-    sram_probe::probe_record!("serve.request.latency_ns", now.elapsed().as_nanos() as u64);
+    let latency_ns = now.elapsed().as_nanos() as u64;
+    sram_probe::probe_record!("serve.request.latency_ns", latency_ns);
+    // The telemetry quantile stream and SLO counters bypass the probe
+    // level gate: `metrics`/`health` must report with probes off.
+    sram_probe::telemetry::record("serve.request.latency_ns", latency_ns);
+    crate::slo::record(op, latency_ns);
     if root_id != 0 {
         drop(root); // close the root before reading its interval back
         let events = sram_probe::trace::capture();
@@ -449,6 +511,26 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
                 pairs.push(("trace".into(), crate::engine::trace_json(&tree)));
             }
         }
+    }
+    if latency_ns >= slow_threshold_ns()
+        && sram_probe::log::enabled(sram_probe::log::LogLevel::Warn)
+    {
+        use sram_probe::log::LogValue;
+        let mut fields: Vec<(&str, LogValue)> = vec![
+            ("op", LogValue::Str(op.into())),
+            ("latency_ms", LogValue::U64(latency_ns / 1_000_000)),
+        ];
+        if let Some(id) = id.as_deref() {
+            fields.push(("id", LogValue::Str(id.into())));
+        }
+        if let Json::Obj(pairs) = &response {
+            // A traced slow query carries its span tree into the log
+            // verbatim — the tree is already rendered JSON.
+            if let Some((_, tree)) = pairs.iter().find(|(k, _)| k == "trace") {
+                fields.push(("trace", LogValue::Raw(tree.render())));
+            }
+        }
+        sram_probe::log::log_event(sram_probe::log::LogLevel::Warn, "serve.slow_query", &fields);
     }
     response
 }
@@ -481,7 +563,11 @@ fn worker_thread(engine: &Engine, queue: &JobQueue, max_batch: usize, shutdown: 
         match ran {
             Ok(()) => return, // queue closed and drained — normal exit
             Err(_) => {
-                sram_probe::probe_inc!("serve.worker.panics");
+                // Direct registry handles (not the gated macros): the
+                // health verdict keys off these counters even with
+                // probes off, and panics are rare enough that the
+                // registry lookup cost is irrelevant.
+                sram_probe::counter("serve.worker.panics").inc();
                 let stranded: Vec<(Option<String>, mpsc::Sender<Json>)> = {
                     let mut guard = inflight.lock().unwrap_or_else(PoisonError::into_inner);
                     guard.drain(..).collect()
@@ -492,7 +578,12 @@ fn worker_thread(engine: &Engine, queue: &JobQueue, max_batch: usize, shutdown: 
                         &ServeError::Internal("worker panicked while processing request".into()),
                     ));
                 }
-                sram_probe::probe_inc!("serve.worker.respawns");
+                sram_probe::counter("serve.worker.respawns").inc();
+                sram_probe::log::log_event(
+                    sram_probe::log::LogLevel::Error,
+                    "serve.worker_panic",
+                    &[],
+                );
             }
         }
     }
@@ -532,7 +623,8 @@ fn worker_loop(
         for job in jobs {
             match job.deadline {
                 Some(deadline) if deadline <= now => {
-                    sram_probe::probe_inc!("serve.request.expired");
+                    // Ungated (health keys off the expiry rate).
+                    sram_probe::counter("serve.request.expired").inc();
                     let _ = job.reply.send(error_response(
                         job.request.id.as_deref(),
                         &ServeError::DeadlineExceeded,
