@@ -1,0 +1,21 @@
+//! Fixture: a parameter struct with one field nobody reads — one
+//! `dead-parameter` finding. The read field is quiet, the stale
+//! suppression on it must surface as `unused-suppression`, and the
+//! justified suppression on the third field absorbs its finding.
+
+/// Sizing knobs for the fixture device tuner.
+pub struct TuningParams {
+    // sram-lint: allow(dead-parameter) stale: the field is read by apply below
+    /// Read by `apply` below, so the suppression above is stale.
+    pub live_knob: f64,
+    /// Dot-accessed nowhere in the tree — the `dead-parameter` finding.
+    pub dead_knob: f64,
+    // sram-lint: allow(dead-parameter) fixture: consumed by an external sweep script
+    /// Unread, but the suppression above absorbs the finding.
+    pub shadow_knob: f64,
+}
+
+/// Applies the live knob.
+pub fn apply(p: &TuningParams) -> f64 {
+    p.live_knob * 2.0
+}

@@ -1,0 +1,10 @@
+//! Fixture: env-var ↔ documentation drift — two `config-sync` findings
+//! (one env var read but undocumented, one documented in the fixture
+//! README but read nowhere). The documented-and-read one stays quiet.
+
+/// Reads fixture configuration from the environment.
+pub fn load() -> Option<String> {
+    let documented = std::env::var("SRAM_FIXTURE_DOCUMENTED").ok();
+    let undocumented = std::env::var("SRAM_FIXTURE_UNDOCUMENTED").ok();
+    documented.or(undocumented)
+}

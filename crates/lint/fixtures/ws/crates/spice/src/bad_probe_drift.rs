@@ -1,0 +1,13 @@
+//! Fixture: drift between registered probe metrics and the `PROBES.md`
+//! registry — four `probe-drift` findings across the tree: this file
+//! registers an unlisted metric and an unasserted one, registers a
+//! counter the registry calls a gauge, and the registry carries a row
+//! (`spice.ghost_metric`) no code backs. All names are well-formed and
+//! spice-prefixed, so `probe-naming` stays quiet here.
+
+/// Registers metrics that disagree with the fixture registry.
+pub fn register_drifted() {
+    sram_probe::probe_inc!("spice.drifted_metric");
+    sram_probe::probe_inc!("spice.unasserted_metric");
+    sram_probe::probe_inc!("spice.mismatched_kind");
+}

@@ -1,0 +1,249 @@
+//! `--bench-self`: the linter times a full workspace pass over itself.
+//!
+//! The lint gate runs on every CI build, so its wall time is part of
+//! the workspace's perf budget alongside the solver benches. This mode
+//! runs one cold pass (empty cache) and one warm pass (cache populated
+//! by the cold pass) over the same root, verifies their rendered output
+//! is byte-identical — the cache's core soundness claim — and appends a
+//! `lint_ms` entry to `BENCH_trajectory.json`, the same bounded v2
+//! envelope (`{"schema_version":2,"entries":[…]}`, newest last, at most
+//! 100 kept) that `cargo bench -p sram-bench` maintains, so the lint
+//! pass shows up in the same perf-trajectory plots.
+//!
+//! The envelope is spliced with a string-aware brace counter rather
+//! than a JSON parser: sram-lint is dependency-free and cannot link the
+//! bench crate's `Json` value type, but the envelope's shape is fixed
+//! and owned by this workspace.
+
+use crate::config::Config;
+use crate::engine::{run_with, Options};
+use std::path::Path;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Upper bound on kept history entries — mirrors the bench crate's
+/// `MAX_HISTORY` so the two writers enforce the same cap.
+const MAX_HISTORY: usize = 100;
+
+/// History file name, relative to the linted root — mirrors the bench
+/// crate's `OUTPUT_FILE`.
+const OUTPUT_FILE: &str = "BENCH_trajectory.json";
+
+/// Timing captured by one cold/warm benchmark pass.
+#[derive(Debug)]
+pub struct BenchResult {
+    /// Files scanned per pass.
+    pub files: usize,
+    /// Cold (empty-cache) wall time in milliseconds.
+    pub cold_ms: f64,
+    /// Warm (fully-cached) wall time in milliseconds.
+    pub warm_ms: f64,
+    /// Files the warm pass reused from the cache.
+    pub skipped: usize,
+    /// Diagnostics reported (identical across both passes).
+    pub diagnostics: usize,
+}
+
+/// Times a cold and a warm lint pass over `root` and appends the result
+/// to the trajectory history file in `root`.
+///
+/// # Errors
+///
+/// Fails when the two passes disagree (a cache soundness bug), when
+/// either pass fails to walk the tree, or when the history file cannot
+/// be written.
+pub fn run_bench(root: &Path, config: &Config) -> Result<BenchResult, String> {
+    let cache = std::env::temp_dir().join(format!("sram-lint-bench-{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+    let options = Options {
+        cache: Some(cache.clone()),
+        threads: None,
+    };
+
+    let t0 = Instant::now();
+    let cold = run_with(root, config, &options).map_err(|e| format!("cold pass: {e}"))?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let warm = run_with(root, config, &options).map_err(|e| format!("warm pass: {e}"))?;
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_file(&cache);
+
+    // Compare the rendered diagnostics, not the full report text — the
+    // summary line's cache-reuse count differs between the passes by
+    // design.
+    let rendered = |report: &crate::diag::Report| {
+        report
+            .diagnostics
+            .iter()
+            .map(crate::diag::render_diagnostic)
+            .collect::<String>()
+    };
+    if rendered(&cold) != rendered(&warm) {
+        return Err(
+            "cache soundness violation: warm-cache diagnostics differ from cold run".to_owned(),
+        );
+    }
+
+    let result = BenchResult {
+        files: cold.files_scanned,
+        cold_ms,
+        warm_ms,
+        skipped: warm.files_skipped,
+        diagnostics: cold.diagnostics.len(),
+    };
+
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    let entry = format!(
+        "{{\"unix_ms\":{unix_ms},\"lint_ms\":{:.3},\"lint\":{{\"files\":{},\"cold_ms\":{:.3},\
+         \"warm_ms\":{:.3},\"skipped\":{},\"diagnostics\":{}}}}}",
+        result.cold_ms,
+        result.files,
+        result.cold_ms,
+        result.warm_ms,
+        result.skipped,
+        result.diagnostics
+    );
+    let history = root.join(OUTPUT_FILE);
+    let existing = std::fs::read_to_string(&history).ok();
+    let updated = append_history(existing.as_deref(), &entry);
+    std::fs::write(&history, updated).map_err(|e| format!("writing {OUTPUT_FILE}: {e}"))?;
+    Ok(result)
+}
+
+/// Splices `entry` (a complete JSON object) into the v2 envelope,
+/// keeping the newest [`MAX_HISTORY`] entries. A missing, corrupt, or
+/// wrong-schema history starts a fresh envelope rather than erroring.
+fn append_history(existing: Option<&str>, entry: &str) -> String {
+    let mut entries = existing.and_then(parse_envelope).unwrap_or_default();
+    entries.push(entry.to_owned());
+    if entries.len() > MAX_HISTORY {
+        let excess = entries.len() - MAX_HISTORY;
+        entries.drain(..excess);
+    }
+    format!(
+        "{{\"schema_version\":2,\"entries\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
+/// Extracts the entry objects from a v2 envelope as raw JSON strings.
+/// Returns `None` when the document is not a v2 envelope.
+fn parse_envelope(text: &str) -> Option<Vec<String>> {
+    let version_at = text.find("\"schema_version\"")?;
+    let after = text[version_at + "\"schema_version\"".len()..]
+        .trim_start()
+        .strip_prefix(':')?
+        .trim_start();
+    if !after.starts_with('2') {
+        return None;
+    }
+    let entries_at = text.find("\"entries\"")?;
+    let after = text[entries_at + "\"entries\"".len()..]
+        .trim_start()
+        .strip_prefix(':')?
+        .trim_start();
+    if !after.starts_with('[') {
+        return None;
+    }
+    // Walk the array with a string-aware depth counter; each 0→1 brace
+    // transition starts an entry, each 1→0 transition ends it.
+    let mut entries = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = None;
+    for (i, c) in after.char_indices().skip(1) {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        entries.push(after[s..=i].to_owned());
+                    }
+                }
+            }
+            ']' if depth == 0 => return Some(entries),
+            _ => {}
+        }
+    }
+    // Unterminated array: treat as corrupt.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_envelope_from_nothing() {
+        let out = append_history(None, r#"{"unix_ms":1,"lint_ms":2.0}"#);
+        assert_eq!(
+            out,
+            "{\"schema_version\":2,\"entries\":[{\"unix_ms\":1,\"lint_ms\":2.0}]}\n"
+        );
+    }
+
+    #[test]
+    fn appends_after_existing_entries() {
+        let one = append_history(None, r#"{"unix_ms":1}"#);
+        let two = append_history(Some(&one), r#"{"unix_ms":2}"#);
+        let entries = parse_envelope(&two).expect("valid envelope");
+        assert_eq!(entries, vec![r#"{"unix_ms":1}"#, r#"{"unix_ms":2}"#]);
+    }
+
+    #[test]
+    fn coexists_with_bench_entries_containing_nested_objects() {
+        let existing = r#"{"schema_version":2,"entries":[{"unix_ms":1,"sweep":{"points":128,"note":"brace } in string"}}]}"#;
+        let out = append_history(Some(existing), r#"{"unix_ms":2,"lint_ms":9.0}"#);
+        let entries = parse_envelope(&out).expect("valid envelope");
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].contains("brace } in string"));
+        assert!(entries[1].contains("lint_ms"));
+    }
+
+    #[test]
+    fn wrong_schema_or_corrupt_history_starts_fresh() {
+        for bad in [
+            r#"{"schema_version":1,"entries":[{"unix_ms":1}]}"#,
+            "not json at all",
+            r#"{"schema_version":2,"entries":[{"unterminated":1}"#,
+        ] {
+            let out = append_history(Some(bad), r#"{"unix_ms":7}"#);
+            let entries = parse_envelope(&out).expect("valid envelope");
+            assert_eq!(entries.len(), 1, "history {bad:?} should reset");
+        }
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut doc = append_history(None, r#"{"unix_ms":0}"#);
+        for n in 1..=(MAX_HISTORY + 5) {
+            doc = append_history(Some(&doc), &format!("{{\"unix_ms\":{n}}}"));
+        }
+        let entries = parse_envelope(&doc).expect("valid envelope");
+        assert_eq!(entries.len(), MAX_HISTORY);
+        assert_eq!(
+            entries.last().map(String::as_str),
+            Some(format!("{{\"unix_ms\":{}}}", MAX_HISTORY + 5).as_str())
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! The incremental on-disk cache (`SRAM_LINT_CACHE`).
+//!
+//! Per-file analysis — lexing, the per-file rules, suppression parsing,
+//! and symbol-graph fact extraction — is a pure function of the file's
+//! path and bytes, so its results can be keyed by an FNV-1a-64 content
+//! hash and reused verbatim on the next run. Everything that *isn't*
+//! pure per file (graph assembly, the cross-file rules, suppression
+//! resolution, severity levels) re-runs every time over the restored
+//! facts, which is what keeps warm and cold runs byte-identical: the
+//! cache changes where per-file results come from, never what they are.
+//!
+//! The format is a line-oriented, tab-separated text file. The header
+//! pins a format version and the crate version — any rule-logic change
+//! ships in a new crate version, so a stale cache is discarded whole
+//! rather than mixing analyses from two rule sets. A record line that
+//! fails to parse discards its file's entry (the file is simply
+//! re-analyzed); corruption can cost speed, never correctness.
+
+use crate::context::Suppression;
+use crate::engine::FileAnalysis;
+use crate::graph::{EnvRead, ExperimentDef, FileFacts, ParamDef, ProbeDef, SiteRef};
+use crate::rules::probe_naming::Kind;
+use crate::rules::RawDiag;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// Cache format header: bump the leading version on any layout change;
+/// the crate version changes whenever rule logic does.
+const HEADER: &str = concat!("sram-lint-cache v1 ", env!("CARGO_PKG_VERSION"));
+
+/// FNV-1a 64-bit content hash (the same construction the serve cache
+/// uses for query keys — collision-resistant enough for change
+/// detection, dependency-free).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Loads a cache file into per-path entries. A missing file, a stale
+/// header, or an unparseable entry yields an empty/partial map — cache
+/// misses, never errors.
+#[must_use]
+pub fn load(path: &Path) -> HashMap<String, FileAnalysis> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return HashMap::new();
+    }
+    let mut entries = HashMap::new();
+    let mut current: Option<FileAnalysis> = None;
+    let mut poisoned = false;
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let Some(&tag) = fields.first() else {
+            continue;
+        };
+        if tag == "F" {
+            // New entry: commit the previous one (unless poisoned).
+            if let Some(mut done) = current.take() {
+                if !poisoned {
+                    done.from_cache = true;
+                    entries.insert(done.rel.clone(), done);
+                }
+            }
+            poisoned = false;
+            current = parse_file_header(&fields);
+            if current.is_none() {
+                poisoned = true;
+            }
+            continue;
+        }
+        let Some(entry) = current.as_mut() else {
+            continue;
+        };
+        if poisoned {
+            continue;
+        }
+        if !parse_record(tag, &fields, entry) {
+            poisoned = true;
+            current = None;
+        }
+    }
+    if let Some(mut done) = current.take() {
+        if !poisoned {
+            done.from_cache = true;
+            entries.insert(done.rel.clone(), done);
+        }
+    }
+    entries
+}
+
+/// Writes every scanned analysis to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying file write.
+pub fn save(path: &Path, analyses: &[FileAnalysis]) -> io::Result<()> {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for a in analyses {
+        if !a.scanned {
+            // Unreadable files have no content hash to key on.
+            continue;
+        }
+        out.push_str(&format!("F\t{}\t{:016x}\n", esc(&a.rel), a.hash));
+        for d in &a.raw {
+            let help = d
+                .help
+                .as_ref()
+                .map_or_else(|| "-".to_owned(), |h| format!("+{}", esc(h)));
+            out.push_str(&format!(
+                "D\t{}\t{}\t{}\t{}\t{}\t{help}\n",
+                d.rule,
+                d.line,
+                d.col,
+                d.len,
+                esc(&d.message)
+            ));
+        }
+        for s in &a.suppressions {
+            out.push_str(&format!(
+                "S\t{}\t{}\t{}\t{}\n",
+                esc(&s.rule),
+                s.from_line,
+                s.to_line,
+                u8::from(s.whole_file)
+            ));
+        }
+        for (line, text) in &a.excerpts {
+            out.push_str(&format!("E\t{line}\t{}\n", esc(text)));
+        }
+        for p in &a.facts.params {
+            out.push_str(&format!(
+                "M\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&p.strukt),
+                esc(&p.field),
+                p.site.line,
+                p.site.col,
+                p.site.len
+            ));
+        }
+        for e in &a.facts.env_reads {
+            out.push_str(&format!(
+                "V\t{}\t{}\t{}\t{}\n",
+                esc(&e.name),
+                e.site.line,
+                e.site.col,
+                e.site.len
+            ));
+        }
+        for p in &a.facts.probes {
+            out.push_str(&format!(
+                "P\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&p.name),
+                p.kind.word(),
+                p.site.line,
+                p.site.col,
+                p.site.len
+            ));
+        }
+        for e in &a.facts.experiments {
+            out.push_str(&format!(
+                "X\t{}\t{}\t{}\t{}\n",
+                esc(&e.name),
+                e.site.line,
+                e.site.col,
+                e.site.len
+            ));
+        }
+        for r in &a.facts.dot_refs {
+            out.push_str(&format!("R\t{}\n", esc(r)));
+        }
+        for m in &a.facts.metric_mentions {
+            out.push_str(&format!("T\t{}\n", esc(m)));
+        }
+    }
+    std::fs::write(path, out)
+}
+
+fn parse_file_header(fields: &[&str]) -> Option<FileAnalysis> {
+    let rel = unesc(fields.get(1)?);
+    let hash = u64::from_str_radix(fields.get(2)?, 16).ok()?;
+    Some(FileAnalysis::fresh(
+        rel,
+        hash,
+        Vec::new(),
+        Vec::new(),
+        FileFacts::default(),
+    ))
+}
+
+/// Applies one record line to the open entry; `false` poisons it.
+fn parse_record(tag: &str, fields: &[&str], entry: &mut FileAnalysis) -> bool {
+    fn site(fields: &[&str], at: usize) -> Option<SiteRef> {
+        Some(SiteRef {
+            line: fields.get(at)?.parse().ok()?,
+            col: fields.get(at + 1)?.parse().ok()?,
+            len: fields.get(at + 2)?.parse().ok()?,
+        })
+    }
+    let applied = match tag {
+        "D" => (|| {
+            // Rule names intern back to the registry's &'static str; an
+            // unknown name means the cache predates a rule rename.
+            let rule = crate::config::RULES
+                .iter()
+                .map(|&(name, _, _)| name)
+                .find(|&name| Some(name) == fields.get(1).copied())?;
+            let s = site(fields, 2)?;
+            let help = match fields.get(6)? {
+                &"-" => None,
+                h => Some(unesc(h.strip_prefix('+')?)),
+            };
+            entry.raw.push(RawDiag {
+                rule,
+                line: s.line,
+                col: s.col,
+                len: s.len,
+                message: unesc(fields.get(5)?),
+                help,
+            });
+            Some(())
+        })(),
+        "S" => (|| {
+            entry.suppressions.push(Suppression {
+                rule: unesc(fields.get(1)?),
+                from_line: fields.get(2)?.parse().ok()?,
+                to_line: fields.get(3)?.parse().ok()?,
+                whole_file: *fields.get(4)? == "1",
+            });
+            Some(())
+        })(),
+        "E" => (|| {
+            let line: u32 = fields.get(1)?.parse().ok()?;
+            entry.excerpts.insert(line, unesc(fields.get(2)?));
+            Some(())
+        })(),
+        "M" => (|| {
+            entry.facts.params.push(ParamDef {
+                strukt: unesc(fields.get(1)?),
+                field: unesc(fields.get(2)?),
+                site: site(fields, 3)?,
+            });
+            Some(())
+        })(),
+        "V" => (|| {
+            entry.facts.env_reads.push(EnvRead {
+                name: unesc(fields.get(1)?),
+                site: site(fields, 2)?,
+            });
+            Some(())
+        })(),
+        "P" => (|| {
+            entry.facts.probes.push(ProbeDef {
+                name: unesc(fields.get(1)?),
+                kind: Kind::from_word(fields.get(2)?)?,
+                site: site(fields, 3)?,
+            });
+            Some(())
+        })(),
+        "X" => (|| {
+            entry.facts.experiments.push(ExperimentDef {
+                name: unesc(fields.get(1)?),
+                site: site(fields, 2)?,
+            });
+            Some(())
+        })(),
+        "R" => (|| {
+            entry.facts.dot_refs.insert(unesc(fields.get(1)?));
+            Some(())
+        })(),
+        "T" => (|| {
+            entry.facts.metric_mentions.insert(unesc(fields.get(1)?));
+            Some(())
+        })(),
+        _ => None,
+    };
+    applied.is_some()
+}
+
+/// Escapes tabs, newlines, and backslashes for one tab-separated field.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_analysis() -> FileAnalysis {
+        let mut facts = FileFacts::default();
+        facts.params.push(ParamDef {
+            strukt: "TuneParams".into(),
+            field: "dead".into(),
+            site: SiteRef {
+                line: 4,
+                col: 9,
+                len: 4,
+            },
+        });
+        facts.env_reads.push(EnvRead {
+            name: "SRAM_SLO_*_MS".into(),
+            site: SiteRef {
+                line: 7,
+                col: 2,
+                len: 15,
+            },
+        });
+        facts.probes.push(ProbeDef {
+            name: "spice.solves".into(),
+            kind: Kind::Counter,
+            site: SiteRef {
+                line: 9,
+                col: 3,
+                len: 14,
+            },
+        });
+        facts.dot_refs.insert("alpha".into());
+        facts.metric_mentions.insert("spice.solves".into());
+        let mut a = FileAnalysis::fresh(
+            "crates/spice/src/a.rs".into(),
+            0xdead_beef,
+            vec![RawDiag {
+                rule: "no-panic",
+                line: 3,
+                col: 5,
+                len: 6,
+                message: "line with\ttab and \\ backslash".into(),
+                help: Some("multi\nline".into()),
+            }],
+            vec![Suppression {
+                rule: "no-panic".into(),
+                from_line: 2,
+                to_line: 3,
+                whole_file: false,
+            }],
+            facts,
+        );
+        a.excerpts = BTreeMap::from([(3, "    v.unwrap();".to_owned())]);
+        a
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let path = std::env::temp_dir().join(format!("sram-lint-cache-rt-{}", std::process::id()));
+        let original = sample_analysis();
+        save(&path, std::slice::from_ref(&original)).unwrap();
+        let loaded = load(&path);
+        std::fs::remove_file(&path).ok();
+        let entry = loaded.get("crates/spice/src/a.rs").expect("entry restored");
+        assert_eq!(entry.hash, 0xdead_beef);
+        assert!(entry.from_cache);
+        assert_eq!(entry.raw.len(), 1);
+        assert_eq!(entry.raw[0].rule, "no-panic");
+        assert_eq!(entry.raw[0].message, "line with\ttab and \\ backslash");
+        assert_eq!(entry.raw[0].help.as_deref(), Some("multi\nline"));
+        assert_eq!(entry.suppressions.len(), 1);
+        assert_eq!(
+            entry.excerpts.get(&3).map(String::as_str),
+            Some("    v.unwrap();")
+        );
+        assert_eq!(entry.facts.params[0].field, "dead");
+        assert_eq!(entry.facts.env_reads[0].name, "SRAM_SLO_*_MS");
+        assert_eq!(entry.facts.probes[0].kind, Kind::Counter);
+        assert!(entry.facts.dot_refs.contains("alpha"));
+        assert!(entry.facts.metric_mentions.contains("spice.solves"));
+    }
+
+    #[test]
+    fn stale_header_discards_the_whole_file() {
+        let path = std::env::temp_dir().join(format!("sram-lint-cache-sh-{}", std::process::id()));
+        std::fs::write(&path, "sram-lint-cache v0 0.0.0\nF\tx.rs\t00\n").unwrap();
+        assert!(load(&path).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_discards_only_its_entry() {
+        let path = std::env::temp_dir().join(format!("sram-lint-cache-cr-{}", std::process::id()));
+        let good = sample_analysis();
+        save(&path, std::slice::from_ref(&good)).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("F\tcrates/x/src/broken.rs\t0000000000000001\n");
+        text.push_str("D\tno-such-rule\t1\t1\t1\tmsg\t-\n");
+        text.push_str("F\tcrates/x/src/fine.rs\t0000000000000002\n");
+        std::fs::write(&path, text).unwrap();
+        let loaded = load(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.contains_key("crates/spice/src/a.rs"));
+        assert!(!loaded.contains_key("crates/x/src/broken.rs"));
+        assert!(loaded.contains_key("crates/x/src/fine.rs"));
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_cache() {
+        assert!(load(Path::new("/nonexistent/sram-lint.cache")).is_empty());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -40,6 +40,21 @@ pub const RULES: &[(&str, Level, &str)] = &[
         "every experiment in crates/bench/src/cli.rs must appear in EXPERIMENTS.md's Registry section and vice versa",
     ),
     (
+        "dead-parameter",
+        Level::Deny,
+        "pub fields of parameter structs (*Params/*Config/*Space/*Options) must be dot-read somewhere in the workspace",
+    ),
+    (
+        "config-sync",
+        Level::Deny,
+        "SRAM_* env vars read in code must be documented in README.md/DESIGN.md and vice versa",
+    ),
+    (
+        "probe-drift",
+        Level::Deny,
+        "probe metric names must match PROBES.md (name + kind) and be asserted by a test, reproducer, or CI smoke",
+    ),
+    (
         "suppression-syntax",
         Level::Deny,
         "inline suppressions must name a known rule and carry a reason",

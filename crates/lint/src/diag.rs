@@ -56,6 +56,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Files whose analysis was reused from the incremental cache
+    /// (content hash unchanged since the cached run).
+    pub files_skipped: usize,
     /// Findings silenced by inline `sram-lint: allow(…)` comments.
     pub suppressed: usize,
 }
@@ -89,8 +92,10 @@ impl Report {
         }
         let _ = writeln!(
             out,
-            "sram-lint: {} file(s) scanned, {} error(s), {} warning(s), {} suppressed",
+            "sram-lint: {} file(s) scanned ({} unchanged from cache), {} error(s), \
+             {} warning(s), {} suppressed",
             self.files_scanned,
+            self.files_skipped,
             self.deny_count(),
             self.warn_count(),
             self.suppressed
@@ -104,6 +109,7 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"files_skipped\": {},", self.files_skipped);
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
         let _ = writeln!(
             out,
@@ -166,7 +172,7 @@ pub fn render_diagnostic(d: &Diagnostic) -> String {
 }
 
 /// JSON string literal with escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -223,10 +229,12 @@ mod tests {
         let report = Report {
             diagnostics: vec![sample()],
             files_scanned: 3,
+            files_skipped: 2,
             suppressed: 1,
         };
         let json = report.render_json();
         assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"files_skipped\": 2"));
         assert!(json.contains("\"rule\": \"no-panic\""));
         assert!(json.contains("\"counts\": {\"deny\": 1, \"warn\": 0}"));
     }

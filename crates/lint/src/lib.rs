@@ -27,14 +27,31 @@
 //! A suppression covers its own line and the next code-bearing line,
 //! and the reason is mandatory — a suppression without a justification
 //! is itself a `suppression-syntax` error.
+//!
+//! ## Cross-file analysis
+//!
+//! Beyond per-file token rules, the engine assembles a workspace
+//! symbol graph ([`graph`]): parameter-struct field definitions,
+//! `SRAM_*` environment reads, probe metric registrations, and
+//! experiment registry entries, against the dot-accesses and string
+//! mentions that use them. Three rules consume it — `dead-parameter`,
+//! `config-sync`, `probe-drift` — plus the graph-driven halves of
+//! `probe-naming` and `registry-sync`. File analysis runs in parallel
+//! and is incrementally cached ([`cache`], enabled by pointing
+//! `SRAM_LINT_CACHE` at a file); results can render as text, JSON, or
+//! SARIF 2.1.0 ([`sarif`]).
 
+pub mod bench_self;
+pub mod cache;
 pub mod config;
 pub mod context;
 pub mod diag;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 
 pub use config::Config;
 pub use diag::{Diagnostic, Level, Report};
-pub use engine::{find_workspace_root, run};
+pub use engine::{find_workspace_root, run, run_with, FileAnalysis, Options};

@@ -1,13 +1,20 @@
 //! The rule set.
 //!
-//! Each rule inspects one file's token stream (plus, for the cross-file
-//! rules, state accumulated across the walk) and reports raw findings;
-//! the [`engine`](crate::engine) applies suppressions and severity
-//! levels. DESIGN.md §Static-analysis records why each rule exists.
+//! Each per-file rule inspects one file's token stream and reports raw
+//! findings; the cross-file rules instead query the workspace symbol
+//! graph ([`crate::graph`]) assembled after the walk and report
+//! [`FileDiag`]s anchored wherever the evidence lives. The
+//! [`engine`](crate::engine) merges both streams per file, applies
+//! suppressions (so a cross-file finding is suppressible at its anchor
+//! line like any other), and resolves severity levels. DESIGN.md
+//! §Static-analysis records why each rule exists.
 
+pub mod config_sync;
+pub mod dead_parameter;
 pub mod doc_coverage;
 pub mod nan_unsafe;
 pub mod no_panic;
+pub mod probe_drift;
 pub mod probe_naming;
 pub mod registry_sync;
 pub mod thread_discipline;
@@ -49,4 +56,38 @@ impl RawDiag {
             help,
         }
     }
+
+    /// Convenience constructor anchored at a graph [`SiteRef`]
+    /// (cross-file rules report where the definition lives).
+    ///
+    /// [`SiteRef`]: crate::graph::SiteRef
+    #[must_use]
+    pub fn at_site(
+        rule: &'static str,
+        site: &crate::graph::SiteRef,
+        message: String,
+        help: Option<String>,
+    ) -> Self {
+        Self {
+            rule,
+            line: site.line,
+            col: site.col,
+            len: site.len.max(1),
+            message,
+            help,
+        }
+    }
+}
+
+/// A cross-file finding: a [`RawDiag`] plus the root-relative file it
+/// anchors to. Findings anchored at walked `.rs` files join that file's
+/// suppression resolution; findings anchored at documentation files
+/// (`EXPERIMENTS.md`, `PROBES.md`, `README.md`, `DESIGN.md`) are
+/// reported directly.
+#[derive(Debug, Clone)]
+pub struct FileDiag {
+    /// Root-relative `/`-separated path the finding anchors to.
+    pub file: String,
+    /// The finding itself.
+    pub diag: RawDiag,
 }

@@ -13,10 +13,17 @@
 //!   from several call sites (two branches of one solver), but a name
 //!   registered as a counter in one crate and a gauge in another would
 //!   panic at runtime and corrupt dashboards before that.
+//!
+//! The first two checks are per-file and run in [`extract`], which
+//! doubles as the symbol graph's probe-definition harvester: only names
+//! that pass both checks enter the graph, so the cross-file passes
+//! ([`collisions`] here, `probe-drift` in its own module) never chase a
+//! typo. The kind-uniqueness check runs over the assembled graph.
 
 use crate::context::{FileClass, FileCtx};
+use crate::graph::{ProbeDef, SiteRef};
 use crate::lexer::{str_value, TokenKind};
-use crate::rules::RawDiag;
+use crate::rules::{FileDiag, RawDiag};
 use std::collections::HashMap;
 
 /// Metric kind a call site registers.
@@ -44,12 +51,30 @@ impl Kind {
             Kind::Trace => "trace span",
         }
     }
-}
 
-/// Cross-file registry of first-seen kinds per metric name.
-#[derive(Debug, Default)]
-pub struct ProbeState {
-    seen: HashMap<String, (Kind, String)>,
+    /// One-word form used in `PROBES.md` table cells and the lint
+    /// cache.
+    #[must_use]
+    pub fn word(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+            Kind::Trace => "trace",
+        }
+    }
+
+    /// Inverse of [`Kind::word`].
+    #[must_use]
+    pub fn from_word(word: &str) -> Option<Self> {
+        match word {
+            "counter" => Some(Kind::Counter),
+            "gauge" => Some(Kind::Gauge),
+            "histogram" => Some(Kind::Histogram),
+            "trace" => Some(Kind::Trace),
+            _ => None,
+        }
+    }
 }
 
 /// Expected name prefixes per crate; `None` means format-only checks.
@@ -92,12 +117,14 @@ fn registry_fn_kind(name: &str) -> Option<Kind> {
     }
 }
 
-/// Scans one file, accumulating names into `state`.
-pub fn check(ctx: &FileCtx, state: &mut ProbeState, out: &mut Vec<RawDiag>) {
+/// Scans one file: reports format and crate-prefix violations into
+/// `out`, and returns the clean registrations as graph probe
+/// definitions (in source order). `code` is `ctx.code_indices()`.
+pub fn extract(ctx: &FileCtx, code: &[usize], out: &mut Vec<RawDiag>) -> Vec<ProbeDef> {
+    let mut defs = Vec::new();
     if ctx.class == FileClass::Test {
-        return;
+        return defs;
     }
-    let code = ctx.code_indices();
     for (pos, &idx) in code.iter().enumerate() {
         let token = &ctx.tokens[idx];
         if token.kind != TokenKind::Ident || ctx.in_test(token.line) {
@@ -169,31 +196,55 @@ pub fn check(ctx: &FileCtx, state: &mut ProbeState, out: &mut Vec<RawDiag>) {
                 continue;
             }
         }
-        let site = format!("{}:{}", ctx.rel, name_token.line);
-        match state.seen.get(name) {
-            Some((first_kind, first_site)) if *first_kind != kind => {
-                out.push(RawDiag::at(
-                    "probe-naming",
-                    name_token,
-                    format!(
-                        "probe metric `{name}` registered as a {} here but as a {} at {}",
-                        kind.name(),
-                        first_kind.name(),
-                        first_site
+        defs.push(ProbeDef {
+            name: name.to_owned(),
+            kind,
+            site: SiteRef {
+                line: name_token.line,
+                col: name_token.col,
+                len: name_token.text.chars().count().max(1) as u32,
+            },
+        });
+    }
+    defs
+}
+
+/// Cross-file pass over the graph's probe definitions (walk order):
+/// the same name registered under two different kinds is reported at
+/// the second registration site, naming the first.
+pub fn collisions(probes: &[(String, ProbeDef)], out: &mut Vec<FileDiag>) {
+    let mut seen: HashMap<&str, (Kind, String)> = HashMap::new();
+    for (file, def) in probes {
+        match seen.get(def.name.as_str()) {
+            Some((first_kind, first_site)) if *first_kind != def.kind => {
+                out.push(FileDiag {
+                    file: file.clone(),
+                    diag: RawDiag::at_site(
+                        "probe-naming",
+                        &def.site,
+                        format!(
+                            "probe metric `{}` registered as a {} here but as a {} at {}",
+                            def.name,
+                            def.kind.name(),
+                            first_kind.name(),
+                            first_site
+                        ),
+                        Some("metric names must map to exactly one kind workspace-wide".to_owned()),
                     ),
-                    Some("metric names must map to exactly one kind workspace-wide".to_owned()),
-                ));
+                });
             }
             Some(_) => {}
             None => {
-                state.seen.insert(name.to_owned(), (kind, site));
+                let site = format!("{file}:{}", def.site.line);
+                seen.insert(def.name.as_str(), (def.kind, site));
             }
         }
     }
 }
 
 /// `^[a-z0-9_]+(\.[a-z0-9_]+)+$`
-fn well_formed(name: &str) -> bool {
+#[must_use]
+pub fn well_formed(name: &str) -> bool {
     let segments: Vec<&str> = name.split('.').collect();
     segments.len() >= 2
         && segments.iter().all(|s| {
@@ -207,58 +258,100 @@ fn well_formed(name: &str) -> bool {
 mod tests {
     use super::*;
 
-    fn run(rel: &str, src: &str) -> (Vec<RawDiag>, ProbeState) {
+    fn run(rel: &str, src: &str) -> (Vec<RawDiag>, Vec<ProbeDef>) {
         let ctx = FileCtx::new(rel.to_owned(), src);
+        let code = ctx.code_indices();
         let mut out = Vec::new();
-        let mut state = ProbeState::default();
-        check(&ctx, &mut state, &mut out);
-        (out, state)
+        let defs = extract(&ctx, &code, &mut out);
+        (out, defs)
+    }
+
+    fn collide(sites: &[(&str, &str)]) -> Vec<FileDiag> {
+        let mut probes = Vec::new();
+        for (rel, src) in sites {
+            let (out, defs) = run(rel, src);
+            assert!(out.is_empty(), "{out:?}");
+            for def in defs {
+                probes.push(((*rel).to_owned(), def));
+            }
+        }
+        let mut found = Vec::new();
+        collisions(&probes, &mut found);
+        found
     }
 
     #[test]
-    fn well_formed_names_pass() {
-        let (found, _) = run(
+    fn well_formed_names_pass_and_are_extracted() {
+        let (found, defs) = run(
             "crates/spice/src/a.rs",
             "fn f() { sram_probe::probe_inc!(\"spice.dc_solves\"); sram_probe::probe_record!(detail \"spice.iters\", 3); }",
         );
         assert!(found.is_empty(), "{found:?}");
+        let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["spice.dc_solves", "spice.iters"]);
+        assert_eq!(defs[0].kind, Kind::Counter);
+        assert_eq!(defs[1].kind, Kind::Histogram);
     }
 
     #[test]
-    fn bad_format_fires() {
-        let (found, _) = run(
+    fn bad_format_fires_and_is_not_extracted() {
+        let (found, defs) = run(
             "crates/spice/src/a.rs",
             "fn f() { sram_probe::probe_inc!(\"BadName\"); sram_probe::probe_inc!(\"spice.Upper.x\"); }",
         );
         assert_eq!(found.len(), 2, "{found:?}");
+        assert!(defs.is_empty());
     }
 
     #[test]
     fn wrong_crate_prefix_fires() {
-        let (found, _) = run(
+        let (found, defs) = run(
             "crates/cell/src/a.rs",
             "fn f() { sram_probe::probe_inc!(\"spice.in_cell_crate\"); }",
         );
         assert_eq!(found.len(), 1);
         assert!(found[0].message.contains("namespaced"));
+        assert!(defs.is_empty());
     }
 
     #[test]
     fn cross_kind_collision_fires() {
-        let (found, _) = run(
+        let found = collide(&[(
             "crates/spice/src/a.rs",
             "fn f() { sram_probe::probe_inc!(\"spice.x\"); sram_probe::probe_gauge!(\"spice.x\", 1.0); }",
-        );
+        )]);
         assert_eq!(found.len(), 1);
-        assert!(found[0].message.contains("registered as"));
+        assert!(found[0].diag.message.contains("registered as"));
+        assert!(
+            found[0].diag.message.contains("crates/spice/src/a.rs:1"),
+            "{}",
+            found[0].diag.message
+        );
+    }
+
+    #[test]
+    fn cross_file_collision_names_the_first_site() {
+        let found = collide(&[
+            (
+                "crates/spice/src/a.rs",
+                "fn f() { sram_probe::probe_inc!(\"spice.x\"); }",
+            ),
+            (
+                "crates/spice/src/b.rs",
+                "fn g() { sram_probe::probe_gauge!(\"spice.x\", 1.0); }",
+            ),
+        ]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].file, "crates/spice/src/b.rs");
+        assert!(found[0].diag.message.contains("a.rs:1"));
     }
 
     #[test]
     fn same_kind_reuse_is_fine() {
-        let (found, _) = run(
+        let found = collide(&[(
             "crates/spice/src/a.rs",
             "fn f() { sram_probe::probe_inc!(\"spice.x\"); sram_probe::probe_add!(\"spice.x\", 2); }",
-        );
+        )]);
         assert!(found.is_empty(), "{found:?}");
     }
 
@@ -276,21 +369,22 @@ mod tests {
         );
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].message.contains("namespaced"));
-        let (found, _) = run(
+        let (found, defs) = run(
             "crates/spice/src/a.rs",
             "fn f() { let _t = sram_probe::trace_span!(\"spice.dc_solve\"); }",
         );
         assert!(found.is_empty(), "{found:?}");
+        assert_eq!(defs[0].kind, Kind::Trace);
     }
 
     #[test]
     fn trace_span_collides_with_metric_kinds() {
-        let (found, _) = run(
+        let found = collide(&[(
             "crates/spice/src/a.rs",
             "fn f() { sram_probe::probe_inc!(\"spice.x\"); let _t = sram_probe::trace_span!(\"spice.x\"); }",
-        );
+        )]);
         assert_eq!(found.len(), 1, "{found:?}");
-        assert!(found[0].message.contains("trace span"));
+        assert!(found[0].diag.message.contains("trace span"));
     }
 
     #[test]
@@ -316,10 +410,19 @@ mod tests {
         );
         assert_eq!(found.len(), 1);
         // A local fn named `counter` is not a probe call.
-        let (found, _) = run(
+        let (found, defs) = run(
             "crates/spice/src/a.rs",
             "fn f() { let c = counter(\"x\"); }",
         );
         assert!(found.is_empty(), "{found:?}");
+        assert!(defs.is_empty());
+    }
+
+    #[test]
+    fn kind_words_round_trip() {
+        for kind in [Kind::Counter, Kind::Gauge, Kind::Histogram, Kind::Trace] {
+            assert_eq!(Kind::from_word(kind.word()), Some(kind));
+        }
+        assert_eq!(Kind::from_word("span"), None);
     }
 }

@@ -4,123 +4,100 @@
 //! `crates/bench/src/cli.rs`; EXPERIMENTS.md is the measured-results
 //! ledger. A registry entry missing from the ledger is an experiment
 //! nobody recorded; a ledger row naming no registry entry is stale
-//! documentation. This cross-file rule extracts `name: "…"` fields from
-//! the registry constant and backticked names from the ledger's
-//! `## Registry` section and requires the two sets to be equal.
+//! documentation. The symbol graph harvests `name: "…"` fields from the
+//! registry constant during the walk; this cross-file rule diffs them
+//! against the backticked names in the ledger's `## Registry` section
+//! and requires the two sets to be equal. Registry-side findings anchor
+//! at the registration line in `cli.rs` (and are suppressible there);
+//! ledger-side findings anchor at the stale row.
 
-use crate::context::FileCtx;
-use crate::lexer::{str_value, TokenKind};
-use crate::rules::RawDiag;
+use crate::graph::Graph;
+use crate::rules::{FileDiag, RawDiag};
 use std::path::Path;
 
-/// Registry-relative path of the experiment registry source.
+/// Root-relative path of the experiment registry source.
 pub const CLI_PATH: &str = "crates/bench/src/cli.rs";
 /// Root-relative path of the results ledger.
 pub const LEDGER_PATH: &str = "EXPERIMENTS.md";
 
-/// Cross-file state: experiment names found in the registry source.
-#[derive(Debug, Default)]
-pub struct RegistryState {
-    /// `(name, line)` pairs from `cli.rs`.
-    pub experiments: Vec<(String, u32)>,
-    /// Whether the registry file was seen during the walk.
-    pub saw_cli: bool,
-}
-
-/// Per-file pass: harvests `name: "…"` fields from the registry source.
-pub fn check(ctx: &FileCtx, state: &mut RegistryState) {
-    if ctx.rel != CLI_PATH {
-        return;
-    }
-    state.saw_cli = true;
-    let code = ctx.code_indices();
-    for window in 0..code.len().saturating_sub(2) {
-        let a = &ctx.tokens[code[window]];
-        let b = &ctx.tokens[code[window + 1]];
-        let c = &ctx.tokens[code[window + 2]];
-        if a.kind == TokenKind::Ident
-            && a.text == "name"
-            && b.text == ":"
-            && c.kind == TokenKind::Str
-            && !ctx.in_test(a.line)
-        {
-            if let Some(name) = str_value(&c.text) {
-                state.experiments.push((name.to_owned(), c.line));
-            }
-        }
-    }
-}
-
 /// End-of-walk pass: reads the ledger and reports both directions of
-/// drift. `ledger` is `None` when EXPERIMENTS.md could not be read.
-pub fn finish(state: &RegistryState, root: &Path, out: &mut Vec<RawDiag>) {
-    if !state.saw_cli {
+/// drift against the graph's experiment definitions.
+pub fn finish(graph: &Graph, root: &Path, out: &mut Vec<FileDiag>) {
+    if !graph.saw_cli {
         // Not this workspace (e.g. a fixture tree without a registry).
         return;
     }
+    let anchored =
+        |file: &str, line: u32, len: u32, message: String, help: Option<String>| FileDiag {
+            file: file.to_owned(),
+            diag: RawDiag {
+                rule: "registry-sync",
+                line,
+                col: 1,
+                len,
+                message,
+                help,
+            },
+        };
     let ledger_path = root.join(LEDGER_PATH);
     let Ok(ledger) = std::fs::read_to_string(&ledger_path) else {
-        out.push(RawDiag {
-            rule: "registry-sync",
-            line: 1,
-            col: 1,
-            len: 1,
-            message: format!(
-                "{CLI_PATH} defines an experiment registry but {LEDGER_PATH} is missing"
-            ),
-            help: Some("add EXPERIMENTS.md with a `## Registry` section".to_owned()),
-        });
+        out.push(anchored(
+            CLI_PATH,
+            1,
+            1,
+            format!("{CLI_PATH} defines an experiment registry but {LEDGER_PATH} is missing"),
+            Some("add EXPERIMENTS.md with a `## Registry` section".to_owned()),
+        ));
         return;
     };
-    let ledger_names = registry_section_names(&ledger);
-    let Some(ledger_names) = ledger_names else {
-        out.push(RawDiag {
-            rule: "registry-sync",
-            line: 1,
-            col: 1,
-            len: 1,
-            message: format!("{LEDGER_PATH} has no `## Registry` section"),
-            help: Some(
+    let Some(ledger_names) = registry_section_names(&ledger) else {
+        out.push(anchored(
+            LEDGER_PATH,
+            1,
+            1,
+            format!("{LEDGER_PATH} has no `## Registry` section"),
+            Some(
                 "add a `## Registry` table listing every experiment name from \
                  crates/bench/src/cli.rs in backticks"
                     .to_owned(),
             ),
-        });
+        ));
         return;
     };
-    for (name, line) in &state.experiments {
-        if !ledger_names.iter().any(|(n, _)| n == name) {
-            out.push(RawDiag {
-                rule: "registry-sync",
-                line: *line,
-                col: 1,
-                len: name.chars().count().max(1) as u32,
-                message: format!(
-                    "experiment `{name}` is registered in cli.rs but absent from \
-                     {LEDGER_PATH}'s Registry section"
+    for (file, def) in &graph.experiments {
+        if !ledger_names.iter().any(|(n, _)| n == &def.name) {
+            let name = &def.name;
+            out.push(FileDiag {
+                file: file.clone(),
+                diag: RawDiag::at_site(
+                    "registry-sync",
+                    &def.site,
+                    format!(
+                        "experiment `{name}` is registered in cli.rs but absent from \
+                         {LEDGER_PATH}'s Registry section"
+                    ),
+                    Some(format!(
+                        "add a `| \\`{name}\\` | … |` row to the Registry table"
+                    )),
                 ),
-                help: Some(format!(
-                    "add a `| \\`{name}\\` | … |` row to the Registry table"
-                )),
             });
         }
     }
-    for (name, _md_line) in &ledger_names {
-        if !state.experiments.iter().any(|(n, _)| n == name) {
-            out.push(RawDiag {
-                rule: "registry-sync",
-                line: 1,
-                col: 1,
-                len: 1,
-                message: format!(
+    for (name, md_line) in &ledger_names {
+        if !graph.experiments.iter().any(|(_, d)| &d.name == name) {
+            out.push(anchored(
+                LEDGER_PATH,
+                *md_line,
+                name.chars().count().max(1) as u32,
+                format!(
                     "{LEDGER_PATH} Registry lists `{name}` but cli.rs registers no such \
                      experiment"
                 ),
-                help: Some(
+                Some(
                     "remove the stale row or register the experiment in crates/bench/src/cli.rs"
                         .to_owned(),
                 ),
-            });
+            ));
         }
     }
 }
@@ -162,15 +139,28 @@ fn registry_section_names(ledger: &str) -> Option<Vec<(String, u32)>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::FileCtx;
+    use crate::engine::FileAnalysis;
+
+    fn graph_for(src: &str) -> Graph {
+        let ctx = FileCtx::new(CLI_PATH.to_owned(), src);
+        let mut out = Vec::new();
+        let facts = crate::graph::extract(&ctx, &mut out);
+        let analysis = FileAnalysis::fresh(CLI_PATH.to_owned(), 0, Vec::new(), Vec::new(), facts);
+        Graph::build(std::slice::from_ref(&analysis))
+    }
 
     #[test]
-    fn registry_names_are_harvested() {
+    fn registry_names_are_harvested_via_the_graph() {
         let src = "pub const EXPERIMENTS: &[Experiment] = &[\n  Experiment { name: \"fig2\", summary: \"s\", in_all: true, run: fig2 },\n  Experiment { name: \"table4\", summary: \"s\", in_all: true, run: table4 },\n];\n";
-        let ctx = FileCtx::new(CLI_PATH.to_owned(), src);
-        let mut state = RegistryState::default();
-        check(&ctx, &mut state);
-        let names: Vec<&str> = state.experiments.iter().map(|(n, _)| n.as_str()).collect();
+        let graph = graph_for(src);
+        let names: Vec<&str> = graph
+            .experiments
+            .iter()
+            .map(|(_, d)| d.name.as_str())
+            .collect();
         assert_eq!(names, vec!["fig2", "table4"]);
+        assert!(graph.saw_cli);
     }
 
     #[test]
@@ -179,15 +169,43 @@ mod tests {
         let names = registry_section_names(md).expect("section present");
         let flat: Vec<&str> = names.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(flat, vec!["fig2", "yield"]);
+        assert_eq!(names[0].1, 7, "row line recorded");
         assert!(registry_section_names("# no registry\n").is_none());
     }
 
     #[test]
-    fn other_files_are_ignored() {
+    fn other_files_contribute_no_experiments() {
         let ctx = FileCtx::new("crates/x/src/a.rs".to_owned(), "let name: &str = \"x\";");
-        let mut state = RegistryState::default();
-        check(&ctx, &mut state);
-        assert!(!state.saw_cli);
-        assert!(state.experiments.is_empty());
+        let mut out = Vec::new();
+        let facts = crate::graph::extract(&ctx, &mut out);
+        assert!(facts.experiments.is_empty());
+    }
+
+    #[test]
+    fn drift_is_reported_in_both_directions() {
+        let graph = graph_for("const E: &[X] = &[X { name: \"fig2\" }, X { name: \"ghost\" }];\n");
+        let dir = std::env::temp_dir().join(format!("sram-lint-regsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(LEDGER_PATH),
+            "## Registry\n| `fig2` | ok |\n| `ghost-ledger` | stale |\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        finish(&graph, &dir, &mut out);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(out.len(), 2, "{out:?}");
+        let ghost = out
+            .iter()
+            .find(|d| d.diag.message.contains("`ghost`"))
+            .expect("unrecorded experiment");
+        assert_eq!(ghost.file, CLI_PATH);
+        assert_eq!(ghost.diag.line, 1);
+        let stale = out
+            .iter()
+            .find(|d| d.diag.message.contains("`ghost-ledger`"))
+            .expect("stale row");
+        assert_eq!(stale.file, LEDGER_PATH);
+        assert_eq!(stale.diag.line, 3, "anchored at the stale row");
     }
 }

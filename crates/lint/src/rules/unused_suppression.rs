@@ -3,24 +3,26 @@
 //!
 //! A suppression is a standing claim — "this rule is wrong here, and
 //! here is why". When the code under it changes (the `unwrap` is
-//! refactored away, the literal gains a unit constructor), the claim
-//! goes stale but the comment survives, silently licensing future
-//! violations on that line. This rule closes the loop: the engine
-//! records which suppressions actually absorbed a diagnostic during the
-//! walk, and every suppression that absorbed none is reported at its
-//! own comment line.
+//! refactored away, the literal gains a unit constructor, the dead
+//! parameter gets wired in), the claim goes stale but the comment
+//! survives, silently licensing future violations on that line. This
+//! rule closes the loop: the engine records which suppressions actually
+//! absorbed a diagnostic — per-file *and* cross-file findings alike,
+//! since graph rules anchor at `.rs` sites and resolve through the same
+//! accounting — and every suppression that absorbed none is reported at
+//! its own comment line.
 //!
 //! `suppression-syntax` errors are a different failure (the comment
 //! never parsed, so it covers nothing) and stay with that rule.
 
-use crate::context::FileCtx;
+use crate::context::Suppression;
 use crate::rules::RawDiag;
 
-/// Reports every suppression in `ctx` whose slot in `used` is `false`.
-/// `used` is index-aligned with `ctx.suppressions` and filled in by the
-/// engine while resolving the file's diagnostics.
-pub fn check(ctx: &FileCtx, used: &[bool], out: &mut Vec<RawDiag>) {
-    for (i, suppression) in ctx.suppressions.iter().enumerate() {
+/// Reports every suppression whose slot in `used` is `false`. `used` is
+/// index-aligned with `suppressions` and filled in by the engine while
+/// resolving the file's merged per-file + cross-file diagnostics.
+pub fn check(suppressions: &[Suppression], used: &[bool], out: &mut Vec<RawDiag>) {
+    for (i, suppression) in suppressions.iter().enumerate() {
         if used.get(i).copied().unwrap_or(false) {
             continue;
         }
@@ -58,6 +60,7 @@ pub fn check(ctx: &FileCtx, used: &[bool], out: &mut Vec<RawDiag>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::FileCtx;
 
     #[test]
     fn unused_suppression_is_reported_at_its_comment() {
@@ -65,7 +68,7 @@ mod tests {
         let ctx = FileCtx::new("crates/cell/src/a.rs".into(), src);
         assert_eq!(ctx.suppressions.len(), 1);
         let mut out = Vec::new();
-        check(&ctx, &[false], &mut out);
+        check(&ctx.suppressions, &[false], &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "unused-suppression");
         assert_eq!(out[0].line, 1);
@@ -77,7 +80,7 @@ mod tests {
         let src = "// sram-lint: allow(no-panic) caller checks\nlet x = v.unwrap();\n";
         let ctx = FileCtx::new("crates/cell/src/a.rs".into(), src);
         let mut out = Vec::new();
-        check(&ctx, &[true], &mut out);
+        check(&ctx.suppressions, &[true], &mut out);
         assert!(out.is_empty());
     }
 
@@ -86,8 +89,20 @@ mod tests {
         let src = "// sram-lint: allow-file(no-panic) generated shim\nfn a() {}\n";
         let ctx = FileCtx::new("crates/cell/src/a.rs".into(), src);
         let mut out = Vec::new();
-        check(&ctx, &[false], &mut out);
+        check(&ctx.suppressions, &[false], &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("anywhere in the file"));
+    }
+
+    #[test]
+    fn stale_cross_file_rule_suppressions_are_reported_too() {
+        let src =
+            "// sram-lint: allow(dead-parameter) field is read by destructuring\nlet x = 1;\n";
+        let ctx = FileCtx::new("crates/device/src/a.rs".into(), src);
+        assert_eq!(ctx.suppressions.len(), 1);
+        let mut out = Vec::new();
+        check(&ctx.suppressions, &[false], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("dead-parameter"));
     }
 }

@@ -1,0 +1,206 @@
+//! Incremental-cache soundness: a warm-cache run must be byte-identical
+//! to a cold run — on the fixture tree, on the real workspace, and on
+//! randomly generated trees — and measurably faster where the tree is
+//! big enough to time.
+
+use sram_lint::{find_workspace_root, run_with, Config, Options};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sram-lint-rt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Every diagnostic rendered, without the trailing summary line — the
+/// summary's cache-reuse count differs between cold and warm runs by
+/// design, the diagnostics must not.
+fn diagnostics_text(report: &sram_lint::Report) -> String {
+    report
+        .diagnostics
+        .iter()
+        .map(sram_lint::diag::render_diagnostic)
+        .collect()
+}
+
+/// Runs cold (fresh cache file) then warm (same cache file) and returns
+/// both reports.
+fn cold_then_warm(root: &Path, cache: &Path) -> (sram_lint::Report, sram_lint::Report) {
+    let _ = std::fs::remove_file(cache);
+    let options = Options {
+        cache: Some(cache.to_path_buf()),
+        threads: None,
+    };
+    let config = Config::deny_all();
+    let cold = run_with(root, &config, &options).expect("cold run");
+    let warm = run_with(root, &config, &options).expect("warm run");
+    (cold, warm)
+}
+
+#[test]
+fn warm_cache_output_is_byte_identical_on_the_fixture_tree() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws");
+    let cache = tmp_dir("fixture").join("cache");
+    let (cold, warm) = cold_then_warm(&root, &cache);
+    assert_eq!(diagnostics_text(&cold), diagnostics_text(&warm));
+    assert_eq!(
+        sram_lint::sarif::render_sarif(&cold),
+        sram_lint::sarif::render_sarif(&warm),
+        "SARIF carries no cache counters, so it must match byte-for-byte"
+    );
+    assert_eq!(cold.suppressed, warm.suppressed);
+    assert_eq!(cold.files_scanned, warm.files_scanned);
+    assert_eq!(cold.files_skipped, 0, "cold run must not hit the cache");
+    assert_eq!(
+        warm.files_skipped, warm.files_scanned,
+        "warm run must reuse every file"
+    );
+    std::fs::remove_dir_all(cache.parent().expect("parent")).ok();
+}
+
+#[test]
+fn warm_cache_run_is_faster_on_the_real_workspace() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let cache = tmp_dir("speed").join("cache");
+    let config = Config::deny_all();
+
+    // Prime the cache, then take best-of-3 for each mode so scheduler
+    // noise on a loaded CI box doesn't flake the comparison.
+    let warm_options = Options {
+        cache: Some(cache.clone()),
+        threads: None,
+    };
+    let cold_options = Options {
+        cache: None,
+        threads: None,
+    };
+    let primer = run_with(&root, &config, &warm_options).expect("primer run");
+    assert!(primer.files_scanned > 50, "walker lost the workspace");
+
+    let best = |options: &Options| -> (f64, String) {
+        let mut best = f64::INFINITY;
+        let mut text = String::new();
+        for _ in 0..3 {
+            let t = Instant::now();
+            let report = run_with(&root, &config, options).expect("timed run");
+            best = best.min(t.elapsed().as_secs_f64());
+            text = diagnostics_text(&report);
+        }
+        (best, text)
+    };
+    let (cold_s, cold_text) = best(&cold_options);
+    let (warm_s, warm_text) = best(&warm_options);
+    assert_eq!(cold_text, warm_text, "cache changed the diagnostics");
+    assert!(
+        warm_s < cold_s,
+        "warm ({:.1} ms) should beat cold ({:.1} ms)",
+        warm_s * 1e3,
+        cold_s * 1e3
+    );
+    std::fs::remove_dir_all(cache.parent().expect("parent")).ok();
+}
+
+/// Splitmix64 — a tiny deterministic generator for the property test.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Source templates spanning the analysis surface: clean code, per-file
+/// violations, suppressions, parameter structs, env reads, probes,
+/// metric mentions, and a lex error.
+const TEMPLATES: &[&str] = &[
+    "/// Clean.\npub fn ok(x: f64) -> f64 {\n    x + 1.0\n}\n",
+    "pub fn no_docs() {}\n",
+    "/// Panics.\npub fn risky(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    "// sram-lint: allow(no-panic) generated property-test input\n/// Suppressed.\npub fn excused(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    "// sram-lint: allow(no-panic) stale by construction\n/// Stale.\npub fn tidy() -> u32 {\n    7\n}\n",
+    "/// Knobs.\npub struct SweepParams {\n    /// Unread.\n    pub orphan: f64,\n}\n",
+    "/// Env.\npub fn env() -> Option<String> {\n    std::env::var(\"SRAM_PROP_TEST_VAR\").ok()\n}\n",
+    "/// Probe.\npub fn count() {\n    sram_probe::probe_inc!(\"propcrate.events\");\n}\n",
+    "/// Unterminated: \"\npub fn broken() {}\n",
+];
+
+const CRATES: &[&str] = &["propcrate", "othercrate"];
+
+/// Generates a random tree under `dir`; returns the file count.
+fn generate_tree(dir: &Path, rng: &mut Rng) -> usize {
+    let n_files = 2 + rng.below(6);
+    for i in 0..n_files {
+        let crate_name = CRATES[rng.below(CRATES.len())];
+        let path = dir.join(format!("crates/{crate_name}/src/f{i}.rs"));
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, TEMPLATES[rng.below(TEMPLATES.len())]).expect("write");
+    }
+    n_files
+}
+
+#[test]
+fn property_cold_and_warm_agree_on_generated_trees() {
+    let base = tmp_dir("prop");
+    let mut rng = Rng(0x5eed_0001);
+    for case in 0..25 {
+        let root = base.join(format!("case{case}"));
+        std::fs::create_dir_all(&root).expect("case dir");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+        let n_files = generate_tree(&root, &mut rng);
+        let cache = root.join("lint.cache");
+        let (cold, warm) = cold_then_warm(&root, &cache);
+        assert_eq!(
+            diagnostics_text(&cold),
+            diagnostics_text(&warm),
+            "case {case} diverged"
+        );
+        assert_eq!(cold.suppressed, warm.suppressed, "case {case}");
+        assert_eq!(cold.files_scanned, n_files, "case {case} lost files");
+        assert_eq!(
+            warm.files_skipped, warm.files_scanned,
+            "case {case} missed the cache"
+        );
+
+        // Mutate one file: only it re-analyzes, and a third run matches
+        // a fresh cold run of the mutated tree.
+        let victim = root.join(format!(
+            "crates/{}/src/f0.rs",
+            CRATES[rng.below(CRATES.len())]
+        ));
+        if victim.exists() {
+            // The trailing comment guarantees the content (and hash)
+            // differs from whatever template the file started as.
+            let mutated = format!("{}// mutated\n", TEMPLATES[rng.below(TEMPLATES.len())]);
+            std::fs::write(&victim, mutated).expect("mutate");
+            let options = Options {
+                cache: Some(cache.clone()),
+                threads: None,
+            };
+            let config = Config::deny_all();
+            let incremental = run_with(&root, &config, &options).expect("incremental run");
+            assert_eq!(
+                incremental.files_skipped,
+                incremental.files_scanned - 1,
+                "case {case}: exactly the mutated file should re-analyze"
+            );
+            let fresh_cache = root.join("fresh.cache");
+            let (fresh, _) = cold_then_warm(&root, &fresh_cache);
+            assert_eq!(
+                diagnostics_text(&incremental),
+                diagnostics_text(&fresh),
+                "case {case} incremental run diverged from cold truth"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -31,7 +31,7 @@ fn in_file<'r>(report: &'r Report, file: &str) -> Vec<&'r Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture_tree() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 15, "fixture tree changed shape");
+    assert_eq!(report.files_scanned, 18, "fixture tree changed shape");
     assert_eq!(count(&report, "no-panic"), 6);
     assert_eq!(count(&report, "unit-hygiene"), 1);
     assert_eq!(count(&report, "nan-unsafe"), 2);
@@ -39,17 +39,20 @@ fn every_rule_fires_on_the_fixture_tree() {
     assert_eq!(count(&report, "thread-discipline"), 1);
     assert_eq!(count(&report, "doc-coverage"), 2);
     assert_eq!(count(&report, "registry-sync"), 2);
+    assert_eq!(count(&report, "dead-parameter"), 1);
+    assert_eq!(count(&report, "config-sync"), 2);
+    assert_eq!(count(&report, "probe-drift"), 4);
     assert_eq!(count(&report, "suppression-syntax"), 1);
-    assert_eq!(count(&report, "unused-suppression"), 1);
+    assert_eq!(count(&report, "unused-suppression"), 2);
     assert_eq!(count(&report, "parse-error"), 1);
-    assert_eq!(report.diagnostics.len(), 24);
+    assert_eq!(report.diagnostics.len(), 32);
     assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
 }
 
 #[test]
 fn suppression_is_counted_not_reported() {
     let report = fixture_report();
-    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.suppressed, 2, "no-panic + dead-parameter");
     assert!(
         in_file(&report, "crates/spice/src/suppressed_ok.rs").is_empty(),
         "a justified suppression must silence its finding"
@@ -149,6 +152,9 @@ fn warn_level_keeps_exit_clean() {
         "thread-discipline",
         "doc-coverage",
         "registry-sync",
+        "dead-parameter",
+        "config-sync",
+        "probe-drift",
         "suppression-syntax",
         "unused-suppression",
         "parse-error",
@@ -157,15 +163,15 @@ fn warn_level_keeps_exit_clean() {
     }
     let report = run(&fixture_root(), &config).expect("fixture tree readable");
     assert_eq!(report.deny_count(), 0);
-    assert_eq!(report.warn_count(), 24);
+    assert_eq!(report.warn_count(), 32);
 }
 
 #[test]
 fn json_rendering_of_the_fixture_report_is_well_formed() {
     let report = fixture_report();
     let json = report.render_json();
-    assert!(json.contains("\"files_scanned\": 15"));
-    assert!(json.contains("\"counts\": {\"deny\": 24, \"warn\": 0}"));
+    assert!(json.contains("\"files_scanned\": 18"));
+    assert!(json.contains("\"counts\": {\"deny\": 32, \"warn\": 0}"));
     // Balanced braces/brackets outside strings — cheap well-formedness
     // check without a JSON parser in the dependency-free workspace.
     let mut depth = 0i32;
@@ -240,5 +246,121 @@ fn probe_crate_fixture_is_sanctioned_but_namespaced() {
         diags[0].message.contains("metrics.wrong_home"),
         "{}",
         diags[0].message
+    );
+}
+
+#[test]
+fn dead_parameter_fires_on_the_unread_field_only() {
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/device/src/bad_dead_param.rs");
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "dead-parameter")
+        .collect();
+    assert_eq!(dead.len(), 1, "{diags:?}");
+    assert!(
+        dead[0].message.contains("TuningParams.dead_knob"),
+        "{}",
+        dead[0].message
+    );
+    // The read field and the suppressed field stay quiet.
+    assert!(
+        !diags.iter().any(|d| d.message.contains("live_knob")),
+        "{diags:?}"
+    );
+    assert!(
+        !diags.iter().any(|d| d.message.contains("shadow_knob")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn stale_dead_parameter_suppression_is_reported() {
+    // Satellite of the cross-file analysis: graph-rule findings flow
+    // through the same suppression accounting as per-file rules, so a
+    // `dead-parameter` allow on a field that IS read goes stale.
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/device/src/bad_dead_param.rs");
+    let stale = diags
+        .iter()
+        .find(|d| d.rule == "unused-suppression")
+        .expect("stale dead-parameter suppression reported");
+    assert!(
+        stale.message.contains("dead-parameter"),
+        "{}",
+        stale.message
+    );
+    assert_eq!(stale.line, 8, "anchored at the stale allow comment");
+}
+
+#[test]
+fn config_sync_reports_both_directions_of_drift() {
+    let report = fixture_report();
+    let undocumented = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("SRAM_FIXTURE_UNDOCUMENTED"))
+        .expect("undocumented env read reported");
+    assert_eq!(undocumented.rule, "config-sync");
+    assert_eq!(undocumented.file, "crates/serve/src/bad_config.rs");
+    let ghost = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("SRAM_FIXTURE_GHOST"))
+        .expect("ghost doc entry reported");
+    assert_eq!(ghost.rule, "config-sync");
+    assert_eq!(ghost.file, "README.md");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("SRAM_FIXTURE_DOCUMENTED ")),
+        "the documented-and-read var must be quiet"
+    );
+}
+
+#[test]
+fn probe_drift_reports_all_four_drift_shapes() {
+    let report = fixture_report();
+    let drift: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "probe-drift")
+        .collect();
+    assert_eq!(drift.len(), 4, "{drift:?}");
+    let unlisted = drift
+        .iter()
+        .find(|d| d.message.contains("spice.drifted_metric"))
+        .expect("unlisted metric reported");
+    assert_eq!(unlisted.file, "crates/spice/src/bad_probe_drift.rs");
+    let unasserted = drift
+        .iter()
+        .find(|d| d.message.contains("spice.unasserted_metric"))
+        .expect("unasserted metric reported");
+    assert!(unasserted.message.contains("never asserted"));
+    let mismatch = drift
+        .iter()
+        .find(|d| d.message.contains("spice.mismatched_kind"))
+        .expect("kind mismatch reported");
+    assert_eq!(mismatch.file, "PROBES.md");
+    assert!(mismatch.message.contains("as a gauge"));
+    let ghost = drift
+        .iter()
+        .find(|d| d.message.contains("spice.ghost_metric"))
+        .expect("stale row reported");
+    assert_eq!(ghost.file, "PROBES.md");
+}
+
+#[test]
+fn sarif_rendering_of_the_fixture_report_is_well_formed() {
+    let report = fixture_report();
+    let sarif = sram_lint::sarif::render_sarif(&report);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\": \"dead-parameter\""));
+    assert!(sarif.contains("\"uri\": \"PROBES.md\""));
+    // One result per diagnostic.
+    assert_eq!(
+        sarif.matches("\"ruleId\":").count(),
+        report.diagnostics.len()
     );
 }
