@@ -80,6 +80,10 @@ fn telemetry_soak(threads: usize) -> Result<String, String> {
     crate::telemetry::run(threads)
 }
 
+fn cluster_soak(threads: usize) -> Result<String, String> {
+    crate::cluster::run(threads)
+}
+
 /// Every experiment the binary can run, in execution order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -166,6 +170,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         in_all: false,
         run: telemetry_soak,
     },
+    Experiment {
+        name: "cluster-soak",
+        summary: "cluster soak: router failover, hedged requests, key affinity over 3 nodes — opt-in",
+        in_all: false,
+        run: cluster_soak,
+    },
 ];
 
 /// Outcome of resolving a CLI experiment argument.
@@ -243,7 +253,8 @@ mod tests {
                 "bench-trajectory",
                 "rails-sim",
                 "chaos-soak",
-                "telemetry-soak"
+                "telemetry-soak",
+                "cluster-soak"
             ]
         );
     }

@@ -1,0 +1,695 @@
+//! `cluster-soak`: opt-in failover experiment — a 3-node in-process
+//! cluster behind the consistent-hash router, driven by concurrent
+//! clients while a fixed fault plan kills a node mid-traffic, hard-
+//! failing on any hang, dropped or duplicate reply, missed eviction or
+//! rejoin, or key-affinity violation.
+//!
+//! Three phases:
+//!
+//! 1. **soak** — four clients push optimize queries through the
+//!    [`Router`] while the plan injects a slow characterization (which
+//!    forces a hedge past the 5 ms floor), two worker panics, two
+//!    connection drops (absorbed by the router's bounded forward
+//!    retry), and one node kill. A supervisor thread watches
+//!    `cluster-stats` for the eviction, confirms the node really
+//!    refuses dials (a connection-drop-driven false eviction heals by
+//!    itself), respawns it on the same address, and waits for the
+//!    poller to rejoin it.
+//! 2. **steady state** — a second client wave runs on the healed ring,
+//!    accumulating same-epoch repeat observations for the affinity
+//!    audit, after which the cluster must settle back to every node
+//!    healthy.
+//! 3. **audit** — every `ok` reply was stamped `node`/`epoch`/`via` by
+//!    the router; [`affinity::audit`] replays the observations and
+//!    must find zero same-epoch, same-key primary replies answered by
+//!    different nodes.
+//!
+//! Exactly-once accounting is structural, as in the chaos soak: each
+//! client ends with an id-echo round trip, so a doubled or dropped
+//! reply anywhere earlier surfaces as a misaligned echo.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use sram_cluster::affinity::{self, Observation};
+use sram_cluster::{Router, RouterConfig};
+use sram_faults::{FaultPlan, FaultRule};
+use sram_serve::{Client, Json, Request, Server};
+
+/// Cluster size; the plan kills one of these mid-soak.
+const NODES: usize = 3;
+/// Concurrent soak clients per wave.
+const CLIENTS: usize = 4;
+/// Requests each client must see answered exactly once, per wave.
+const REQUESTS_PER_CLIENT: usize = 8;
+/// Worker threads per node.
+const NODE_WORKERS: usize = 2;
+/// Job-queue depth per node.
+const NODE_QUEUE: usize = 16;
+/// Resend budget per request (panics, busy rejections, and the node
+/// kill all trigger resends; a request needing more is hung).
+const MAX_ATTEMPTS: usize = 12;
+/// Client-side reply timeout — the hang detector.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+/// Wall budget for the supervisor's evict → respawn → rejoin cycle.
+const SUPERVISOR_BUDGET: Duration = Duration::from_secs(120);
+/// Wall budget for the cluster to settle back to all-healthy after
+/// the second wave (health verdicts are windowed, so injected errors
+/// take a moment to age out).
+const SETTLE_BUDGET: Duration = Duration::from_secs(60);
+
+/// Structured outcome (consumed by the unit tests; the report is
+/// built from it).
+#[derive(Debug, Clone)]
+pub struct ClusterSoak {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Requests issued across both waves.
+    pub requests: usize,
+    /// Requests answered `ok` exactly once (must equal `requests`).
+    pub answered: usize,
+    /// Typed `internal` replies observed (worker panics, forwarded
+    /// through the router with routing tags intact).
+    pub internal_replies: usize,
+    /// `busy` backpressure replies observed.
+    pub busy_replies: usize,
+    /// `cluster.hedge.fired` delta — the slow characterization must
+    /// push at least one request past the hedge delay.
+    pub hedge_fired: u64,
+    /// `cluster.forward.failovers` delta (the killed node's requests
+    /// move down the ring immediately).
+    pub failovers: u64,
+    /// `cluster.forward.retries` delta (connection drops absorbed by
+    /// the pool).
+    pub retries: u64,
+    /// `cluster.node.evicted` delta (must be >= 1: the kill).
+    pub evicted: u64,
+    /// `cluster.node.rejoined` delta (must be >= 1: the respawn).
+    pub rejoined: u64,
+    /// `serve.node.injected_kills` delta (must be exactly the plan's
+    /// cap of 1).
+    pub injected_kills: u64,
+    /// Sorted per-point fire counts from the registry.
+    pub counts: Vec<(String, u64)>,
+    /// Same-epoch repeat observations audited (must be > 0).
+    pub affinity_checked: u64,
+    /// Affinity violations (must be 0).
+    pub affinity_violations: u64,
+    /// One line per violation, for the failure report.
+    pub violation_details: Vec<String>,
+    /// Ring epoch at the end of the run (> 0: membership changed).
+    pub final_epoch: u64,
+    /// Nodes reporting healthy at the end (must equal `nodes`).
+    pub final_healthy: usize,
+}
+
+/// The fixed soak plan. Every rule is `p = 1` with a cap, so totals
+/// are timing-independent: 1 + 2 + 2 + 1 = 6 injected faults.
+fn soak_plan() -> FaultPlan {
+    FaultPlan::new(0x00DA_C209)
+        .rule(FaultRule::always("cell.slow", 1).with_latency_ms(60))
+        .rule(FaultRule::always("serve.worker_panic", 2))
+        .rule(FaultRule::always("serve.conn_drop", 2))
+        .rule(FaultRule::always("serve.node_kill", 1))
+}
+
+/// Expected per-point fire counts for [`soak_plan`] once every point
+/// has been drawn past its cap.
+fn expected_counts() -> Vec<(String, u64)> {
+    vec![
+        ("cell.slow".to_owned(), 1),
+        ("serve.conn_drop".to_owned(), 2),
+        ("serve.node_kill".to_owned(), 1),
+        ("serve.worker_panic".to_owned(), 2),
+    ]
+}
+
+fn counter(name: &'static str) -> u64 {
+    sram_probe::counter(name).get()
+}
+
+/// Router/serve counter snapshot, so the soak reports deltas instead
+/// of process-lifetime totals.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    hedge_fired: u64,
+    failovers: u64,
+    retries: u64,
+    evicted: u64,
+    rejoined: u64,
+    injected_kills: u64,
+}
+
+impl Snapshot {
+    fn take() -> Self {
+        Self {
+            hedge_fired: counter("cluster.hedge.fired"),
+            failovers: counter("cluster.forward.failovers"),
+            retries: counter("cluster.forward.retries"),
+            evicted: counter("cluster.node.evicted"),
+            rejoined: counter("cluster.node.rejoined"),
+            injected_kills: counter("serve.node.injected_kills"),
+        }
+    }
+}
+
+/// Per-client tally from one wave.
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    answered: usize,
+    internal: usize,
+    busy: usize,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.answered += other.answered;
+        self.internal += other.internal;
+        self.busy += other.busy;
+    }
+}
+
+fn connect(addr: SocketAddr) -> Result<Client, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_timeout(Some(REPLY_TIMEOUT))
+        .map_err(|e| format!("set_timeout: {e}"))?;
+    Ok(client)
+}
+
+/// Node addresses in the given poller state, read from a
+/// `cluster-stats` reply.
+fn nodes_in_state(stats: &Json, state: &str) -> Vec<String> {
+    stats
+        .get("nodes")
+        .and_then(Json::as_array)
+        .map(|nodes| {
+            nodes
+                .iter()
+                .filter(|n| n.get("state").and_then(Json::as_str) == Some(state))
+                .filter_map(|n| n.get("node").and_then(Json::as_str).map(str::to_owned))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Rebinds a node on its original address. The killed node's old
+/// sockets may linger briefly, so bind is retried under a deadline.
+fn respawn(addr: &str) -> Result<Server, String> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match sram_serve::spawn_local_node(addr, NODE_WORKERS, NODE_QUEUE) {
+            Ok(server) => return Ok(server),
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(format!("respawn of {addr} never bound: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// The failover supervisor: waits for the router to evict the killed
+/// node, restarts it on the same address, and waits for the health
+/// poller to rejoin it. Owns every node handle so it can shut down
+/// and replace the dead one.
+fn supervise(
+    router: SocketAddr,
+    mut servers: BTreeMap<String, Server>,
+) -> Result<BTreeMap<String, Server>, String> {
+    let deadline = Instant::now() + SUPERVISOR_BUDGET;
+    let mut client = connect(router)?;
+    let mut respawned: Option<String> = None;
+    loop {
+        if Instant::now() > deadline {
+            return Err(match respawned {
+                Some(addr) => format!("node {addr} was respawned but never rejoined the ring"),
+                None => "no node was evicted within the supervisor budget".to_owned(),
+            });
+        }
+        let stats = client
+            .call_line(r#"{"op":"cluster-stats"}"#)
+            .map_err(|e| format!("cluster-stats poll: {e}"))?;
+        match &respawned {
+            None => {
+                for addr in nodes_in_state(&stats, "down") {
+                    // Only a node that actually refuses dials is the
+                    // injected kill; a connection-drop-driven false
+                    // eviction heals on the next successful poll.
+                    if std::net::TcpStream::connect(&addr).is_err() {
+                        let dead = servers
+                            .remove(&addr)
+                            .ok_or_else(|| format!("unknown node {addr} reported down"))?;
+                        dead.shutdown();
+                        let fresh = respawn(&addr)?;
+                        servers.insert(addr.clone(), fresh);
+                        respawned = Some(addr);
+                        break;
+                    }
+                }
+            }
+            Some(addr) => {
+                if nodes_in_state(&stats, "healthy").iter().any(|a| a == addr) {
+                    return Ok(servers);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Drives one client's request schedule through the router: resend on
+/// `internal` and `busy`, reconnect on a dropped connection, hard-fail
+/// on a timeout (hang) or an attempt-budget blowout. Every `ok` reply
+/// must carry the router's routing tags, which become the affinity
+/// observations.
+fn run_client(
+    addr: SocketAddr,
+    index: usize,
+    wave: &str,
+) -> Result<(Tally, Vec<Observation>), String> {
+    let mut client = connect(addr)?;
+    let mut tally = Tally::default();
+    let mut observations = Vec::new();
+    let capacities = [128u64, 256, 512, 1024, 2048, 4096];
+    for r in 0..REQUESTS_PER_CLIENT {
+        let id = format!("{wave}{index}-r{r}");
+        let line = format!(
+            r#"{{"id":"{id}","op":"optimize","capacity_bytes":{},"flavor":"hvt","method":"m2"}}"#,
+            capacities[(index + r) % capacities.len()]
+        );
+        let key = Request::from_line(&line)
+            .map_err(|e| format!("request {id} failed to parse locally: {e}"))?
+            .query
+            .key();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(format!(
+                    "request {id} unanswered after {MAX_ATTEMPTS} attempts"
+                ));
+            }
+            match client.call_line(&line) {
+                Ok(reply) => match reply.get("status").and_then(Json::as_str) {
+                    Some("ok") => {
+                        if reply.get("id").and_then(Json::as_str) != Some(id.as_str()) {
+                            return Err(format!(
+                                "reply stream misaligned at {id}: {}",
+                                reply.render()
+                            ));
+                        }
+                        let (Some(node), Some(epoch), Some(via)) = (
+                            reply.get("node").and_then(Json::as_str),
+                            reply.get("epoch").and_then(Json::as_u64),
+                            reply.get("via").and_then(Json::as_str),
+                        ) else {
+                            return Err(format!(
+                                "reply to {id} is missing its routing tags: {}",
+                                reply.render()
+                            ));
+                        };
+                        observations.push(Observation {
+                            key,
+                            epoch,
+                            node: node.to_owned(),
+                            via: via.to_owned(),
+                        });
+                        tally.answered += 1;
+                        break;
+                    }
+                    Some("internal") => tally.internal += 1,
+                    Some("busy") => {
+                        tally.busy += 1;
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    other => {
+                        return Err(format!(
+                            "request {id}: unexpected status {other:?}: {}",
+                            reply.render()
+                        ))
+                    }
+                },
+                Err(sram_serve::ServeError::Remote(_)) => {
+                    // The router itself never drops clients; tolerate a
+                    // racing shutdown-era EOF by redialing.
+                    client = connect(addr)?;
+                }
+                Err(sram_serve::ServeError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(format!("request {id}: reply timed out — cluster hang"));
+                }
+                Err(e) => return Err(format!("request {id}: transport error: {e}")),
+            }
+        }
+    }
+    // Exactly-once epilogue: `cluster-stats` is answered by the router
+    // itself, so this echo is immune to node faults — a doubled or
+    // dropped reply earlier on this connection misaligns it.
+    let fin = format!("fin-{wave}{index}");
+    let reply = client
+        .call_line(&format!(r#"{{"id":"{fin}","op":"cluster-stats"}}"#))
+        .map_err(|e| format!("final echo: {e}"))?;
+    if reply.get("id").and_then(Json::as_str) != Some(fin.as_str()) {
+        return Err(format!(
+            "double or dropped reply detected: final echo was {}",
+            reply.render()
+        ));
+    }
+    Ok((tally, observations))
+}
+
+/// One client wave. Returns the aggregate tally and observations.
+fn wave(addr: SocketAddr, name: &'static str) -> Result<(Tally, Vec<Observation>), String> {
+    let results: Vec<Result<(Tally, Vec<Observation>), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| scope.spawn(move || run_client(addr, i, name)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("client thread panicked".to_owned()),
+            })
+            .collect()
+    });
+    let mut total = Tally::default();
+    let mut observations = Vec::new();
+    for result in results {
+        let (tally, obs) = result?;
+        total.absorb(tally);
+        observations.extend(obs);
+    }
+    Ok((total, observations))
+}
+
+/// `run_waves` outcome: the combined tally, every tagged observation,
+/// and the (possibly respawned) server set handed back for shutdown.
+type WavesOutcome = Result<(Tally, Vec<Observation>, BTreeMap<String, Server>), String>;
+
+/// Both traffic phases: wave one concurrent with the supervisor's
+/// evict/respawn/rejoin cycle, wave two on the healed ring.
+fn run_waves(addr: SocketAddr, servers: BTreeMap<String, Server>) -> WavesOutcome {
+    let (wave_one, servers) = std::thread::scope(|scope| {
+        let supervisor = scope.spawn(move || supervise(addr, servers));
+        let traffic = scope.spawn(move || wave(addr, "a"));
+        let wave_one = match traffic.join() {
+            Ok(result) => result,
+            Err(_) => Err("wave thread panicked".to_owned()),
+        };
+        let servers = match supervisor.join() {
+            Ok(result) => result,
+            Err(_) => Err("supervisor thread panicked".to_owned()),
+        };
+        (wave_one, servers)
+    });
+    let servers = servers?;
+    let (mut total, mut observations) = wave_one?;
+    let (two, obs) = wave(addr, "b")?;
+    total.absorb(two);
+    observations.extend(obs);
+    Ok((total, observations, servers))
+}
+
+/// Waits for every node to report healthy again (windowed health
+/// verdicts need a moment to age out the injected errors), then
+/// returns the final `cluster-stats` reply.
+fn settle(addr: SocketAddr) -> Result<Json, String> {
+    let deadline = Instant::now() + SETTLE_BUDGET;
+    let mut client = connect(addr)?;
+    loop {
+        let stats = client
+            .call_line(r#"{"op":"cluster-stats"}"#)
+            .map_err(|e| format!("final cluster-stats: {e}"))?;
+        if nodes_in_state(&stats, "healthy").len() == NODES || Instant::now() > deadline {
+            return Ok(stats);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Runs the full soak.
+///
+/// # Errors
+///
+/// Any hang, unanswered or doubly-answered request, failed respawn, or
+/// cluster that never rejoined its killed node.
+pub fn soak(_threads: usize) -> Result<ClusterSoak, String> {
+    // Counter assertions need the probe layer on regardless of the
+    // environment.
+    sram_probe::set_level(sram_probe::Level::Summary);
+    crate::chaos::silence_injected_panics();
+    let before = Snapshot::take();
+
+    let mut servers: BTreeMap<String, Server> = BTreeMap::new();
+    for _ in 0..NODES {
+        let server = sram_serve::spawn_local_node("127.0.0.1:0", NODE_WORKERS, NODE_QUEUE)
+            .map_err(|e| format!("node spawn: {e}"))?;
+        servers.insert(server.local_addr().to_string(), server);
+    }
+    let router = Router::start(RouterConfig {
+        nodes: servers.keys().cloned().collect(),
+        replicas: 2,
+        hedge_ms: 5,
+        poll_interval: Duration::from_millis(20),
+        ..RouterConfig::default()
+    })
+    .map_err(|e| format!("router start: {e}"))?;
+    let addr = router.local_addr();
+
+    // Let the first poll round see every node healthy, so the kill
+    // lands under traffic rather than on the poller's first dial.
+    std::thread::sleep(Duration::from_millis(100));
+    sram_faults::install(&soak_plan());
+
+    let outcome = run_waves(addr, servers);
+    let counts = sram_faults::counts();
+    sram_faults::uninstall();
+    let (tally, observations, servers) = match outcome {
+        Ok(v) => v,
+        Err(e) => {
+            router.shutdown();
+            return Err(e);
+        }
+    };
+
+    let final_stats = settle(addr);
+    router.shutdown();
+    for (_, server) in servers {
+        server.shutdown();
+    }
+    let final_stats = final_stats?;
+
+    let audit = affinity::audit(&observations);
+    let after = Snapshot::take();
+    Ok(ClusterSoak {
+        nodes: NODES,
+        requests: 2 * CLIENTS * REQUESTS_PER_CLIENT,
+        answered: tally.answered,
+        internal_replies: tally.internal,
+        busy_replies: tally.busy,
+        hedge_fired: after.hedge_fired - before.hedge_fired,
+        failovers: after.failovers - before.failovers,
+        retries: after.retries - before.retries,
+        evicted: after.evicted - before.evicted,
+        rejoined: after.rejoined - before.rejoined,
+        injected_kills: after.injected_kills - before.injected_kills,
+        counts,
+        affinity_checked: audit.checked,
+        affinity_violations: audit.violations,
+        violation_details: audit.details,
+        final_epoch: final_stats.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+        final_healthy: nodes_in_state(&final_stats, "healthy").len(),
+    })
+}
+
+/// Formats the cluster-soak report from a finished [`ClusterSoak`],
+/// enforcing every invariant.
+///
+/// # Errors
+///
+/// Any invariant violation: unanswered requests, a silent hedge, a
+/// missed eviction or rejoin, a wrong kill count, fault-count drift,
+/// an affinity violation, or a cluster that did not heal.
+pub fn report(c: &ClusterSoak) -> Result<String, String> {
+    let mut out =
+        String::from("Cluster soak (sram-cluster): failover under a consistent-hash router\n\n");
+    out.push_str(&format!(
+        "  soak:     {} requests over 2 waves x {CLIENTS} clients -> {} answered exactly once\n",
+        c.requests, c.answered
+    ));
+    out.push_str(&format!(
+        "            {} internal replies (worker panics forwarded), {} busy\n",
+        c.internal_replies, c.busy_replies
+    ));
+    out.push_str(&format!(
+        "  routing:  hedges fired {}, failovers {}, pool retries {}\n",
+        c.hedge_fired, c.failovers, c.retries
+    ));
+    out.push_str(&format!(
+        "  failover: {} evicted, {} rejoined ({} injected kill); final epoch {}, {}/{} healthy\n",
+        c.evicted, c.rejoined, c.injected_kills, c.final_epoch, c.final_healthy, c.nodes
+    ));
+    let count_list: Vec<String> = c
+        .counts
+        .iter()
+        .map(|(point, fires)| format!("{point}={fires}"))
+        .collect();
+    out.push_str(&format!(
+        "  faults:   per-point fires: {}\n",
+        count_list.join(", ")
+    ));
+    out.push_str(&format!(
+        "  affinity: {} same-epoch repeats audited, {} violations\n",
+        c.affinity_checked, c.affinity_violations
+    ));
+
+    if c.answered != c.requests {
+        return Err(format!(
+            "{} of {} requests answered",
+            c.answered, c.requests
+        ));
+    }
+    if c.hedge_fired < 1 {
+        return Err("no hedge fired despite the injected slow characterization".to_owned());
+    }
+    if c.evicted < 1 {
+        return Err("the killed node was never evicted".to_owned());
+    }
+    if c.rejoined < 1 {
+        return Err("the respawned node never rejoined the ring".to_owned());
+    }
+    if c.injected_kills != 1 {
+        return Err(format!(
+            "expected exactly 1 injected node kill, saw {}",
+            c.injected_kills
+        ));
+    }
+    if c.counts != expected_counts() {
+        return Err(format!("fault counts drifted: {:?}", c.counts));
+    }
+    if c.affinity_violations != 0 {
+        return Err(format!(
+            "{} affinity violations:\n{}",
+            c.affinity_violations,
+            c.violation_details.join("\n")
+        ));
+    }
+    if c.affinity_checked < 1 {
+        return Err("the affinity audit never saw a same-epoch repeat".to_owned());
+    }
+    if c.final_healthy != c.nodes {
+        return Err(format!(
+            "cluster never healed: {}/{} nodes healthy at the end",
+            c.final_healthy, c.nodes
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs the soak and renders the invariant-checked report.
+///
+/// # Errors
+///
+/// Propagates [`soak`] failures and [`report`] invariant violations.
+pub fn run(threads: usize) -> Result<String, String> {
+    report(&soak(threads)?)
+}
+
+// The soak installs a process-global fault plan, so its end-to-end
+// test lives in `tests/cluster_soak.rs` (its own process). Only
+// global-free pieces are tested here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_plan_caps_sum_to_the_expected_injection_total() {
+        let total: u64 = expected_counts().iter().map(|(_, fires)| fires).sum();
+        assert_eq!(total, 6, "1 slow + 2 drop + 1 kill + 2 panic");
+        let mut set = sram_faults::ActiveSet::new(&soak_plan());
+        for _ in 0..1_000 {
+            for (point, _) in expected_counts() {
+                set.decide(&point);
+            }
+        }
+        assert_eq!(set.counts(), expected_counts(), "caps bound every point");
+        assert_eq!(set.injected_total(), total);
+    }
+
+    #[test]
+    fn nodes_in_state_reads_the_cluster_stats_shape() {
+        let stats = Json::parse(
+            r#"{"status":"ok","nodes":[
+                {"node":"127.0.0.1:1","state":"healthy","revision":3,"failures":0},
+                {"node":"127.0.0.1:2","state":"down","revision":0,"failures":2},
+                {"node":"127.0.0.1:3","state":"healthy","revision":2,"failures":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            nodes_in_state(&stats, "healthy"),
+            vec!["127.0.0.1:1".to_owned(), "127.0.0.1:3".to_owned()]
+        );
+        assert_eq!(
+            nodes_in_state(&stats, "down"),
+            vec!["127.0.0.1:2".to_owned()]
+        );
+        assert!(nodes_in_state(&Json::parse("{}").unwrap(), "down").is_empty());
+    }
+
+    fn healthy_outcome() -> ClusterSoak {
+        ClusterSoak {
+            nodes: NODES,
+            requests: 64,
+            answered: 64,
+            internal_replies: 2,
+            busy_replies: 0,
+            hedge_fired: 5,
+            failovers: 1,
+            retries: 2,
+            evicted: 1,
+            rejoined: 1,
+            injected_kills: 1,
+            counts: expected_counts(),
+            affinity_checked: 40,
+            affinity_violations: 0,
+            violation_details: Vec::new(),
+            final_epoch: 4,
+            final_healthy: NODES,
+        }
+    }
+
+    #[test]
+    fn report_names_the_invariants() {
+        let text = report(&healthy_outcome()).expect("healthy outcome renders");
+        assert!(text.contains("answered exactly once"));
+        assert!(text.contains("1 evicted, 1 rejoined"));
+        assert!(text.contains("0 violations"));
+    }
+
+    type Sabotage = fn(&mut ClusterSoak);
+
+    #[test]
+    fn report_rejects_each_broken_invariant() {
+        let broken: [(&str, Sabotage); 8] = [
+            ("answered", |c| c.answered -= 1),
+            ("hedge", |c| c.hedge_fired = 0),
+            ("evicted", |c| c.evicted = 0),
+            ("rejoined", |c| c.rejoined = 0),
+            ("kills", |c| c.injected_kills = 2),
+            ("counts", |c| c.counts.clear()),
+            ("affinity", |c| c.affinity_violations = 1),
+            ("healed", |c| c.final_healthy = 2),
+        ];
+        for (label, sabotage) in broken {
+            let mut c = healthy_outcome();
+            sabotage(&mut c);
+            assert!(report(&c).is_err(), "{label} violation must be fatal");
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`trajectory`] | Performance trajectory: search throughput, cache latency, trace overhead |
 //! | [`chaos`] | Chaos soak: deterministic fault injection under multi-client load |
 //! | [`telemetry`] | Telemetry soak: windowed metrics, SLO health, sampled tracing under load |
+//! | [`cluster`] | Cluster soak: router failover, hedging, and key affinity over 3 nodes |
 //! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
@@ -28,6 +29,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod cli;
+pub mod cluster;
 pub mod extensions;
 pub mod fig2;
 pub mod fig3;

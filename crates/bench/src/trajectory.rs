@@ -3,7 +3,7 @@
 //! layer itself — written to `BENCH_trajectory.json` for CI trend
 //! tracking.
 //!
-//! Four phases:
+//! Five phases:
 //!
 //! 1. **search** — characterize + optimize one technology through the
 //!    framework directly (no serving layer), reporting wall times and
@@ -11,13 +11,19 @@
 //! 2. **serve** — the same optimization through a fresh [`Engine`]:
 //!    cold wall time, cached-repeat latency, and a TCP `stats` round
 //!    trip that must return a non-empty probe snapshot.
-//! 3. **trace** — the same optimization through a fresh engine in
+//! 3. **router** — the same optimization through a one-node cluster
+//!    router: cold wall time via the router, then the warm cache-hit
+//!    round trip via the router against the same hit dialed straight
+//!    at the node — the difference is the router's per-request
+//!    overhead (forward thread + extra TCP hop), tracked per run in
+//!    the history file.
+//! 4. **trace** — the same optimization through a fresh engine in
 //!    *full-simulation* mode with `"trace": true` (the paper-model
 //!    characterization is analytic and never enters the spice or cell
 //!    layers): the captured events must export well-formed Chrome JSON
 //!    and the flame summary must name spans from all four instrumented
 //!    layers (`spice`, `cell`, `coopt`, `serve`).
-//! 4. **overhead** — a microbenchmark of the *disabled* `trace_span!`
+//! 5. **overhead** — a microbenchmark of the *disabled* `trace_span!`
 //!    fast path. The per-call cost times the span count of the traced
 //!    run, divided by that run's wall time, bounds what its span sites
 //!    would cost with tracing off; the bound must stay under
@@ -80,6 +86,15 @@ pub struct Trajectory {
     pub cache_speedup: f64,
     /// Did the TCP `stats` query return a non-empty probe snapshot?
     pub stats_ok: bool,
+    /// Cold (uncached) wall time via the one-node router, nanoseconds.
+    pub router_cold_ns: u128,
+    /// Warm cache-hit round trip via the router, nanoseconds.
+    pub router_hit_ns: u128,
+    /// The same warm cache hit dialed straight at the node, nanoseconds.
+    pub direct_hit_ns: u128,
+    /// `router_hit_ns - direct_hit_ns`: the router's per-request cost
+    /// (may be noisy-negative on a loaded machine).
+    pub router_overhead_ns: f64,
     /// Spans captured by the traced run.
     pub trace_spans: usize,
     /// Events overwritten by ring overflow during the traced run.
@@ -241,7 +256,52 @@ pub fn bench(threads: usize) -> Result<Trajectory, String> {
         return Err(format!("stats phase: empty snapshot: {}", stats.render()));
     }
 
-    // Phase 3: traced run on a fresh engine in full-simulation mode,
+    // Phase 3: the same workload through a one-node cluster router —
+    // the cold forward, then the warm cache hit via the router against
+    // the same hit dialed straight at the node. The difference is the
+    // router's per-request overhead.
+    let node = sram_serve::spawn_local_node("127.0.0.1:0", 2, 16).map_err(|e| e.to_string())?;
+    let router = sram_cluster::Router::start(sram_cluster::RouterConfig {
+        nodes: vec![node.local_addr().to_string()],
+        replicas: 1,
+        ..sram_cluster::RouterConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let mut via_router = Client::connect(router.local_addr()).map_err(|e| e.to_string())?;
+    let line = workload_line(false);
+    let started = Instant::now();
+    let cold = via_router.call_line(&line).map_err(|e| e.to_string())?;
+    let router_cold_ns = started.elapsed().as_nanos();
+    let started = Instant::now();
+    let warm = via_router.call_line(&line).map_err(|e| e.to_string())?;
+    let router_hit_ns = started.elapsed().as_nanos().max(1);
+    if cold.get("status").and_then(Json::as_str) != Some("ok")
+        || warm.get("cached").and_then(Json::as_bool) != Some(true)
+        || warm.get("via").and_then(Json::as_str) != Some("primary")
+    {
+        return Err(format!(
+            "router phase: warm repeat was not a primary-routed cache hit: {}",
+            warm.render()
+        ));
+    }
+    drop(via_router);
+    let mut direct = Client::connect(node.local_addr()).map_err(|e| e.to_string())?;
+    // Untimed warm-up: the via-router hit rode a connection the cold
+    // call had already warmed (accept, connection thread, first read);
+    // give the direct path the same warm transport before timing.
+    direct.call_line(&line).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let warm = direct.call_line(&line).map_err(|e| e.to_string())?;
+    let direct_hit_ns = started.elapsed().as_nanos().max(1);
+    if warm.get("cached").and_then(Json::as_bool) != Some(true) {
+        return Err("router phase: direct repeat was not a cache hit".into());
+    }
+    drop(direct);
+    router.shutdown();
+    node.shutdown();
+    let router_overhead_ns = router_hit_ns as f64 - direct_hit_ns as f64;
+
+    // Phase 4: traced run on a fresh engine in full-simulation mode,
     // so the LUT pass actually solves device equations and the capture
     // holds spice and cell spans alongside coopt and serve spans (the
     // paper model is analytic and would skip those layers entirely).
@@ -285,7 +345,7 @@ pub fn bench(threads: usize) -> Result<Trajectory, String> {
         ));
     }
 
-    // Phase 4: disabled-path microbenchmark.
+    // Phase 5: disabled-path microbenchmark.
     sram_probe::trace::set_tracing(false);
     let iters: u64 = if smoke { 200_000 } else { 2_000_000 };
     let started = Instant::now();
@@ -312,6 +372,10 @@ pub fn bench(threads: usize) -> Result<Trajectory, String> {
         cache_hit_ns,
         cache_speedup: serve_cold_ns as f64 / cache_hit_ns as f64,
         stats_ok,
+        router_cold_ns,
+        router_hit_ns,
+        direct_hit_ns,
+        router_overhead_ns,
         trace_spans,
         trace_dropped,
         chrome_bytes,
@@ -348,6 +412,15 @@ pub fn to_json(t: &Trajectory, unix_ms: u64) -> String {
                 ("cache_hit_ns".into(), num(t.cache_hit_ns as f64)),
                 ("cache_speedup".into(), num(t.cache_speedup)),
                 ("stats_ok".into(), Json::Bool(t.stats_ok)),
+            ]),
+        ),
+        (
+            "router".into(),
+            Json::Obj(vec![
+                ("cold_ns".into(), num(t.router_cold_ns as f64)),
+                ("via_hit_ns".into(), num(t.router_hit_ns as f64)),
+                ("direct_hit_ns".into(), num(t.direct_hit_ns as f64)),
+                ("overhead_ns".into(), num(t.router_overhead_ns)),
             ]),
         ),
         (
@@ -419,7 +492,7 @@ pub fn run(threads: usize) -> Result<String, String> {
     std::fs::write(OUTPUT_FILE, &json)
         .map_err(|e| format!("failed to write {OUTPUT_FILE}: {e}"))?;
 
-    let mut out = String::from("Performance trajectory (search -> serve -> trace)\n\n");
+    let mut out = String::from("Performance trajectory (search -> serve -> router -> trace)\n\n");
     out.push_str(&format!(
         "  search:   characterize {:.2} s, optimize {:.2} s, {} points ({:.0} points/s)\n",
         t.characterize_wall_s, t.optimize_wall_s, t.examined, t.points_per_s
@@ -430,6 +503,13 @@ pub fn run(threads: usize) -> Result<String, String> {
         t.cache_hit_ns as f64 / 1e3,
         t.cache_speedup,
         if t.stats_ok { "ok" } else { "EMPTY" }
+    ));
+    out.push_str(&format!(
+        "  router:   cold {:.2} ms -> via-router hit {:.1} us vs direct {:.1} us ({:+.1} us overhead)\n",
+        t.router_cold_ns as f64 / 1e6,
+        t.router_hit_ns as f64 / 1e3,
+        t.direct_hit_ns as f64 / 1e3,
+        t.router_overhead_ns / 1e3
     ));
     out.push_str(&format!(
         "  trace:    {} spans ({} dropped), Chrome export {} bytes ({}), layers {}\n",
@@ -465,6 +545,8 @@ mod tests {
     fn trajectory_bench_meets_every_invariant() {
         let t = bench(2).expect("trajectory bench runs");
         assert!(t.stats_ok);
+        assert!(t.router_cold_ns > 0);
+        assert!(t.router_hit_ns > 0 && t.direct_hit_ns > 0);
         assert!(t.chrome_valid);
         assert!(t.layers_ok);
         assert!(t.trace_spans > 0);
@@ -486,6 +568,10 @@ mod tests {
             cache_hit_ns: 1_000,
             cache_speedup: 1000.0,
             stats_ok: true,
+            router_cold_ns: 2_000_000,
+            router_hit_ns: 2_000,
+            direct_hit_ns: 1_200,
+            router_overhead_ns: 800.0,
             trace_spans: 42,
             trace_dropped: 0,
             chrome_bytes: 1234,
@@ -496,9 +582,17 @@ mod tests {
             disabled_overhead_ratio: 0.0001,
         };
         let json = Json::parse(&to_json(&t, 1_754_000_000_000)).expect("renders valid JSON");
-        for key in ["unix_ms", "smoke", "threads", "search", "serve", "trace"] {
+        for key in [
+            "unix_ms", "smoke", "threads", "search", "serve", "router", "trace",
+        ] {
             assert!(json.get(key).is_some(), "missing {key}");
         }
+        assert_eq!(
+            json.get("router")
+                .and_then(|r| r.get("overhead_ns"))
+                .and_then(Json::as_f64),
+            Some(800.0)
+        );
         assert!(json
             .get("trace")
             .and_then(|t| t.get("disabled_overhead_ratio"))

@@ -1,0 +1,26 @@
+//! End-to-end cluster-soak run. Lives in its own test binary (own
+//! process) because the soak installs a process-global fault plan that
+//! would otherwise leak its node kill and panics into unrelated tests.
+
+use sram_bench::cluster;
+
+#[test]
+fn cluster_soak_fails_over_and_preserves_affinity() {
+    let c = cluster::soak(2).expect("soak runs");
+    assert_eq!(c.answered, c.requests, "exactly-once accounting");
+    assert!(c.hedge_fired >= 1, "slow characterization forces a hedge");
+    assert!(c.evicted >= 1, "the killed node is evicted");
+    assert!(c.rejoined >= 1, "the respawned node rejoins");
+    assert_eq!(c.injected_kills, 1, "exactly one injected kill");
+    assert_eq!(c.affinity_violations, 0, "{:?}", c.violation_details);
+    assert!(
+        c.affinity_checked >= 1,
+        "repeat queries exercise the affinity audit"
+    );
+    assert_eq!(c.final_healthy, c.nodes, "the cluster heals completely");
+    assert!(c.final_epoch > 0, "membership churn bumps the ring epoch");
+
+    let text = cluster::report(&c).expect("healthy soak renders a report");
+    assert!(text.contains("answered exactly once"));
+    assert!(text.contains("violations"));
+}

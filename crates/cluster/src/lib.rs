@@ -1,0 +1,63 @@
+//! `sram-cluster` — a sharded serve cluster: consistent-hash router,
+//! hedged requests, and health-driven failover over N `sram-serve`
+//! nodes.
+//!
+//! One `sram-serve` process has one job queue and one in-process
+//! cache; the ROADMAP's "heavy traffic" north star needs scale-out.
+//! This crate adds the missing layer without touching the wire
+//! protocol: a [`Router`] binds the same line-delimited JSON front
+//! door the nodes speak and
+//!
+//! * **shards by content** — each query's canonical content-addressed
+//!   key ([`sram_serve::Query::key`]) is placed on a consistent-hash
+//!   [`Ring`] of virtual nodes, so the same question always lands on
+//!   the node whose LRU already holds the answer (cache affinity), and
+//!   a membership change moves only ~`1/N` of the key space;
+//! * **hedges the tail** — a second replica is fired after a
+//!   windowed-p99-derived delay when the primary is slow; first reply
+//!   wins, the loser observes a shared
+//!   [`CancelToken`](sram_faults::CancelToken) and discards its reply;
+//! * **drains and rebalances from health** — a background poller walks
+//!   every node's `health` op (using its monotonic `revision` to skip
+//!   stale snapshots) through a healthy → draining → down state
+//!   machine that drives ring membership, with bounded retry + backoff
+//!   on every forwarding path;
+//! * **reports itself** — `cluster.*` probes, windowed telemetry, and
+//!   a router-local, never-cached `cluster-stats` op.
+//!
+//! Deployment knobs are the `SRAM_CLUSTER_NODES`,
+//! `SRAM_CLUSTER_REPLICAS`, `SRAM_CLUSTER_HEDGE_MS`, and
+//! `SRAM_CLUSTER_VNODES` environment variables
+//! ([`RouterConfig::from_env`]); in-process clusters (tests, the
+//! `cluster-soak` reproducer) fill [`RouterConfig`] directly and spawn
+//! nodes with [`sram_serve::spawn_local_node`]. See DESIGN.md §14 for
+//! the design rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod poller;
+mod pool;
+mod ring;
+mod router;
+
+pub mod affinity;
+
+pub use poller::{NodeState, NodeStatus, DOWN_AFTER_FAILURES};
+pub use ring::{splitmix64, Ring, DEFAULT_VNODES};
+pub use router::{Router, RouterConfig};
+
+/// Comma-separated backend node addresses for a router launched from
+/// the environment ([`RouterConfig::from_env`]).
+pub const SRAM_CLUSTER_NODES_ENV: &str = "SRAM_CLUSTER_NODES";
+
+/// Distinct ring candidates tried per key (primary + hedge/failover
+/// targets); default 2.
+pub const SRAM_CLUSTER_REPLICAS_ENV: &str = "SRAM_CLUSTER_REPLICAS";
+
+/// Floor (and cold-start value) of the derived hedge delay in
+/// milliseconds; default 10.
+pub const SRAM_CLUSTER_HEDGE_MS_ENV: &str = "SRAM_CLUSTER_HEDGE_MS";
+
+/// Virtual nodes per ring member; default 64.
+pub const SRAM_CLUSTER_VNODES_ENV: &str = "SRAM_CLUSTER_VNODES";

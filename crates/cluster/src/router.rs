@@ -1,0 +1,717 @@
+//! The router: one TCP front door over N serve nodes.
+//!
+//! Requests arrive on the same line-delimited JSON protocol the nodes
+//! speak, so a client cannot tell a router from a node — except that
+//! the router stamps every forwarded reply with `"node"` (which node
+//! answered), `"epoch"` (the ring generation it routed under), and
+//! `"via"` (`primary`/`hedge`/`failover`), which is what lets the
+//! cluster soak audit affinity externally.
+//!
+//! Routing policy per op:
+//!
+//! * **query ops** (`optimize`, `evaluate-point`, …) — consistent-hash
+//!   the request's canonical content-addressed key onto the ring and
+//!   forward to the primary owner. Cache affinity falls out: the same
+//!   canonical query always lands on the node whose LRU already holds
+//!   it. If the primary is slow, a second replica is hedged after a
+//!   windowed-p99-derived delay; first reply wins, the loser observes
+//!   a shared [`CancelToken`] and discards its reply. A transport
+//!   failure fails over to the next ring candidate immediately.
+//! * **introspection ops** (`stats`, `metrics`, `health`) — never
+//!   cached and meaningless to shard: fan out to every configured node
+//!   and return the per-node replies under `"nodes"`.
+//! * **`cluster-stats`** — answered by the router itself (the nodes
+//!   would reject the op): ring membership, per-node poller state, and
+//!   the router's own counters. Never cached, never forwarded.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sram_faults::CancelToken;
+use sram_serve::{error_response, Json, Request, ServeError};
+
+use crate::poller::{poll_loop, Membership};
+use crate::pool::Pool;
+use crate::ring::DEFAULT_VNODES;
+
+/// Hedge delay is recomputed from the telemetry window at most this
+/// often — the export walks every counter, too heavy per request.
+const HEDGE_RECOMPUTE: Duration = Duration::from_millis(250);
+
+/// Upper bound on the derived hedge delay: beyond this a hedge no
+/// longer rescues tail latency, it just doubles load.
+const HEDGE_CAP_MS: f64 = 250.0;
+
+/// Router sizing and timing knobs. [`RouterConfig::from_env`] reads
+/// the `SRAM_CLUSTER_*` family; in-process clusters set fields
+/// directly.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Backend node addresses (static membership; the ring holds the
+    /// healthy subset).
+    pub nodes: Vec<String>,
+    /// Distinct ring candidates tried per key: the primary plus
+    /// `replicas - 1` hedge/failover targets.
+    pub replicas: usize,
+    /// Floor (and cold-start value) for the hedge delay, milliseconds.
+    pub hedge_ms: u64,
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+    /// Health-poll cadence.
+    pub poll_interval: Duration,
+    /// Per-attempt node read timeout.
+    pub node_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            nodes: Vec::new(),
+            replicas: 2,
+            hedge_ms: 10,
+            vnodes: DEFAULT_VNODES,
+            poll_interval: Duration::from_millis(25),
+            node_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Reads the `SRAM_CLUSTER_NODES` / `SRAM_CLUSTER_REPLICAS` /
+    /// `SRAM_CLUSTER_HEDGE_MS` / `SRAM_CLUSTER_VNODES` environment
+    /// family over the defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Ok(nodes) = std::env::var(crate::SRAM_CLUSTER_NODES_ENV) {
+            config.nodes = nodes
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect();
+        }
+        if let Some(v) = env_u64(crate::SRAM_CLUSTER_REPLICAS_ENV) {
+            config.replicas = (v as usize).max(1);
+        }
+        if let Some(v) = env_u64(crate::SRAM_CLUSTER_HEDGE_MS_ENV) {
+            config.hedge_ms = v;
+        }
+        if let Some(v) = env_u64(crate::SRAM_CLUSTER_VNODES_ENV) {
+            config.vnodes = (v as usize).max(1);
+        }
+        config
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Cached hedge-delay derivation (see [`hedge_delay`]).
+struct HedgeState {
+    computed_at: Option<Instant>,
+    delay: Duration,
+}
+
+/// State shared by the acceptor, connection threads, and poller.
+struct RouterInner {
+    config: RouterConfig,
+    membership: Mutex<Membership>,
+    pool: Pool,
+    hedge: Mutex<HedgeState>,
+}
+
+/// How an attempt reached its node — stamped onto the reply.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Via {
+    Primary,
+    Hedge,
+    Failover,
+}
+
+impl Via {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Primary => "primary",
+            Self::Hedge => "hedge",
+            Self::Failover => "failover",
+        }
+    }
+}
+
+/// A running router; [`Router::shutdown`] (or drop) stops it.
+pub struct Router {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    poller: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Binds the front door and starts the acceptor and health poller.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or [`ServeError::Protocol`] when `config.nodes`
+    /// is empty (a router with nothing behind it can only say busy).
+    pub fn start(config: RouterConfig) -> Result<Self, ServeError> {
+        if config.nodes.is_empty() {
+            return Err(ServeError::Protocol(
+                "router config names no backend nodes".into(),
+            ));
+        }
+        let listener = bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        sram_probe::telemetry::start();
+        let inner = Arc::new(RouterInner {
+            membership: Mutex::new(Membership::seed(&config.nodes, config.vnodes)),
+            pool: Pool::new(Some(config.node_timeout)),
+            hedge: Mutex::new(HedgeState {
+                computed_at: None,
+                delay: Duration::from_millis(config.hedge_ms.max(1)),
+            }),
+            config,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let poller = {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                poll_loop(
+                    &inner.membership,
+                    &inner.config.nodes,
+                    &stop,
+                    inner.config.poll_interval,
+                    inner.config.node_timeout,
+                );
+            })
+        };
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &inner, &stop, &conns);
+            })
+        };
+
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            poller: Some(poller),
+            conns,
+        })
+    }
+
+    /// The actual bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, join connections, join the
+    /// poller.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            conns.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(poller) = self.poller.take() {
+            let _ = poller.join();
+        }
+        sram_probe::telemetry::stop();
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || self.poller.is_some() {
+            self.halt();
+        }
+    }
+}
+
+fn bind(addr: &str) -> Result<TcpListener, ServeError> {
+    let mut last: Option<std::io::Error> = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpListener::bind(candidate) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(ServeError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        )
+    })))
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inner: &Arc<RouterInner>,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let poll = inner.config.poll_interval;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let inner = Arc::clone(inner);
+                let stop = Arc::clone(stop);
+                let handle = std::thread::spawn(move || {
+                    connection_loop(stream, &inner, &stop);
+                });
+                conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(poll);
+            }
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+/// Serves one client: read a line, route it, write exactly one reply
+/// line. The one-in/one-out structure is what makes "zero dropped or
+/// duplicate replies" a property of the code rather than a hope.
+fn connection_loop(stream: TcpStream, inner: &Arc<RouterInner>, stop: &AtomicBool) {
+    use std::io::{BufRead, BufReader, Write};
+    let poll = inner.config.poll_interval;
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    continue; // timeout split the line; keep reading
+                }
+                let response = handle_line(inner, line.trim_end());
+                line.clear();
+                let mut payload = response.render();
+                payload.push('\n');
+                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one request line to a reply.
+fn handle_line(inner: &Arc<RouterInner>, line: &str) -> Json {
+    let Ok(parsed) = Json::parse(line) else {
+        sram_probe::probe_inc!("cluster.request.parse_errors");
+        return error_response(
+            None,
+            &ServeError::Protocol("request is not valid JSON".into()),
+        );
+    };
+    let id = parsed.get("id").and_then(Json::as_str).map(str::to_owned);
+    let op = parsed.get("op").and_then(Json::as_str).unwrap_or("");
+    if op == "cluster-stats" {
+        return cluster_stats(inner, id.as_deref());
+    }
+    // Same strictness as a node: a request the nodes would reject is
+    // rejected here, without burning a forward on it.
+    let request = match Request::from_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            sram_probe::probe_inc!("cluster.request.parse_errors");
+            return error_response(id.as_deref(), &e);
+        }
+    };
+    if matches!(op, "stats" | "metrics" | "health") {
+        return fan_out(inner, id.as_deref(), line, op);
+    }
+    let key = request.query.key();
+    let (candidates, epoch) = {
+        let guard = inner
+            .membership
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        (
+            guard.ring.candidates(key, inner.config.replicas.max(1)),
+            guard.ring.epoch(),
+        )
+    };
+    if candidates.is_empty() {
+        // No healthy node: tell the client to retry (`busy` is the
+        // protocol's retryable backpressure reply).
+        return error_response(id.as_deref(), &ServeError::Busy);
+    }
+    forward(inner, line, id.as_deref(), &candidates, epoch)
+}
+
+/// Forwards a query line to its ring candidates with hedging and
+/// failover; returns exactly one reply.
+fn forward(
+    inner: &Arc<RouterInner>,
+    line: &str,
+    id: Option<&str>,
+    candidates: &[String],
+    epoch: u64,
+) -> Json {
+    sram_probe::probe_inc!("cluster.request.routed");
+    let (tx, rx) = mpsc::channel::<(usize, Via, Result<Json, ServeError>)>();
+    let token = CancelToken::never();
+    let spawn_attempt = |index: usize, via: Via| {
+        let inner = Arc::clone(inner);
+        let addr = candidates[index].clone();
+        let line = line.to_owned();
+        let tx = tx.clone();
+        let token = token.clone();
+        std::thread::spawn(move || {
+            if token.is_cancelled() {
+                // Cancelled before the wire was touched: the race was
+                // already decided, don't load the node at all.
+                sram_probe::counter("cluster.hedge.cancelled").inc();
+                return;
+            }
+            let started = Instant::now();
+            let result = inner.pool.call(&addr, &line);
+            if result.is_ok() {
+                let ns = started.elapsed().as_nanos() as u64;
+                sram_probe::probe_record!("cluster.forward.latency_ns", ns);
+                // Ungated: the hedge-delay derivation needs the p99
+                // stream even with probes off.
+                sram_probe::telemetry::record("cluster.forward.latency_ns", ns);
+            }
+            if token.is_cancelled() {
+                // Lost the race after doing the work: the hedged twin
+                // already answered the client, so this reply is
+                // discarded — the loser-cancel half of hedging.
+                sram_probe::counter("cluster.hedge.cancelled").inc();
+                return;
+            }
+            let _ = tx.send((index, via, result));
+        });
+    };
+
+    spawn_attempt(0, Via::Primary);
+    let mut spawned = 1usize;
+    let mut failed = 0usize;
+    let mut hedged = false;
+    let hedge_after = hedge_delay(inner);
+    // Hard ceiling on this forward: every candidate gets its timeout,
+    // plus slack. A request can never outwait this — "no hangs" is the
+    // soak's first invariant.
+    let deadline = Instant::now()
+        + inner
+            .config
+            .node_timeout
+            .saturating_mul(candidates.len().max(1) as u32)
+        + Duration::from_secs(1);
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let remaining = deadline - now;
+        let wait = if !hedged && spawned < candidates.len() {
+            hedge_after.min(remaining)
+        } else {
+            remaining
+        };
+        match rx.recv_timeout(wait) {
+            Ok((index, via, Ok(mut reply))) => {
+                token.cancel();
+                if via == Via::Hedge {
+                    sram_probe::counter("cluster.hedge.wins").inc();
+                }
+                if let Json::Obj(pairs) = &mut reply {
+                    pairs.push(("node".into(), Json::Str(candidates[index].clone())));
+                    pairs.push(("epoch".into(), Json::Num(epoch as f64)));
+                    pairs.push(("via".into(), Json::Str(via.as_str().into())));
+                }
+                return reply;
+            }
+            Ok((_, _, Err(_))) => {
+                failed += 1;
+                if spawned < candidates.len() {
+                    // The pool's bounded retry already ran; this node
+                    // is not answering — move down the ring now rather
+                    // than waiting out the hedge timer.
+                    sram_probe::probe_inc!("cluster.forward.failovers");
+                    spawn_attempt(spawned, Via::Failover);
+                    spawned += 1;
+                } else if failed >= spawned {
+                    // Every candidate failed: retryable backpressure.
+                    return error_response(id, &ServeError::Busy);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !hedged && spawned < candidates.len() {
+                    hedged = true;
+                    // Ungated: CI asserts the hedge fired under the
+                    // soak's injected `cell.slow` latency.
+                    sram_probe::counter("cluster.hedge.fired").inc();
+                    spawn_attempt(spawned, Via::Hedge);
+                    spawned += 1;
+                }
+                // Otherwise keep draining until the deadline.
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    token.cancel();
+    error_response(
+        id,
+        &ServeError::Internal("cluster forward timed out on every candidate".into()),
+    )
+}
+
+/// Derives the hedge delay from the windowed p99 of forward latency:
+/// `clamp(p99 × 1.2, hedge_ms floor, 250 ms cap)`, recomputed at most
+/// every [`HEDGE_RECOMPUTE`]. Cold start (no quantile stream yet)
+/// falls back to the floor, so hedging works from the first request.
+fn hedge_delay(inner: &RouterInner) -> Duration {
+    let mut cached = inner.hedge.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(at) = cached.computed_at {
+        if at.elapsed() < HEDGE_RECOMPUTE {
+            return cached.delay;
+        }
+    }
+    let floor = inner.config.hedge_ms.max(1) as f64;
+    let p99_ms = sram_probe::telemetry::export()
+        .quantiles
+        .get("cluster.forward.latency_ns")
+        .map_or(0.0, |q| q.p99 / 1e6);
+    let ms = (p99_ms * 1.2).clamp(floor, HEDGE_CAP_MS.max(floor));
+    sram_probe::gauge("cluster.hedge.delay_ms").set(ms);
+    cached.computed_at = Some(Instant::now());
+    cached.delay = Duration::from_micros((ms * 1_000.0) as u64);
+    cached.delay
+}
+
+/// Fans an introspection op out to every configured node; the reply
+/// carries each node's answer (or its typed error) under `"nodes"`.
+fn fan_out(inner: &Arc<RouterInner>, id: Option<&str>, line: &str, op: &str) -> Json {
+    sram_probe::probe_inc!("cluster.fanout.requests");
+    let mut nodes: Vec<(String, Json)> = Vec::with_capacity(inner.config.nodes.len());
+    for node in &inner.config.nodes {
+        let reply = inner
+            .pool
+            .call(node, line)
+            .unwrap_or_else(|e| error_response(None, &e));
+        nodes.push((node.clone(), reply));
+    }
+    let mut pairs = vec![
+        ("status".to_owned(), Json::Str("ok".into())),
+        ("op".to_owned(), Json::Str(op.into())),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::Str(id.into())));
+    }
+    pairs.push(("nodes".to_owned(), Json::Obj(nodes)));
+    Json::Obj(pairs)
+}
+
+/// The router-local `cluster-stats` reply: ring membership, per-node
+/// poller state, hedge policy, and the router's counters. Never
+/// cached, never forwarded.
+fn cluster_stats(inner: &Arc<RouterInner>, id: Option<&str>) -> Json {
+    let counter = |name: &'static str| Json::Num(sram_probe::counter(name).get() as f64);
+    let (epoch, members, vnodes, nodes) = {
+        let guard = inner
+            .membership
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let members: Vec<Json> = guard
+            .ring
+            .members()
+            .iter()
+            .map(|m| Json::Str(m.clone()))
+            .collect();
+        let nodes: Vec<Json> = guard
+            .states
+            .iter()
+            .map(|(name, status)| {
+                Json::Obj(vec![
+                    ("node".into(), Json::Str(name.clone())),
+                    ("state".into(), Json::Str(status.state.as_str().into())),
+                    ("revision".into(), Json::Num(status.last_revision as f64)),
+                    ("failures".into(), Json::Num(f64::from(status.failures))),
+                ])
+            })
+            .collect();
+        (guard.ring.epoch(), members, guard.ring.vnodes(), nodes)
+    };
+    let mut pairs = vec![
+        ("status".to_owned(), Json::Str("ok".into())),
+        ("op".to_owned(), Json::Str("cluster-stats".into())),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::Str(id.into())));
+    }
+    pairs.extend([
+        ("epoch".to_owned(), Json::Num(epoch as f64)),
+        (
+            "ring".to_owned(),
+            Json::Obj(vec![
+                ("members".into(), Json::Arr(members)),
+                ("vnodes".into(), Json::Num(vnodes as f64)),
+            ]),
+        ),
+        ("nodes".to_owned(), Json::Arr(nodes)),
+        (
+            "hedge".to_owned(),
+            Json::Obj(vec![
+                (
+                    "delay_ms".into(),
+                    Json::Num(sram_probe::gauge("cluster.hedge.delay_ms").get()),
+                ),
+                ("fired".into(), counter("cluster.hedge.fired")),
+                ("wins".into(), counter("cluster.hedge.wins")),
+                ("cancelled".into(), counter("cluster.hedge.cancelled")),
+            ]),
+        ),
+        (
+            "forward".to_owned(),
+            Json::Obj(vec![
+                ("routed".into(), counter("cluster.request.routed")),
+                ("retries".into(), counter("cluster.forward.retries")),
+                ("failovers".into(), counter("cluster.forward.failovers")),
+            ]),
+        ),
+        (
+            "membership".to_owned(),
+            Json::Obj(vec![
+                ("evicted".into(), counter("cluster.node.evicted")),
+                ("rejoined".into(), counter("cluster.node.rejoined")),
+                ("drained".into(), counter("cluster.node.drained")),
+                ("stale".into(), counter("cluster.health.stale")),
+            ]),
+        ),
+    ]);
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_serve::Client;
+
+    #[test]
+    fn config_from_env_falls_back_to_defaults() {
+        // The suite must not depend on ambient SRAM_CLUSTER_* values;
+        // this asserts the default path only (env overrides are
+        // exercised end-to-end by the soak, which sets fields
+        // directly).
+        let d = RouterConfig::default();
+        assert_eq!(d.replicas, 2);
+        assert_eq!(d.hedge_ms, 10);
+        assert_eq!(d.vnodes, DEFAULT_VNODES);
+        assert!(d.nodes.is_empty());
+    }
+
+    #[test]
+    fn start_refuses_an_empty_node_list() {
+        assert!(Router::start(RouterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn routes_queries_and_answers_cluster_stats_itself() {
+        let node = sram_serve::spawn_local_node("127.0.0.1:0", 2, 16).unwrap();
+        let router = Router::start(RouterConfig {
+            nodes: vec![node.local_addr().to_string()],
+            replicas: 1,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+        let reply = client
+            .call_line(r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#)
+            .unwrap();
+        assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            reply.get("node").and_then(Json::as_str),
+            Some(node.local_addr().to_string().as_str()),
+            "forwarded replies carry the answering node"
+        );
+        assert_eq!(reply.get("via").and_then(Json::as_str), Some("primary"));
+        assert!(reply.get("epoch").and_then(Json::as_u64).is_some());
+
+        // The same canonical query must be a cache hit on the same
+        // node — the affinity the ring exists to provide.
+        let again = client
+            .call_line(r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#)
+            .unwrap();
+        assert_eq!(again.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            again.get("node").and_then(Json::as_str),
+            reply.get("node").and_then(Json::as_str),
+        );
+
+        let stats = client.call_line(r#"{"op":"cluster-stats"}"#).unwrap();
+        assert_eq!(
+            stats.get("op").and_then(Json::as_str),
+            Some("cluster-stats")
+        );
+        assert!(stats.get("epoch").and_then(Json::as_u64).is_some());
+
+        let health = client.call_line(r#"{"op":"health"}"#).unwrap();
+        let nodes = health.get("nodes").unwrap();
+        assert!(
+            nodes
+                .get(&node.local_addr().to_string())
+                .and_then(|n| n.get("result"))
+                .and_then(|r| r.get("verdict"))
+                .and_then(Json::as_str)
+                .is_some(),
+            "health fans out per node: {health:?}"
+        );
+
+        router.shutdown();
+        node.shutdown();
+    }
+}

@@ -1,0 +1,95 @@
+//! Hedged-request end-to-end test: under an injected `cell.slow`
+//! fault on the primary's characterization path, the router fires a
+//! hedge, exactly one reply reaches the client, and the losing attempt
+//! observes the shared cancel token.
+//!
+//! Lives in `tests/` (its own process) because the fault registry is
+//! process-global: installing a plan here must not leak into the
+//! library unit tests.
+
+use std::time::{Duration, Instant};
+
+use sram_cluster::{Router, RouterConfig};
+use sram_faults::{FaultPlan, FaultRule};
+use sram_serve::{Client, Json};
+
+#[test]
+fn hedge_fires_yields_one_reply_and_cancels_the_loser() {
+    // The first characterization anywhere in the process sleeps 400 ms
+    // — far past the 5 ms hedge floor, so whichever node draws it
+    // loses the race by a margin no scheduler jitter can close.
+    sram_faults::install(
+        &FaultPlan::new(0x00DA_C208).rule(FaultRule::always("cell.slow", 1).with_latency_ms(400)),
+    );
+
+    let node_a = sram_serve::spawn_local_node("127.0.0.1:0", 2, 16).unwrap();
+    let node_b = sram_serve::spawn_local_node("127.0.0.1:0", 2, 16).unwrap();
+    let router = Router::start(RouterConfig {
+        nodes: vec![
+            node_a.local_addr().to_string(),
+            node_b.local_addr().to_string(),
+        ],
+        replicas: 2,
+        hedge_ms: 5,
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    let fired_before = sram_probe::counter("cluster.hedge.fired").get();
+    let cancelled_before = sram_probe::counter("cluster.hedge.cancelled").get();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    let reply = client
+        .call_line(
+            r#"{"id":"h1","op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2"}"#,
+        )
+        .unwrap();
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("h1"));
+    assert!(
+        reply.get("via").and_then(Json::as_str).is_some(),
+        "forwarded reply must be stamped with its route: {}",
+        reply.render()
+    );
+
+    // The cold characterization dwarfs the 5 ms hedge floor, so the
+    // hedge must have fired regardless of which node drew the fault.
+    assert!(
+        sram_probe::counter("cluster.hedge.fired").get() > fired_before,
+        "hedge never fired"
+    );
+
+    // Exactly one reply: the very next line on this connection answers
+    // the next request, not a stray duplicate of the first.
+    let stats = client
+        .call_line(r#"{"id":"h2","op":"cluster-stats"}"#)
+        .unwrap();
+    assert_eq!(
+        stats.get("op").and_then(Json::as_str),
+        Some("cluster-stats"),
+        "a duplicate reply was queued ahead of the follow-up: {}",
+        stats.render()
+    );
+    assert_eq!(stats.get("id").and_then(Json::as_str), Some("h2"));
+
+    // Loser-cancel: the slow attempt finishes its 400 ms sleep after
+    // the winner already answered, observes the cancelled token, and
+    // discards its reply.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if sram_probe::counter("cluster.hedge.cancelled").get() > cancelled_before {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "loser never observed the cancel token"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    router.shutdown();
+    node_a.shutdown();
+    node_b.shutdown();
+    sram_faults::uninstall();
+}

@@ -4,7 +4,8 @@
 //!
 //! 1. **Fault injection.** A [`FaultPlan`] names injection points
 //!    (`spice.nonconverge`, `cell.characterize_nan`, `cell.slow`,
-//!    `serve.worker_panic`, `serve.conn_drop`), each with a firing
+//!    `serve.worker_panic`, `serve.conn_drop`, `serve.node_kill`),
+//!    each with a firing
 //!    probability, an optional injected latency, and an optional cap on
 //!    total fires. Installing a plan ([`install`] / `SRAM_FAULTS=plan.json`
 //!    via [`install_from_env`]) arms the process-wide registry; hardened

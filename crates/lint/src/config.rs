@@ -27,7 +27,7 @@ pub const RULES: &[(&str, Level, &str)] = &[
     (
         "thread-discipline",
         Level::Deny,
-        "std::thread::spawn forbidden outside the sanctioned crates (core, serve, faults, probe)",
+        "std::thread::spawn forbidden outside the sanctioned crates (core, serve, faults, probe, cluster)",
     ),
     (
         "doc-coverage",

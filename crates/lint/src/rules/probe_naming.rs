@@ -89,6 +89,7 @@ fn expected_prefixes(crate_name: &str) -> Option<&'static [&'static str]> {
         "bench" => Some(&["bench", "repro"]),
         "lint" => Some(&["lint"]),
         "serve" => Some(&["serve"]),
+        "cluster" => Some(&["cluster"]),
         // The probe crate also owns the telemetry aggregator and the
         // structured event log, which register their own bookkeeping
         // metrics under dedicated namespaces.

@@ -10,7 +10,10 @@
 //! is the third: `CancelToken::cancel_after` arms a timer thread whose
 //! whole purpose is to outlive the calling frame. `crates/probe` is the
 //! fourth: the telemetry aggregator's background sampler thread runs
-//! for the life of the collection window and is joined on `stop()`. A
+//! for the life of the collection window and is joined on `stop()`.
+//! `crates/cluster` is the fifth: the router's acceptor, connection,
+//! health-poller, and hedged-forward threads mirror serve's I/O
+//! threading and are joined on `Router::shutdown`. A
 //! detached `std::thread::spawn` anywhere else would leak work past the
 //! end of an experiment and race the probe registry snapshot; this rule
 //! keeps the policy enforced as configuration rather than as per-line
@@ -23,9 +26,10 @@ use crate::rules::RawDiag;
 /// Crates whose library code may call `std::thread::spawn`: the search
 /// core (owns compute parallelism), the query server (owns I/O
 /// threads, joined on shutdown), the fault layer (cancellation timer
-/// threads), and the probe layer (the telemetry sampler thread, joined
-/// on `telemetry::stop()`).
-const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve", "faults", "probe"];
+/// threads), the probe layer (the telemetry sampler thread, joined
+/// on `telemetry::stop()`), and the cluster router (acceptor, poller,
+/// and hedged-forward threads, joined on `Router::shutdown`).
+const SANCTIONED_SPAWN_CRATES: &[&str] = &["core", "serve", "faults", "probe", "cluster"];
 
 /// Scans one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
@@ -48,7 +52,7 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
                 "thread-discipline",
                 token,
                 "detached `std::thread::spawn` outside the sanctioned crates \
-                 (core, serve, faults, probe)"
+                 (core, serve, faults, probe, cluster)"
                     .to_owned(),
                 Some(
                     "route parallelism through the search layer's scoped threads \
@@ -91,7 +95,7 @@ mod tests {
 
     #[test]
     fn sanctioned_crates_and_tests_are_exempt() {
-        for crate_dir in ["core", "serve", "faults", "probe"] {
+        for crate_dir in ["core", "serve", "faults", "probe", "cluster"] {
             assert!(
                 run(
                     &format!("crates/{crate_dir}/src/a.rs"),

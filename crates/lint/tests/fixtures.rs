@@ -31,11 +31,11 @@ fn in_file<'r>(report: &'r Report, file: &str) -> Vec<&'r Diagnostic> {
 #[test]
 fn every_rule_fires_on_the_fixture_tree() {
     let report = fixture_report();
-    assert_eq!(report.files_scanned, 18, "fixture tree changed shape");
+    assert_eq!(report.files_scanned, 19, "fixture tree changed shape");
     assert_eq!(count(&report, "no-panic"), 6);
     assert_eq!(count(&report, "unit-hygiene"), 1);
     assert_eq!(count(&report, "nan-unsafe"), 2);
-    assert_eq!(count(&report, "probe-naming"), 7);
+    assert_eq!(count(&report, "probe-naming"), 8);
     assert_eq!(count(&report, "thread-discipline"), 1);
     assert_eq!(count(&report, "doc-coverage"), 2);
     assert_eq!(count(&report, "registry-sync"), 2);
@@ -45,7 +45,7 @@ fn every_rule_fires_on_the_fixture_tree() {
     assert_eq!(count(&report, "suppression-syntax"), 1);
     assert_eq!(count(&report, "unused-suppression"), 2);
     assert_eq!(count(&report, "parse-error"), 1);
-    assert_eq!(report.diagnostics.len(), 32);
+    assert_eq!(report.diagnostics.len(), 33);
     assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
 }
 
@@ -163,15 +163,15 @@ fn warn_level_keeps_exit_clean() {
     }
     let report = run(&fixture_root(), &config).expect("fixture tree readable");
     assert_eq!(report.deny_count(), 0);
-    assert_eq!(report.warn_count(), 32);
+    assert_eq!(report.warn_count(), 33);
 }
 
 #[test]
 fn json_rendering_of_the_fixture_report_is_well_formed() {
     let report = fixture_report();
     let json = report.render_json();
-    assert!(json.contains("\"files_scanned\": 18"));
-    assert!(json.contains("\"counts\": {\"deny\": 32, \"warn\": 0}"));
+    assert!(json.contains("\"files_scanned\": 19"));
+    assert!(json.contains("\"counts\": {\"deny\": 33, \"warn\": 0}"));
     // Balanced braces/brackets outside strings — cheap well-formedness
     // check without a JSON parser in the dependency-free workspace.
     let mut depth = 0i32;
@@ -244,6 +244,22 @@ fn probe_crate_fixture_is_sanctioned_but_namespaced() {
     assert_eq!(diags[0].rule, "probe-naming");
     assert!(
         diags[0].message.contains("metrics.wrong_home"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn cluster_crate_fixture_is_sanctioned_but_namespaced() {
+    // PR 8's satellite: the router crate's detached spawns are exempt
+    // from thread-discipline, but its metrics must live under
+    // `cluster.` — the wrong-prefix registration is the only finding.
+    let report = fixture_report();
+    let diags = in_file(&report, "crates/cluster/src/bad_cluster.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "probe-naming");
+    assert!(
+        diags[0].message.contains("node.evicted_fixture"),
         "{}",
         diags[0].message
     );

@@ -70,3 +70,83 @@ impl Client {
         Json::parse(reply.trim_end()).map_err(|e| ServeError::Protocol(e.to_string()))
     }
 }
+
+/// A reusable connection to one serve node that survives node restarts.
+///
+/// [`Client`] is a thin wrapper over one TCP stream: when the stream
+/// dies (node restarted, connection dropped by a fault plan), every
+/// later call fails. `NodeConn` is the router-side upgrade — it dials
+/// lazily on first use, and when a call fails it tears the connection
+/// down so the *next* call redials from scratch. The failed call still
+/// reports its error: the caller decides whether to retry, hedge, or
+/// fail over, so a half-written request is never silently resent.
+pub struct NodeConn {
+    addr: String,
+    timeout: Option<Duration>,
+    conn: Option<Client>,
+}
+
+impl NodeConn {
+    /// Creates a connection handle without dialing; the first call
+    /// connects.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, timeout: Option<Duration>) -> Self {
+        Self {
+            addr: addr.into(),
+            timeout,
+            conn: None,
+        }
+    }
+
+    /// The node address this handle dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether a live (last call succeeded) connection is being held.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Drops the held connection; the next call redials.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn ensure(&mut self) -> Result<&mut Client, ServeError> {
+        match self.conn {
+            Some(ref mut client) => Ok(client),
+            ref mut slot => {
+                let mut client = Client::connect(&self.addr)?;
+                client.set_timeout(self.timeout)?;
+                Ok(slot.insert(client))
+            }
+        }
+    }
+
+    /// Sends one raw request line, dialing or redialing as needed.
+    ///
+    /// # Errors
+    ///
+    /// Connection or I/O failures (the handle disconnects itself so the
+    /// next call redials), or [`ServeError::Protocol`] on a malformed
+    /// reply (the connection is kept — the transport itself is fine).
+    pub fn call_line(&mut self, line: &str) -> Result<Json, ServeError> {
+        let result = self.ensure().and_then(|c| c.call_line(line));
+        if matches!(result, Err(ServeError::Io(_)) | Err(ServeError::Remote(_))) {
+            self.disconnect();
+        }
+        result
+    }
+
+    /// Sends a typed request, dialing or redialing as needed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::call_line`].
+    pub fn call(&mut self, request: &Request) -> Result<Json, ServeError> {
+        self.call_line(&request.to_json().render())
+    }
+}

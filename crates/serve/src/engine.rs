@@ -76,6 +76,7 @@ pub struct Engine {
     cross_coalesced: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    health_revision: AtomicU64,
     started: Instant,
 }
 
@@ -92,6 +93,7 @@ impl Engine {
             cross_coalesced: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            health_revision: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -608,8 +610,17 @@ impl Engine {
     /// counters), queue pressure, windowed expiry/reject rates, and
     /// per-op SLO burn ([`crate::slo`]). This is the contract a
     /// cluster router polls to decide hedging, draining, or failover.
+    ///
+    /// Each reply carries a monotonic `revision` counter (and mirrors
+    /// it to the ungated `serve.health.revision` gauge) so a poller
+    /// that interleaves snapshots across reconnects can cheaply detect
+    /// a stale or out-of-order reply: a revision at or below the last
+    /// one seen from this process is old news and should be skipped.
     #[must_use]
     pub fn health_json(&self) -> Json {
+        let revision = self.health_revision.fetch_add(1, Ordering::Relaxed) + 1;
+        // Ungated direct handle: health must report with probes off.
+        sram_probe::gauge("serve.health.revision").set(revision as f64);
         let export = sram_probe::telemetry::export();
         let has_ring = !export.windows.is_empty();
         // Windowed delta when the ring has data; lifetime total as the
@@ -696,6 +707,7 @@ impl Engine {
             .collect();
         Json::Obj(vec![
             ("verdict".into(), Json::Str(verdict.into())),
+            ("revision".into(), Json::Num(revision as f64)),
             ("reasons".into(), Json::Arr(reasons)),
             ("windows".into(), Json::Num(export.windows.len() as f64)),
             ("span_s".into(), Json::Num(export.span_s)),
@@ -1275,5 +1287,15 @@ mod tests {
             r#"{"id":"a2","op":"evaluate-point","capacity_bytes":100,"flavor":"hvt","method":"m2","rows":64,"vssc_mv":0,"n_pre":10,"n_wr":8}"#,
         ));
         assert_eq!(err.get("id").and_then(Json::as_str), Some("a2"));
+    }
+
+    #[test]
+    fn health_revision_is_strictly_monotonic() {
+        let engine = coarse_engine();
+        let first = engine.health_json();
+        let second = engine.health_json();
+        let r1 = first.get("revision").and_then(Json::as_u64).unwrap();
+        let r2 = second.get("revision").and_then(Json::as_u64).unwrap();
+        assert!(r2 > r1, "revision must advance on every health snapshot");
     }
 }

@@ -80,11 +80,11 @@ mod server;
 pub mod slo;
 
 pub use cache::{CacheConfig, CacheCounters, ResultCache};
-pub use client::Client;
+pub use client::{Client, NodeConn};
 pub use engine::{design_json, error_response, ok_response, Engine};
 pub use error::{wire_status, ServeError};
 pub use json::{Json, JsonError};
 pub use query::{
     fnv1a64, ObjectiveKind, Query, Request, MAX_CAPACITY_BYTES, MAX_DEADLINE_MS, MAX_YIELD_SAMPLES,
 };
-pub use server::{Server, ServerConfig, SRAM_CACHE_FILE_ENV};
+pub use server::{spawn_local_node, Server, ServerConfig, SRAM_CACHE_FILE_ENV};

@@ -328,6 +328,38 @@ impl Drop for Server {
     }
 }
 
+/// Spawns an in-process serve node on `addr` (port 0 for ephemeral),
+/// backed by a fresh paper-mode engine over the coarse design space —
+/// the building block for in-process test clusters (`cluster-soak`,
+/// router benchmarks) where each "node" is a full server with its own
+/// engine, cache, and worker pool. Cache persistence is disabled so
+/// sibling nodes never fight over one `SRAM_CACHE_FILE`.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn spawn_local_node(
+    addr: &str,
+    workers: usize,
+    queue_capacity: usize,
+) -> Result<Server, ServeError> {
+    let engine = Arc::new(Engine::new(
+        sram_coopt::CoOptimizationFramework::paper_mode()
+            .with_space(sram_coopt::DesignSpace::coarse()),
+        crate::cache::CacheConfig::default(),
+    ));
+    Server::start(
+        engine,
+        ServerConfig {
+            addr: addr.to_string(),
+            workers,
+            queue_capacity,
+            cache_file: None,
+            ..ServerConfig::default()
+        },
+    )
+}
+
 fn bind(addr: &str) -> Result<TcpListener, ServeError> {
     let mut last: Option<std::io::Error> = None;
     for candidate in addr.to_socket_addrs()? {
@@ -354,6 +386,20 @@ fn accept_loop(
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if sram_faults::should_fire("serve.node_kill") {
+                    // Process-scope kill: the node goes dark as a unit.
+                    // Raising the shutdown flag makes every connection
+                    // and worker wind down at its next poll tick, and
+                    // returning here drops the listener so new dials
+                    // are refused — the closest a thread-per-node test
+                    // cluster gets to `kill -9` without owning real
+                    // processes. Ungated counter: the soak asserts the
+                    // kill count regardless of probe level.
+                    sram_probe::counter("serve.node.injected_kills").inc();
+                    shutdown.store(true, Ordering::SeqCst);
+                    drop(stream);
+                    return;
+                }
                 sram_probe::probe_inc!("serve.conn.accepted");
                 let shutdown = Arc::clone(shutdown);
                 let queue = Arc::clone(queue);
