@@ -84,6 +84,10 @@ fn cluster_soak(threads: usize) -> Result<String, String> {
     crate::cluster::run(threads)
 }
 
+fn trace_soak(threads: usize) -> Result<String, String> {
+    crate::trace_soak::run(threads)
+}
+
 /// Every experiment the binary can run, in execution order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -176,6 +180,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         in_all: false,
         run: cluster_soak,
     },
+    Experiment {
+        name: "trace-soak",
+        summary: "trace soak: cross-node span stitching, hedge losers, federated quantiles — opt-in",
+        in_all: false,
+        run: trace_soak,
+    },
 ];
 
 /// Outcome of resolving a CLI experiment argument.
@@ -254,7 +264,8 @@ mod tests {
                 "rails-sim",
                 "chaos-soak",
                 "telemetry-soak",
-                "cluster-soak"
+                "cluster-soak",
+                "trace-soak"
             ]
         );
     }

@@ -21,6 +21,7 @@
 //! | [`chaos`] | Chaos soak: deterministic fault injection under multi-client load |
 //! | [`telemetry`] | Telemetry soak: windowed metrics, SLO health, sampled tracing under load |
 //! | [`cluster`] | Cluster soak: router failover, hedging, and key affinity over 3 nodes |
+//! | [`trace_soak`] | Trace soak: distributed tracing, span stitching, federated metrics |
 //! | [`cli`] | Experiment registry + selection for the `reproduce` binary |
 
 #![forbid(unsafe_code)]
@@ -39,6 +40,7 @@ pub mod readfit;
 pub mod serve;
 pub mod table4;
 pub mod telemetry;
+pub mod trace_soak;
 pub mod trajectory;
 pub mod yieldk;
 

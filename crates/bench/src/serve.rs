@@ -3,7 +3,7 @@
 //! transport, and graceful shutdown — and reports the measured
 //! cache speedup.
 //!
-//! Five phases:
+//! Six phases:
 //!
 //! 1. **batch** — a batch of same-technology queries through the
 //!    in-process API; the engine must perform exactly one cell
@@ -22,6 +22,11 @@
 //!    captured events must export well-formed Chrome JSON (written to
 //!    `$SRAM_TRACE_OUT` when set) and the flame summary must name
 //!    spans from the spice, cell, core, and serve layers.
+//! 6. **yield** — a `yield-check` op against the batch engine; the op
+//!    always enters the cell layer's Monte Carlo engine, so this is
+//!    where the `cell.*` observability probes earn their assertion
+//!    site: the run must register cell characterizations (counted and
+//!    timed) plus one Monte Carlo run covering every requested sample.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,6 +65,21 @@ pub struct ServeBench {
     pub cache_hits: u64,
     /// Cache misses observed by the engine across all phases.
     pub cache_misses: u64,
+    /// Cell characterizations the run added to the `cell.*` probe
+    /// plane (delta of `cell.characterizations`; the traced
+    /// full-simulation phase and the Monte Carlo phase both pay some).
+    pub cell_characterizations: u64,
+    /// Timed characterization samples added to the
+    /// `cell.characterize_ns` histogram (delta of its count).
+    pub cell_characterize_ns_samples: u64,
+    /// Monte Carlo runs the yield phase added (delta of
+    /// `cell.mc_runs`).
+    pub mc_runs: u64,
+    /// Monte Carlo samples the yield phase added (delta of
+    /// `cell.mc_samples`; must cover [`YIELD_SAMPLES`]).
+    pub mc_samples: u64,
+    /// Did the yield-check reply carry a design plus a yield analysis?
+    pub yield_ok: bool,
     /// Spans captured by the traced run.
     pub trace_spans: usize,
     /// Did the Chrome export validate (parse + B/E pairing)?
@@ -67,6 +87,11 @@ pub struct ServeBench {
     /// Top-of-flame span names, one per instrumented layer.
     pub trace_layers_ok: bool,
 }
+
+/// Monte Carlo samples the yield phase requests. Small on purpose:
+/// the phase asserts probe wiring, not statistical power (the `yield`
+/// experiment owns the real μ−kσ study).
+pub const YIELD_SAMPLES: u64 = 64;
 
 fn engine(threads: usize) -> Engine {
     Engine::new(
@@ -81,16 +106,37 @@ fn request(line: &str) -> Result<Request, ServeError> {
     Request::from_line(line)
 }
 
+/// Reads a global probe counter registered by another crate (the
+/// bench asserts cell-layer metrics it does not own).
+fn probe_counter(name: &'static str) -> u64 {
+    sram_probe::counter(name).get()
+}
+
+/// Sample count of a global probe histogram registered elsewhere.
+fn probe_histogram_count(name: &'static str) -> u64 {
+    sram_probe::histogram(name).count()
+}
+
 fn result_payload(response: &Json) -> Option<String> {
     response.get("result").map(Json::render)
 }
 
-/// Runs all three phases.
+/// Runs all six phases.
 ///
 /// # Errors
 ///
 /// Propagates query, transport, and internal-consistency failures.
 pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
+    // The cell.* probe assertions below read summary-level counters, so
+    // the bench turns collection on when the environment hasn't.
+    if !sram_probe::enabled(sram_probe::Level::Summary) {
+        sram_probe::set_level(sram_probe::Level::Summary);
+    }
+    let cell_chars_before = probe_counter("cell.characterizations");
+    let cell_char_ns_before = probe_histogram_count("cell.characterize_ns");
+    let mc_runs_before = probe_counter("cell.mc_runs");
+    let mc_samples_before = probe_counter("cell.mc_samples");
+
     let engine = Arc::new(engine(threads));
 
     // Phase 1: batch coalescing. Same technology, three capacities.
@@ -206,6 +252,32 @@ pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
         }
     }
 
+    // Phase 6: a yield-check against the batch engine. Unlike the
+    // paper-mode optimize (which never leaves the analytic model), the
+    // yield op always drops into the cell layer's Monte Carlo engine,
+    // making this the natural assertion site for the cell.* probes.
+    // LVT on purpose: the HVT optima pin rails aggressive enough that
+    // the perturbed Monte Carlo cells stop converging in DC analysis.
+    let yield_request = request(&format!(
+        r#"{{"op":"yield-check","capacity_bytes":1024,"flavor":"lvt","method":"m1","samples":{YIELD_SAMPLES}}}"#
+    ))?;
+    let yielded = engine.handle(&yield_request);
+    let yield_ok = yielded.get("status").and_then(Json::as_str) == Some("ok")
+        && yielded
+            .get("result")
+            .is_some_and(|r| r.get("design").is_some() && r.get("yield").is_some());
+    if !yield_ok {
+        return Err(ServeError::Remote(format!(
+            "yield-check failed: {}",
+            yielded.render()
+        )));
+    }
+    let cell_characterizations = probe_counter("cell.characterizations") - cell_chars_before;
+    let cell_characterize_ns_samples =
+        probe_histogram_count("cell.characterize_ns") - cell_char_ns_before;
+    let mc_runs = probe_counter("cell.mc_runs") - mc_runs_before;
+    let mc_samples = probe_counter("cell.mc_samples") - mc_samples_before;
+
     let counters = engine.cache_counters();
     Ok(ServeBench {
         batch_size: batch.len(),
@@ -220,6 +292,11 @@ pub fn bench(threads: usize) -> Result<ServeBench, ServeError> {
         tcp_consistent,
         cache_hits: counters.hits,
         cache_misses: counters.misses,
+        cell_characterizations,
+        cell_characterize_ns_samples,
+        mc_runs,
+        mc_samples,
+        yield_ok,
         trace_spans,
         trace_chrome_valid,
         trace_layers_ok,
@@ -272,6 +349,10 @@ pub fn run(threads: usize) -> Result<String, ServeError> {
             "MISSING"
         }
     ));
+    out.push_str(&format!(
+        "  yield:  {} Monte Carlo run(s), {} samples; {} cell characterizations ({} timed)\n",
+        b.mc_runs, b.mc_samples, b.cell_characterizations, b.cell_characterize_ns_samples
+    ));
     if b.characterizations != 1 || b.coalesced != b.batch_size as u64 - 1 {
         return Err(ServeError::Remote(format!(
             "batch coalescing broken: {} characterizations, {} coalesced for {} queries",
@@ -293,6 +374,18 @@ pub fn run(threads: usize) -> Result<String, ServeError> {
         return Err(ServeError::Remote(
             "trace capture failed validation (export or layer coverage)".into(),
         ));
+    }
+    if b.mc_runs < 1 || b.mc_samples < YIELD_SAMPLES {
+        return Err(ServeError::Remote(format!(
+            "cell Monte Carlo probes did not move: {} runs, {} samples (wanted >= 1 run, >= {} samples)",
+            b.mc_runs, b.mc_samples, YIELD_SAMPLES
+        )));
+    }
+    if b.cell_characterizations < 1 || b.cell_characterize_ns_samples < 1 {
+        return Err(ServeError::Remote(format!(
+            "cell characterization probes did not move: {} counted, {} timed",
+            b.cell_characterizations, b.cell_characterize_ns_samples
+        )));
     }
     Ok(out)
 }
@@ -316,6 +409,25 @@ mod tests {
         assert!(b.trace_spans > 0, "traced run must record spans");
         assert!(b.trace_chrome_valid, "Chrome export must validate");
         assert!(b.trace_layers_ok, "flame must name all four layers");
+        assert!(b.yield_ok, "yield-check must return design + yield");
+        assert!(
+            b.mc_runs >= 1,
+            "yield phase must register a Monte Carlo run"
+        );
+        assert!(
+            b.mc_samples >= YIELD_SAMPLES,
+            "every requested Monte Carlo sample must be counted: {} < {}",
+            b.mc_samples,
+            YIELD_SAMPLES
+        );
+        assert!(
+            b.cell_characterizations >= 1,
+            "simulation + Monte Carlo phases must count cell characterizations"
+        );
+        assert!(
+            b.cell_characterize_ns_samples >= 1,
+            "cell characterizations must be timed into cell.characterize_ns"
+        );
     }
 
     #[test]
@@ -324,5 +436,6 @@ mod tests {
         assert!(text.contains("characterization pass(es)"));
         assert!(text.contains("speedup"));
         assert!(text.contains("graceful shutdown: yes"));
+        assert!(text.contains("Monte Carlo run(s)"));
     }
 }

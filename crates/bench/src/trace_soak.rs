@@ -1,0 +1,793 @@
+//! `trace-soak`: opt-in distributed-tracing experiment — a 3-node
+//! in-process cluster behind the router, driven by concurrent clients
+//! sending **traced** queries while a fixed fault plan injects a slow
+//! characterization (which fires a hedge) and one node kill (which
+//! forces a failover), hard-failing on any disconnected span forest,
+//! a missing or unmarked cancelled-hedge branch, or merged-quantile
+//! drift between the router's federated `cluster-metrics` plane and
+//! an offline recompute from the per-node histograms.
+//!
+//! Three phases:
+//!
+//! 1. **soak** — four clients push `"trace": true` optimize queries
+//!    through the [`Router`] over two waves. The plan's 60 ms slow
+//!    characterization pushes one request past the hedge delay, so its
+//!    primary finishes as a cancelled **hedge loser** whose span tree
+//!    the router must still stitch (marked `hedge_loser: true`); the
+//!    node kill makes in-flight and affinity-routed requests fail over
+//!    down the ring. Every `ok` reply's stitched tree is validated on
+//!    the spot: one `cluster.request` root, every subtree re-rooted
+//!    under the propagated parent span ([`stitch::validate`]).
+//! 2. **federation audit** — after traffic quiesces and a forced
+//!    telemetry sample, the surviving nodes are polled **directly**
+//!    for their raw `serve.request.latency_ns` histograms, which are
+//!    merged offline ([`collector::parse_snapshot`] +
+//!    [`QuantileSnapshot::merge`]); the router's `cluster-metrics`
+//!    merged p50/p99 must agree within the LogLinear
+//!    `MAX_QUANTILE_RELATIVE_ERROR` (1/32) bound, and `cluster-health`
+//!    must report exactly the killed node unreachable.
+//! 3. **audit** — counter deltas prove the distributed-trace pipeline
+//!    ran end to end: contexts propagated, trees stitched, at least
+//!    one loser branch kept, and **zero** disconnected forests; the
+//!    richest stitched tree must also export as one Chrome trace with
+//!    the router and nodes on separate pid lanes.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use sram_cluster::{collector, stitch, Router, RouterConfig};
+use sram_faults::{FaultPlan, FaultRule};
+use sram_probe::telemetry::{QuantileSnapshot, MAX_QUANTILE_RELATIVE_ERROR};
+use sram_serve::{Client, Json, Server};
+
+/// Cluster size; the plan kills one of these mid-soak (no respawn —
+/// the hole must show up in the federated plane, not vanish from it).
+const NODES: usize = 3;
+/// Concurrent soak clients per wave.
+const CLIENTS: usize = 4;
+/// Traced requests each client must see answered exactly once, per
+/// wave.
+const REQUESTS_PER_CLIENT: usize = 8;
+/// Worker threads per node.
+const NODE_WORKERS: usize = 2;
+/// Job-queue depth per node.
+const NODE_QUEUE: usize = 16;
+/// Resend budget per request (busy rejections and the node kill
+/// trigger resends; a request needing more is hung).
+const MAX_ATTEMPTS: usize = 12;
+/// Client-side reply timeout — the hang detector.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Structured outcome (consumed by the unit tests; the report is
+/// built from it).
+#[derive(Debug, Clone)]
+pub struct TraceSoak {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Traced requests issued across both waves.
+    pub requests: usize,
+    /// Requests answered `ok` exactly once (must equal `requests`).
+    pub answered: usize,
+    /// Replies whose stitched tree failed [`stitch::validate`] — a
+    /// disconnected span forest (must be 0).
+    pub forest_replies: usize,
+    /// Replies carrying at least one `hedge_loser: true` branch (must
+    /// be >= 1: the cancelled hedge twin stays on the timeline).
+    pub loser_replies: usize,
+    /// Spans across every validated stitched tree.
+    pub spans: u64,
+    /// `cluster.trace.propagated` delta (must be >= `answered`).
+    pub propagated: u64,
+    /// `cluster.trace.stitched` delta (must be >= `answered`).
+    pub stitched: u64,
+    /// `cluster.trace.stitched_spans` delta (must be >= `stitched`).
+    pub stitched_spans: u64,
+    /// `cluster.trace.losers` delta (must be >= 1).
+    pub losers: u64,
+    /// `cluster.trace.forests` delta (must be 0).
+    pub forests: u64,
+    /// `cluster.hedge.fired` delta (must be >= 1).
+    pub hedge_fired: u64,
+    /// `cluster.forward.failovers` delta (must be >= 1: the kill).
+    pub failovers: u64,
+    /// `serve.node.injected_kills` delta (must be exactly 1).
+    pub injected_kills: u64,
+    /// Sorted per-point fire counts from the fault registry.
+    pub counts: Vec<(String, u64)>,
+    /// Distinct pid lanes in the exported Chrome trace of the richest
+    /// stitched tree (must be >= 2: router + at least one node).
+    pub chrome_pids: usize,
+    /// Router-reported merged p50/p99 of `serve.request.latency_ns`.
+    pub merged_p50: f64,
+    /// Router-reported merged p99.
+    pub merged_p99: f64,
+    /// Offline-recomputed merged p50 (direct node polls).
+    pub offline_p50: f64,
+    /// Offline-recomputed merged p99.
+    pub offline_p99: f64,
+    /// Nodes the router's `cluster-health` poll could not reach (must
+    /// be exactly 1: the killed node, with no respawn).
+    pub nodes_failed: u64,
+    /// The `cluster-health` verdict string.
+    pub verdict: String,
+}
+
+/// The fixed soak plan. Both rules are `p = 1` with a cap, so totals
+/// are timing-independent: 1 slow + 1 kill = 2 injected faults.
+fn soak_plan() -> FaultPlan {
+    FaultPlan::new(0x00DA_C7ACE)
+        .rule(FaultRule::always("cell.slow", 1).with_latency_ms(60))
+        .rule(FaultRule::always("serve.node_kill", 1))
+}
+
+/// Expected per-point fire counts for [`soak_plan`] once every point
+/// has been drawn past its cap.
+fn expected_counts() -> Vec<(String, u64)> {
+    vec![
+        ("cell.slow".to_owned(), 1),
+        ("serve.node_kill".to_owned(), 1),
+    ]
+}
+
+fn counter(name: &'static str) -> u64 {
+    sram_probe::counter(name).get()
+}
+
+/// Trace/routing counter snapshot, so the soak reports deltas instead
+/// of process-lifetime totals.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    propagated: u64,
+    stitched: u64,
+    stitched_spans: u64,
+    losers: u64,
+    forests: u64,
+    hedge_fired: u64,
+    failovers: u64,
+    injected_kills: u64,
+}
+
+impl Snapshot {
+    fn take() -> Self {
+        Self {
+            propagated: counter("cluster.trace.propagated"),
+            stitched: counter("cluster.trace.stitched"),
+            stitched_spans: counter("cluster.trace.stitched_spans"),
+            losers: counter("cluster.trace.losers"),
+            forests: counter("cluster.trace.forests"),
+            hedge_fired: counter("cluster.hedge.fired"),
+            failovers: counter("cluster.forward.failovers"),
+            injected_kills: counter("serve.node.injected_kills"),
+        }
+    }
+}
+
+fn connect(addr: SocketAddr) -> Result<Client, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_timeout(Some(REPLY_TIMEOUT))
+        .map_err(|e| format!("set_timeout: {e}"))?;
+    Ok(client)
+}
+
+/// Per-client tally from one wave: answered count, forest failures,
+/// loser-marked replies, total spans, and the richest stitched tree
+/// (most spans) seen — the Chrome-export audit runs on that one.
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    answered: usize,
+    forests: usize,
+    forest_details: Vec<String>,
+    losers: usize,
+    spans: u64,
+    richest: Option<(u64, Json)>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.answered += other.answered;
+        self.forests += other.forests;
+        self.forest_details.extend(other.forest_details);
+        self.losers += other.losers;
+        self.spans += other.spans;
+        if other.richest.as_ref().map(|(n, _)| *n) > self.richest.as_ref().map(|(n, _)| *n) {
+            self.richest = other.richest;
+        }
+    }
+}
+
+/// `true` if any `cluster.attempt` branch of the stitched tree is
+/// marked `hedge_loser: true`.
+fn has_loser_branch(tree: &Json) -> bool {
+    tree.get("children")
+        .and_then(Json::as_array)
+        .is_some_and(|children| {
+            children
+                .iter()
+                .any(|c| c.get("hedge_loser").and_then(Json::as_bool) == Some(true))
+        })
+}
+
+/// Validates one traced `ok` reply's stitched tree in place and folds
+/// it into the tally.
+fn audit_reply(id: &str, reply: &Json, tally: &mut Tally) -> Result<(), String> {
+    let Some(tree) = reply.get("trace") else {
+        return Err(format!(
+            "traced reply to {id} carries no stitched tree: {}",
+            reply.render()
+        ));
+    };
+    if tree.get("name").and_then(Json::as_str) != Some("cluster.request") {
+        return Err(format!(
+            "reply to {id}: stitched root is not cluster.request: {}",
+            tree.render()
+        ));
+    }
+    match stitch::validate(tree) {
+        Ok(spans) => {
+            tally.spans += spans;
+            if tally.richest.as_ref().is_none_or(|(n, _)| spans > *n) {
+                tally.richest = Some((spans, tree.clone()));
+            }
+        }
+        Err(e) => {
+            tally.forests += 1;
+            tally.forest_details.push(format!("{id}: {e}"));
+        }
+    }
+    if has_loser_branch(tree) {
+        tally.losers += 1;
+        // A loser-bearing tree beats a span-rich one for the Chrome
+        // audit: it exercises the cancelled branch's lane too.
+        if let Ok(spans) = stitch::validate(tree) {
+            tally.richest = Some((spans + 1_000, tree.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Drives one client's traced request schedule through the router:
+/// resend on `internal` and `busy`, reconnect on a dropped connection,
+/// hard-fail on a timeout (hang), an attempt-budget blowout, or a
+/// reply whose stitched tree is malformed.
+fn run_client(addr: SocketAddr, index: usize, wave: &str) -> Result<Tally, String> {
+    let mut client = connect(addr)?;
+    let mut tally = Tally::default();
+    let capacities = [128u64, 256, 512, 1024, 2048, 4096];
+    for r in 0..REQUESTS_PER_CLIENT {
+        let id = format!("{wave}{index}-r{r}");
+        // Mixed traffic: capacities cycle (repeats become cache hits
+        // for the per-shard breakdown) and both flavors appear.
+        let flavor = if r % 2 == 0 { "hvt" } else { "lvt" };
+        let line = format!(
+            r#"{{"id":"{id}","op":"optimize","capacity_bytes":{},"flavor":"{flavor}","method":"m2","trace":true}}"#,
+            capacities[(index + r) % capacities.len()]
+        );
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > MAX_ATTEMPTS {
+                return Err(format!(
+                    "request {id} unanswered after {MAX_ATTEMPTS} attempts"
+                ));
+            }
+            match client.call_line(&line) {
+                Ok(reply) => match reply.get("status").and_then(Json::as_str) {
+                    Some("ok") => {
+                        if reply.get("id").and_then(Json::as_str) != Some(id.as_str()) {
+                            return Err(format!(
+                                "reply stream misaligned at {id}: {}",
+                                reply.render()
+                            ));
+                        }
+                        audit_reply(&id, &reply, &mut tally)?;
+                        tally.answered += 1;
+                        break;
+                    }
+                    Some("internal") => {}
+                    Some("busy") => std::thread::sleep(Duration::from_millis(25)),
+                    other => {
+                        return Err(format!(
+                            "request {id}: unexpected status {other:?}: {}",
+                            reply.render()
+                        ))
+                    }
+                },
+                Err(sram_serve::ServeError::Remote(_)) => {
+                    client = connect(addr)?;
+                }
+                Err(sram_serve::ServeError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(format!("request {id}: reply timed out — cluster hang"));
+                }
+                Err(e) => return Err(format!("request {id}: transport error: {e}")),
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// One client wave. Returns the aggregate tally.
+fn wave(addr: SocketAddr, name: &'static str) -> Result<Tally, String> {
+    let results: Vec<Result<Tally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| scope.spawn(move || run_client(addr, i, name)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("client thread panicked".to_owned()),
+            })
+            .collect()
+    });
+    let mut total = Tally::default();
+    for result in results {
+        total.absorb(result?);
+    }
+    Ok(total)
+}
+
+/// Polls every *reachable* node directly for its raw
+/// `serve.request.latency_ns` histogram and merges them offline — the
+/// independent recompute the router's federated plane is checked
+/// against. The killed node refuses dials and is skipped, exactly as
+/// the collector records it as a hole.
+fn offline_merge(nodes: &[String]) -> Result<QuantileSnapshot, String> {
+    let mut merged = QuantileSnapshot::default();
+    let mut polled = 0usize;
+    for node in nodes {
+        let addr: SocketAddr = node
+            .parse()
+            .map_err(|e| format!("node address {node}: {e}"))?;
+        let Ok(mut client) = Client::connect(addr) else {
+            continue; // the killed node
+        };
+        client
+            .set_timeout(Some(REPLY_TIMEOUT))
+            .map_err(|e| format!("set_timeout: {e}"))?;
+        let reply = client
+            .call_line(r#"{"op":"metrics"}"#)
+            .map_err(|e| format!("direct metrics poll of {node}: {e}"))?;
+        let Some(q) = reply
+            .get("result")
+            .and_then(|r| r.get("quantiles"))
+            .and_then(|q| q.get("serve.request.latency_ns"))
+        else {
+            return Err(format!("{node} exported no serve.request.latency_ns"));
+        };
+        merged = merged.merge(&collector::parse_snapshot(q));
+        polled += 1;
+    }
+    if polled == 0 {
+        return Err("no node answered a direct metrics poll".to_owned());
+    }
+    Ok(merged)
+}
+
+/// Relative disagreement between two quantile estimates.
+fn relative_drift(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() / scale
+}
+
+/// Runs the full soak.
+///
+/// # Errors
+///
+/// Any hang, unanswered request, malformed stitched tree, or failed
+/// federation poll.
+pub fn soak(_threads: usize) -> Result<TraceSoak, String> {
+    // Counter assertions need the probe layer on regardless of the
+    // environment, and the trace audit needs every root sampled.
+    sram_probe::set_level(sram_probe::Level::Summary);
+    let (rate, seed) = sram_probe::trace::sampling();
+    sram_probe::trace::set_sampling(1.0, seed);
+    crate::chaos::silence_injected_panics();
+    let before = Snapshot::take();
+
+    let mut servers: BTreeMap<String, Server> = BTreeMap::new();
+    for _ in 0..NODES {
+        let server = sram_serve::spawn_local_node("127.0.0.1:0", NODE_WORKERS, NODE_QUEUE)
+            .map_err(|e| format!("node spawn: {e}"))?;
+        servers.insert(server.local_addr().to_string(), server);
+    }
+    let node_addrs: Vec<String> = servers.keys().cloned().collect();
+    let router = Router::start(RouterConfig {
+        nodes: node_addrs.clone(),
+        replicas: 2,
+        hedge_ms: 5,
+        // Slow polls on purpose: the killed node must stay in the ring
+        // long enough for ring-routed traffic to hit it and fail over
+        // (eviction needs DOWN_AFTER_FAILURES consecutive poll
+        // failures, so the dead node survives most of wave a).
+        poll_interval: Duration::from_millis(250),
+        ..RouterConfig::default()
+    })
+    .map_err(|e| format!("router start: {e}"))?;
+    let addr = router.local_addr();
+
+    // Let the first poll round see every node healthy, so the kill
+    // lands under traffic rather than on the poller's first dial.
+    std::thread::sleep(Duration::from_millis(100));
+    sram_faults::install(&soak_plan());
+
+    let outcome = (|| {
+        let mut tally = wave(addr, "a")?;
+        tally.absorb(wave(addr, "b")?);
+        Ok::<Tally, String>(tally)
+    })();
+    let counts = sram_faults::counts();
+    sram_faults::uninstall();
+    let tally = match outcome {
+        Ok(tally) => tally,
+        Err(e) => {
+            sram_probe::trace::set_sampling(rate, seed);
+            router.shutdown();
+            return Err(e);
+        }
+    };
+
+    // Federation audit: traffic has quiesced; fold every pending
+    // telemetry sample into the window ring so the router's poll and
+    // the offline recompute read the same distribution.
+    sram_probe::telemetry::force_sample();
+    let offline = offline_merge(&node_addrs);
+    let mut client = connect(addr)?;
+    let metrics = client
+        .call_line(r#"{"op":"cluster-metrics"}"#)
+        .map_err(|e| format!("cluster-metrics: {e}"));
+    let health = client
+        .call_line(r#"{"op":"cluster-health"}"#)
+        .map_err(|e| format!("cluster-health: {e}"));
+
+    sram_probe::trace::set_sampling(rate, seed);
+    router.shutdown();
+    for (_, server) in servers {
+        server.shutdown();
+    }
+    let (offline, metrics, health) = (offline?, metrics?, health?);
+
+    let merged = metrics
+        .get("merged")
+        .and_then(|m| m.get("serve.request.latency_ns"))
+        .ok_or("cluster-metrics carries no merged serve.request.latency_ns")?;
+    let chrome_pids = tally.richest.as_ref().map_or(0, |(_, tree)| {
+        let export = stitch::chrome_trace(tree);
+        let mut pids: Vec<u64> = Json::parse(&export)
+            .ok()
+            .and_then(|parsed| {
+                parsed
+                    .get("traceEvents")
+                    .and_then(Json::as_array)
+                    .map(|events| {
+                        events
+                            .iter()
+                            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+                            .collect()
+                    })
+            })
+            .unwrap_or_default();
+        pids.sort_unstable();
+        pids.dedup();
+        pids.len()
+    });
+
+    let after = Snapshot::take();
+    Ok(TraceSoak {
+        nodes: NODES,
+        requests: 2 * CLIENTS * REQUESTS_PER_CLIENT,
+        answered: tally.answered,
+        forest_replies: tally.forests,
+        loser_replies: tally.losers,
+        spans: tally.spans,
+        propagated: after.propagated - before.propagated,
+        stitched: after.stitched - before.stitched,
+        stitched_spans: after.stitched_spans - before.stitched_spans,
+        losers: after.losers - before.losers,
+        forests: after.forests - before.forests,
+        hedge_fired: after.hedge_fired - before.hedge_fired,
+        failovers: after.failovers - before.failovers,
+        injected_kills: after.injected_kills - before.injected_kills,
+        counts,
+        chrome_pids,
+        merged_p50: merged.get("p50").and_then(Json::as_f64).unwrap_or(0.0),
+        merged_p99: merged.get("p99").and_then(Json::as_f64).unwrap_or(0.0),
+        offline_p50: offline.quantile(0.50),
+        offline_p99: offline.quantile(0.99),
+        nodes_failed: health
+            .get("nodes_failed")
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX),
+        verdict: health
+            .get("verdict")
+            .and_then(Json::as_str)
+            .unwrap_or("<missing>")
+            .to_owned(),
+    })
+}
+
+/// Formats the trace-soak report from a finished [`TraceSoak`],
+/// enforcing every invariant.
+///
+/// # Errors
+///
+/// Any invariant violation: unanswered requests, a disconnected span
+/// forest, a missing cancelled-hedge branch, a silent hedge or
+/// failover, a wrong kill count, fault-count drift, a single-lane
+/// Chrome export, or merged-quantile drift past the LogLinear bound.
+pub fn report(t: &TraceSoak) -> Result<String, String> {
+    let mut out = String::from(
+        "Trace soak (sram-cluster): distributed tracing + federated metrics over 3 nodes\n\n",
+    );
+    out.push_str(&format!(
+        "  soak:       {} traced requests over 2 waves x {CLIENTS} clients -> {} answered exactly once\n",
+        t.requests, t.answered
+    ));
+    out.push_str(&format!(
+        "  stitching:  {} trees stitched ({} spans), {} loser-marked replies, {} forests\n",
+        t.stitched, t.stitched_spans, t.loser_replies, t.forest_replies
+    ));
+    out.push_str(&format!(
+        "  tracing:    {} contexts propagated, {} cancelled-hedge trees kept, chrome export spans {} pid lanes\n",
+        t.propagated, t.losers, t.chrome_pids
+    ));
+    out.push_str(&format!(
+        "  routing:    hedges fired {}, failovers {} ({} injected kill)\n",
+        t.hedge_fired, t.failovers, t.injected_kills
+    ));
+    let count_list: Vec<String> = t
+        .counts
+        .iter()
+        .map(|(point, fires)| format!("{point}={fires}"))
+        .collect();
+    out.push_str(&format!(
+        "  faults:     per-point fires: {}\n",
+        count_list.join(", ")
+    ));
+    out.push_str(&format!(
+        "  federation: merged p50 {:.0} ns / p99 {:.0} ns vs offline {:.0} / {:.0}; \
+         health {} with {} node unreachable\n",
+        t.merged_p50, t.merged_p99, t.offline_p50, t.offline_p99, t.verdict, t.nodes_failed
+    ));
+
+    if t.answered != t.requests {
+        return Err(format!(
+            "{} of {} requests answered",
+            t.answered, t.requests
+        ));
+    }
+    if t.forest_replies != 0 || t.forests != 0 {
+        return Err(format!(
+            "disconnected span forests: {} in replies, {} counted by the router",
+            t.forest_replies, t.forests
+        ));
+    }
+    if t.hedge_fired < 1 {
+        return Err("no hedge fired despite the injected slow characterization".to_owned());
+    }
+    if t.failovers < 1 {
+        return Err("no failover despite the injected node kill".to_owned());
+    }
+    if t.injected_kills != 1 {
+        return Err(format!(
+            "expected exactly 1 injected node kill, saw {}",
+            t.injected_kills
+        ));
+    }
+    if t.counts != expected_counts() {
+        return Err(format!("fault counts drifted: {:?}", t.counts));
+    }
+    if t.loser_replies < 1 || t.losers < 1 {
+        return Err(format!(
+            "the cancelled hedge branch is missing: {} loser replies, {} loser trees counted",
+            t.loser_replies, t.losers
+        ));
+    }
+    if t.propagated < t.answered as u64 {
+        return Err(format!(
+            "only {} trace contexts propagated for {} answered requests",
+            t.propagated, t.answered
+        ));
+    }
+    if t.stitched < t.answered as u64 || t.stitched_spans < t.stitched {
+        return Err(format!(
+            "stitching fell behind: {} trees / {} spans for {} answers",
+            t.stitched, t.stitched_spans, t.answered
+        ));
+    }
+    if t.chrome_pids < 2 {
+        return Err(format!(
+            "chrome export collapsed to {} pid lane(s); router and nodes must differ",
+            t.chrome_pids
+        ));
+    }
+    for (label, merged, offline) in [
+        ("p50", t.merged_p50, t.offline_p50),
+        ("p99", t.merged_p99, t.offline_p99),
+    ] {
+        let drift = relative_drift(merged, offline);
+        if drift > MAX_QUANTILE_RELATIVE_ERROR {
+            return Err(format!(
+                "merged {label} drifted {:.2}% from the offline recompute \
+                 ({merged:.0} vs {offline:.0} ns; bound {:.2}%)",
+                drift * 100.0,
+                MAX_QUANTILE_RELATIVE_ERROR * 100.0
+            ));
+        }
+    }
+    if t.nodes_failed != 1 {
+        return Err(format!(
+            "cluster-health saw {} unreachable nodes; exactly the killed one expected",
+            t.nodes_failed
+        ));
+    }
+    if t.verdict != "degraded" && t.verdict != "unhealthy" {
+        return Err(format!(
+            "cluster-health verdict {:?} ignores the dead node",
+            t.verdict
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs the soak and renders the invariant-checked report.
+///
+/// # Errors
+///
+/// Propagates [`soak`] failures and [`report`] invariant violations.
+pub fn run(threads: usize) -> Result<String, String> {
+    report(&soak(threads)?)
+}
+
+// The soak installs a process-global fault plan and sampling override,
+// so its end-to-end test lives in `tests/trace_soak.rs` (its own
+// process). Only global-free pieces are tested here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_plan_caps_sum_to_the_expected_injection_total() {
+        let total: u64 = expected_counts().iter().map(|(_, fires)| fires).sum();
+        assert_eq!(total, 2, "1 slow + 1 kill");
+        let mut set = sram_faults::ActiveSet::new(&soak_plan());
+        for _ in 0..1_000 {
+            for (point, _) in expected_counts() {
+                set.decide(&point);
+            }
+        }
+        assert_eq!(set.counts(), expected_counts(), "caps bound every point");
+        assert_eq!(set.injected_total(), total);
+    }
+
+    fn stitched_reply(loser: bool) -> Json {
+        let loser_branch = if loser {
+            r#",{"name":"cluster.attempt","node":"n2","via":"primary","hedge_loser":true,
+               "start_ns":100,"dur_ns":900,
+               "children":[{"name":"serve.request","id":9,"parent_span":7,
+                            "start_ns":200,"dur_ns":500,"children":[]}]}"#
+        } else {
+            ""
+        };
+        Json::parse(&format!(
+            r#"{{"status":"ok","id":"x","trace":{{
+                "name":"cluster.request","trace_id":"00000000deadbeef","root_span":7,
+                "start_ns":0,"dur_ns":1000,
+                "children":[{{"name":"cluster.attempt","node":"n1","via":"hedge",
+                    "hedge_loser":false,"start_ns":50,"dur_ns":400,
+                    "children":[{{"name":"serve.request","id":4,"parent_span":7,
+                                 "start_ns":60,"dur_ns":300,"children":[]}}]}}{loser_branch}]
+            }}}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn audit_reply_accepts_a_connected_tree_and_spots_the_loser() {
+        let mut tally = Tally::default();
+        audit_reply("x", &stitched_reply(true), &mut tally).expect("valid tree");
+        assert_eq!(tally.forests, 0);
+        assert_eq!(tally.losers, 1);
+        assert!(tally.spans >= 3);
+        assert!(tally.richest.is_some());
+
+        let mut tally = Tally::default();
+        audit_reply("x", &stitched_reply(false), &mut tally).expect("valid tree");
+        assert_eq!(tally.losers, 0);
+    }
+
+    #[test]
+    fn audit_reply_rejects_a_reply_without_a_tree_and_counts_forests() {
+        let mut tally = Tally::default();
+        let bare = Json::parse(r#"{"status":"ok","id":"x"}"#).unwrap();
+        assert!(audit_reply("x", &bare, &mut tally).is_err());
+
+        // A subtree rooted under the wrong parent is a forest, counted
+        // but not fatal at reply time (the report rejects it).
+        let mut forest = stitched_reply(false);
+        let rendered = forest
+            .render()
+            .replace("\"parent_span\":7", "\"parent_span\":8");
+        forest = Json::parse(&rendered).unwrap();
+        audit_reply("x", &forest, &mut tally).expect("forest is tallied, not thrown");
+        assert_eq!(tally.forests, 1);
+        assert_eq!(tally.forest_details.len(), 1);
+    }
+
+    fn healthy_outcome() -> TraceSoak {
+        TraceSoak {
+            nodes: NODES,
+            requests: 64,
+            answered: 64,
+            forest_replies: 0,
+            loser_replies: 2,
+            spans: 300,
+            propagated: 70,
+            stitched: 66,
+            stitched_spans: 310,
+            losers: 2,
+            forests: 0,
+            hedge_fired: 3,
+            failovers: 2,
+            injected_kills: 1,
+            counts: expected_counts(),
+            chrome_pids: 3,
+            merged_p50: 1_000_000.0,
+            merged_p99: 8_000_000.0,
+            offline_p50: 1_000_000.0,
+            offline_p99: 8_000_000.0,
+            nodes_failed: 1,
+            verdict: "degraded".to_owned(),
+        }
+    }
+
+    #[test]
+    fn report_names_the_invariants() {
+        let text = report(&healthy_outcome()).expect("healthy outcome renders");
+        assert!(text.contains("answered exactly once"));
+        assert!(text.contains("0 forests"));
+        assert!(text.contains("pid lanes"));
+        assert!(text.contains("merged p50"));
+    }
+
+    type Sabotage = fn(&mut TraceSoak);
+
+    #[test]
+    fn report_rejects_each_broken_invariant() {
+        let broken: [(&str, Sabotage); 11] = [
+            ("answered", |t| t.answered -= 1),
+            ("forest", |t| t.forest_replies = 1),
+            ("forest counter", |t| t.forests = 1),
+            ("hedge", |t| t.hedge_fired = 0),
+            ("failover", |t| t.failovers = 0),
+            ("kills", |t| t.injected_kills = 0),
+            ("counts", |t| t.counts.clear()),
+            ("loser", |t| {
+                t.loser_replies = 0;
+                t.losers = 0;
+            }),
+            ("chrome lanes", |t| t.chrome_pids = 1),
+            ("p99 drift", |t| t.merged_p99 = t.offline_p99 * 1.5),
+            ("dead node", |t| t.nodes_failed = 0),
+        ];
+        for (label, sabotage) in broken {
+            let mut t = healthy_outcome();
+            sabotage(&mut t);
+            assert!(report(&t).is_err(), "{label} violation must be fatal");
+        }
+    }
+
+    #[test]
+    fn drift_bound_is_the_loglinear_relative_error() {
+        // Just inside the bound passes; just past it fails.
+        let mut t = healthy_outcome();
+        t.merged_p99 = t.offline_p99 * (1.0 + MAX_QUANTILE_RELATIVE_ERROR * 0.9);
+        assert!(report(&t).is_ok());
+        t.merged_p99 = t.offline_p99 * (1.0 + MAX_QUANTILE_RELATIVE_ERROR * 1.6);
+        assert!(report(&t).is_err());
+    }
+}

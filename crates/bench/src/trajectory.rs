@@ -3,7 +3,7 @@
 //! layer itself — written to `BENCH_trajectory.json` for CI trend
 //! tracking.
 //!
-//! Five phases:
+//! Six phases:
 //!
 //! 1. **search** — characterize + optimize one technology through the
 //!    framework directly (no serving layer), reporting wall times and
@@ -28,6 +28,12 @@
 //!    run, divided by that run's wall time, bounds what its span sites
 //!    would cost with tracing off; the bound must stay under
 //!    [`MAX_DISABLED_OVERHEAD`].
+//! 6. **trace_stitch** — a microbenchmark of the router-side span
+//!    stitcher: assembling and validating one cross-node timeline
+//!    (winner + cancelled hedge loser carrying the phase-4 span tree)
+//!    is what every traced, sampled forward pays on top of the request
+//!    itself; the per-call cost relative to the traced wall must stay
+//!    under [`MAX_STITCH_OVERHEAD`].
 //!
 //! Smoke mode (`SRAM_BENCH_SMOKE=1`) shrinks the microbenchmark so CI
 //! can run the whole experiment in seconds; the JSON records which mode
@@ -45,6 +51,12 @@ use sram_serve::{CacheConfig, Client, Engine, Json, Request, Server, ServerConfi
 /// instrumentation must cost less than 5 % of the traced workload's
 /// wall time when tracing is off.
 pub const MAX_DISABLED_OVERHEAD: f64 = 0.05;
+
+/// Hard ceiling on the span-stitching overhead: assembling and
+/// validating one cross-node timeline must cost less than 5 % of the
+/// traced workload's wall time (in practice it is orders of magnitude
+/// below — this is a regression tripwire, not a tuning target).
+pub const MAX_STITCH_OVERHEAD: f64 = 0.05;
 
 /// Output file written by [`run`] (in the working directory).
 pub const OUTPUT_FILE: &str = "BENCH_trajectory.json";
@@ -111,6 +123,13 @@ pub struct Trajectory {
     pub disabled_ns_per_call: f64,
     /// `disabled_ns_per_call × trace_spans / traced_wall_ns`.
     pub disabled_overhead_ratio: f64,
+    /// Spans in the microbench's stitched timeline (router root, two
+    /// attempts, and both node subtrees).
+    pub stitch_spans: u64,
+    /// Per-call cost of `stitch` + `validate`, nanoseconds.
+    pub stitch_ns_per_call: f64,
+    /// `stitch_ns_per_call / traced_wall_ns`.
+    pub stitch_overhead_ratio: f64,
 }
 
 fn smoke_mode() -> bool {
@@ -167,13 +186,14 @@ pub(crate) fn chrome_export_is_well_formed(chrome: &str) -> bool {
                 }
             }
             "X" => {} // complete events carry their own duration
+            "M" => {} // metadata (process_name lane labels)
             _ => return false,
         }
     }
     !events.is_empty() && stacks.iter().all(|(_, stack)| stack.is_empty())
 }
 
-/// Runs all four phases.
+/// Runs all six phases.
 ///
 /// # Errors
 ///
@@ -361,6 +381,64 @@ pub fn bench(threads: usize) -> Result<Trajectory, String> {
         ));
     }
 
+    // Phase 6: stitching microbenchmark. A winner and a cancelled
+    // hedge loser both carry the phase-4 span tree (stamped with the
+    // adoption proof the node-side serve path adds on the wire), so
+    // each iteration assembles and validates a realistic two-node
+    // timeline.
+    let stitch_subtree = {
+        let mut subtree = traced
+            .get("trace")
+            .cloned()
+            .ok_or("stitch phase: traced response lost its span tree")?;
+        if let Json::Obj(pairs) = &mut subtree {
+            pairs.push(("parent_span".into(), Json::Num(7.0)));
+        }
+        subtree
+    };
+    let ctx = sram_probe::trace::TraceCtx {
+        trace_id: sram_probe::trace::trace_id(1),
+        parent_span: 7,
+        sampled: true,
+    };
+    let total_ns = traced_wall_ns as u64;
+    let pieces = [
+        sram_cluster::stitch::AttemptPiece {
+            node: "127.0.0.1:1".into(),
+            via: "hedge",
+            hedge_loser: false,
+            send_ns: 1_000,
+            rtt_ns: total_ns / 2,
+            tree: Some(stitch_subtree.clone()),
+            error: None,
+        },
+        sram_cluster::stitch::AttemptPiece {
+            node: "127.0.0.1:2".into(),
+            via: "primary",
+            hedge_loser: true,
+            send_ns: 0,
+            rtt_ns: total_ns,
+            tree: Some(stitch_subtree),
+            error: None,
+        },
+    ];
+    let iters: u64 = if smoke { 200 } else { 2_000 };
+    let mut stitch_spans = 0u64;
+    let started = Instant::now();
+    for _ in 0..iters {
+        let stitched = sram_cluster::stitch::stitch(&ctx, total_ns, &pieces);
+        stitch_spans =
+            sram_cluster::stitch::validate(&stitched).map_err(|e| format!("stitch phase: {e}"))?;
+        std::hint::black_box(&stitched);
+    }
+    let stitch_ns_per_call = started.elapsed().as_nanos() as f64 / iters as f64;
+    let stitch_overhead_ratio = stitch_ns_per_call / traced_wall_ns as f64;
+    if stitch_overhead_ratio >= MAX_STITCH_OVERHEAD {
+        return Err(format!(
+            "span stitching overhead {stitch_overhead_ratio:.4} exceeds budget {MAX_STITCH_OVERHEAD}"
+        ));
+    }
+
     Ok(Trajectory {
         smoke,
         threads,
@@ -384,6 +462,9 @@ pub fn bench(threads: usize) -> Result<Trajectory, String> {
         traced_wall_ns,
         disabled_ns_per_call,
         disabled_overhead_ratio,
+        stitch_spans,
+        stitch_ns_per_call,
+        stitch_overhead_ratio,
     })
 }
 
@@ -437,6 +518,14 @@ pub fn to_json(t: &Trajectory, unix_ms: u64) -> String {
                     "disabled_overhead_ratio".into(),
                     num(t.disabled_overhead_ratio),
                 ),
+            ]),
+        ),
+        (
+            "trace_stitch".into(),
+            Json::Obj(vec![
+                ("spans".into(), num(t.stitch_spans as f64)),
+                ("ns_per_call".into(), num(t.stitch_ns_per_call)),
+                ("overhead_ratio".into(), num(t.stitch_overhead_ratio)),
             ]),
         ),
     ])
@@ -532,6 +621,13 @@ pub fn run(threads: usize) -> Result<String, String> {
         t.disabled_ns_per_call, t.disabled_overhead_ratio, MAX_DISABLED_OVERHEAD
     ));
     out.push_str(&format!(
+        "  stitch:   {}-span cross-node timeline in {:.1} us/call -> {:.6} of the traced wall (budget {})\n",
+        t.stitch_spans,
+        t.stitch_ns_per_call / 1e3,
+        t.stitch_overhead_ratio,
+        MAX_STITCH_OVERHEAD
+    ));
+    out.push_str(&format!(
         "\n  appended: {OUTPUT_FILE} (entry {entry_count} of at most {MAX_HISTORY})\n"
     ));
     Ok(out)
@@ -553,6 +649,10 @@ mod tests {
         assert!(t.characterize_wall_s > 0.0);
         assert!(t.points_per_s > 0.0);
         assert!(t.disabled_overhead_ratio < MAX_DISABLED_OVERHEAD);
+        // Root + two attempts + a subtree under each, at minimum.
+        assert!(t.stitch_spans >= 5, "stitch_spans = {}", t.stitch_spans);
+        assert!(t.stitch_ns_per_call > 0.0);
+        assert!(t.stitch_overhead_ratio < MAX_STITCH_OVERHEAD);
     }
 
     #[test]
@@ -580,10 +680,20 @@ mod tests {
             traced_wall_ns: 250_000_000,
             disabled_ns_per_call: 1.5,
             disabled_overhead_ratio: 0.0001,
+            stitch_spans: 90,
+            stitch_ns_per_call: 12_000.0,
+            stitch_overhead_ratio: 0.00005,
         };
         let json = Json::parse(&to_json(&t, 1_754_000_000_000)).expect("renders valid JSON");
         for key in [
-            "unix_ms", "smoke", "threads", "search", "serve", "router", "trace",
+            "unix_ms",
+            "smoke",
+            "threads",
+            "search",
+            "serve",
+            "router",
+            "trace",
+            "trace_stitch",
         ] {
             assert!(json.get(key).is_some(), "missing {key}");
         }
@@ -597,6 +707,12 @@ mod tests {
             .get("trace")
             .and_then(|t| t.get("disabled_overhead_ratio"))
             .is_some());
+        assert_eq!(
+            json.get("trace_stitch")
+                .and_then(|s| s.get("overhead_ratio"))
+                .and_then(Json::as_f64),
+            Some(0.00005)
+        );
         assert_eq!(
             json.get("serve")
                 .and_then(|s| s.get("stats_ok"))
@@ -679,9 +795,10 @@ mod tests {
                 {"ph":"E","tid":1,"name":"b","pid":1,"ts":3}
             ]}"#
         ));
-        // Proper nesting passes.
+        // Proper nesting passes; metadata lane labels ("M") are fine.
         assert!(chrome_export_is_well_formed(
             r#"{"traceEvents":[
+                {"ph":"M","tid":0,"name":"process_name","pid":1,"args":{"name":"sram"}},
                 {"ph":"B","tid":1,"name":"a","pid":1,"ts":0},
                 {"ph":"B","tid":1,"name":"b","pid":1,"ts":1},
                 {"ph":"E","tid":1,"name":"b","pid":1,"ts":2},

@@ -1,0 +1,436 @@
+//! Metrics federation: cluster-wide quantiles from per-node histograms.
+//!
+//! Each node's `metrics` op exports its windowed `LogLinear` histograms
+//! as sparse `[bucket, count]` arrays. Because the bucket layout is
+//! identical on every node, the histograms merge losslessly: the
+//! collector polls every node, sums buckets per metric with
+//! [`QuantileSnapshot::merge`], and reads cluster-wide p50/p90/p99 off
+//! the merged distribution — still within the LogLinear
+//! `MAX_QUANTILE_RELATIVE_ERROR` (1/32) bound, which averaging
+//! per-node percentiles would not be. The same poll collects each
+//! node's `stats` cache counters (the per-shard hit breakdown) and its
+//! `serve.slo.*` totals, so the SLO burn is computed over the merged
+//! distribution of the whole cluster rather than per node.
+//!
+//! The router answers `cluster-metrics` and `cluster-health` from a
+//! fresh poll on every call — never cached: a stale quantile plane is
+//! worse than a slow one.
+
+use std::collections::BTreeMap;
+
+use sram_probe::telemetry::QuantileSnapshot;
+use sram_serve::{Json, ServeError};
+
+/// SLO burn at or above this is a `degraded` verdict (mirrors the
+/// node-local threshold in `sram-serve`).
+pub const BURN_DEGRADED: f64 = 1.0;
+
+/// SLO burn at or above this is an `unhealthy` verdict.
+pub const BURN_UNHEALTHY: f64 = 10.0;
+
+/// One node's parsed `metrics` + `stats` poll.
+#[derive(Debug, Clone, Default)]
+pub struct NodePoll {
+    /// Raw histograms by metric name.
+    pub quantiles: BTreeMap<String, QuantileSnapshot>,
+    /// Counter lifetime totals by name (the `serve.slo.*` family is
+    /// what the merged burn reads).
+    pub counters: BTreeMap<String, u64>,
+    /// The node's cache counters from `stats` (hits, misses, …).
+    pub cache: Option<Json>,
+    /// Poll failure, when the node did not answer.
+    pub error: Option<String>,
+}
+
+/// A full cluster sweep: per-node polls plus the merged histograms.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Per-node polls in configuration order.
+    pub nodes: Vec<(String, NodePoll)>,
+    /// Bucket-wise merged histograms across every answering node.
+    pub merged: BTreeMap<String, QuantileSnapshot>,
+}
+
+/// Parses one exported quantile object (`{"count":…,"sum":…,
+/// "buckets":[[index,count],…]}`) back into a mergeable snapshot.
+#[must_use]
+pub fn parse_snapshot(q: &Json) -> QuantileSnapshot {
+    let mut snap = QuantileSnapshot {
+        count: q.get("count").and_then(Json::as_u64).unwrap_or(0),
+        sum: q.get("sum").and_then(Json::as_u64).unwrap_or(0),
+        ..QuantileSnapshot::default()
+    };
+    if let Some(buckets) = q.get("buckets").and_then(Json::as_array) {
+        for pair in buckets {
+            if let Some(entries) = pair.as_array() {
+                if let (Some(idx), Some(count)) = (
+                    entries.first().and_then(Json::as_u64),
+                    entries.get(1).and_then(Json::as_u64),
+                ) {
+                    if let Ok(idx) = u16::try_from(idx) {
+                        snap.buckets.push((idx, count));
+                    }
+                }
+            }
+        }
+    }
+    snap
+}
+
+fn parse_metrics_reply(reply: &Json, poll: &mut NodePoll) {
+    let Some(result) = reply.get("result") else {
+        poll.error = Some("metrics reply carries no result".into());
+        return;
+    };
+    if let Some(Json::Obj(quantiles)) = result.get("quantiles") {
+        for (name, q) in quantiles {
+            poll.quantiles.insert(name.clone(), parse_snapshot(q));
+        }
+    }
+    if let Some(Json::Obj(counters)) = result.get("counters") {
+        for (name, stat) in counters {
+            if let Some(total) = stat.get("total").and_then(Json::as_u64) {
+                poll.counters.insert(name.clone(), total);
+            }
+        }
+    }
+}
+
+/// Polls every node through `call` (address, request line → reply) and
+/// merges the results. Poll failures are recorded per node — a dead
+/// shard must show up as a hole in the plane, not vanish from it.
+pub fn poll<F>(nodes: &[String], mut call: F) -> ClusterMetrics
+where
+    F: FnMut(&str, &str) -> Result<Json, ServeError>,
+{
+    // Ungated: the collector must count with probes off.
+    sram_probe::counter("cluster.metrics.polls").inc();
+    let mut sweep = ClusterMetrics::default();
+    for node in nodes {
+        let mut poll = NodePoll::default();
+        match call(node, r#"{"op":"metrics"}"#) {
+            Ok(reply) => parse_metrics_reply(&reply, &mut poll),
+            Err(e) => poll.error = Some(e.to_string()),
+        }
+        if poll.error.is_none() {
+            match call(node, r#"{"op":"stats"}"#) {
+                Ok(reply) => {
+                    poll.cache = reply.get("result").and_then(|r| r.get("cache")).cloned();
+                }
+                Err(e) => poll.error = Some(e.to_string()),
+            }
+        }
+        if poll.error.is_some() {
+            sram_probe::counter("cluster.metrics.poll_errors").inc();
+        }
+        for (name, snap) in &poll.quantiles {
+            let slot = sweep.merged.entry(name.clone()).or_default();
+            *slot = slot.merge(snap);
+        }
+        sweep.nodes.push((node.clone(), poll));
+    }
+    if let Some(latency) = sweep.merged.get("serve.request.latency_ns") {
+        // Ungated gauges: CI asserts these keys exist in --probe-json.
+        sram_probe::gauge("cluster.metrics.merged_p50").set(latency.quantile(0.50));
+        sram_probe::gauge("cluster.metrics.merged_p90").set(latency.quantile(0.90));
+        sram_probe::gauge("cluster.metrics.merged_p99").set(latency.quantile(0.99));
+    }
+    sweep
+}
+
+/// Sums the `serve.slo.<op>.total` / `.breach` counter pairs across
+/// nodes and computes the burn over the merged totals.
+#[must_use]
+pub fn merged_slo(sweep: &ClusterMetrics) -> BTreeMap<String, (u64, u64, f64)> {
+    let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (_, poll) in &sweep.nodes {
+        for (name, &value) in &poll.counters {
+            let Some(rest) = name.strip_prefix("serve.slo.") else {
+                continue;
+            };
+            if let Some(op) = rest.strip_suffix(".total") {
+                totals.entry(op.to_string()).or_default().0 += value;
+            } else if let Some(op) = rest.strip_suffix(".breach") {
+                totals.entry(op.to_string()).or_default().1 += value;
+            }
+        }
+    }
+    totals
+        .into_iter()
+        .map(|(op, (total, breach))| {
+            let burn = sram_serve::slo::burn_rate(breach, total);
+            (op, (total, breach, burn))
+        })
+        .collect()
+}
+
+fn quantile_json(snap: &QuantileSnapshot) -> Json {
+    let buckets = snap
+        .buckets
+        .iter()
+        .map(|&(idx, count)| Json::Arr(vec![Json::Num(f64::from(idx)), Json::Num(count as f64)]))
+        .collect();
+    Json::Obj(vec![
+        ("count".into(), Json::Num(snap.count as f64)),
+        ("sum".into(), Json::Num(snap.sum as f64)),
+        ("p50".into(), Json::Num(snap.quantile(0.50))),
+        ("p90".into(), Json::Num(snap.quantile(0.90))),
+        ("p99".into(), Json::Num(snap.quantile(0.99))),
+        ("buckets".into(), Json::Arr(buckets)),
+    ])
+}
+
+fn slo_json(sweep: &ClusterMetrics) -> Json {
+    Json::Obj(
+        merged_slo(sweep)
+            .into_iter()
+            .map(|(op, (total, breach, burn))| {
+                (
+                    op,
+                    Json::Obj(vec![
+                        ("total".into(), Json::Num(total as f64)),
+                        ("breach".into(), Json::Num(breach as f64)),
+                        ("burn".into(), Json::Num(burn)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The `cluster-metrics` reply: merged histograms with cluster-wide
+/// percentiles, the per-shard cache breakdown, the merged SLO table,
+/// and per-node poll status.
+#[must_use]
+pub fn cluster_metrics_json(sweep: &ClusterMetrics, id: Option<&str>) -> Json {
+    let merged: Vec<(String, Json)> = sweep
+        .merged
+        .iter()
+        .map(|(name, snap)| (name.clone(), quantile_json(snap)))
+        .collect();
+    let mut shards: Vec<(String, Json)> = Vec::with_capacity(sweep.nodes.len());
+    let mut nodes: Vec<(String, Json)> = Vec::with_capacity(sweep.nodes.len());
+    for (node, poll) in &sweep.nodes {
+        if let Some(error) = &poll.error {
+            nodes.push((node.clone(), Json::Str(error.clone())));
+        } else {
+            nodes.push((node.clone(), Json::Str("ok".into())));
+        }
+        if let Some(cache) = &poll.cache {
+            let hits = cache.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
+            let misses = cache.get("misses").and_then(Json::as_f64).unwrap_or(0.0);
+            let looked = hits + misses;
+            let mut pairs = match cache {
+                Json::Obj(pairs) => pairs.clone(),
+                _ => Vec::new(),
+            };
+            pairs.push((
+                "hit_rate".into(),
+                Json::Num(if looked > 0.0 { hits / looked } else { 0.0 }),
+            ));
+            shards.push((node.clone(), Json::Obj(pairs)));
+        }
+    }
+    let mut pairs = vec![
+        ("status".to_owned(), Json::Str("ok".into())),
+        ("op".to_owned(), Json::Str("cluster-metrics".into())),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::Str(id.into())));
+    }
+    pairs.extend([
+        ("nodes".to_owned(), Json::Obj(nodes)),
+        ("merged".to_owned(), Json::Obj(merged)),
+        ("shards".to_owned(), Json::Obj(shards)),
+        ("slo".to_owned(), slo_json(sweep)),
+    ]);
+    Json::Obj(pairs)
+}
+
+/// The `cluster-health` reply: a verdict over the merged SLO burn plus
+/// poll reachability, with reasons.
+#[must_use]
+pub fn cluster_health_json(sweep: &ClusterMetrics, id: Option<&str>) -> Json {
+    let mut reasons: Vec<String> = Vec::new();
+    let failed = sweep
+        .nodes
+        .iter()
+        .filter(|(_, p)| p.error.is_some())
+        .count();
+    let polled = sweep.nodes.len();
+    let mut verdict = "ok";
+    if failed > 0 {
+        verdict = "degraded";
+        reasons.push(format!("{failed}/{polled} nodes unreachable"));
+    }
+    if polled > 0 && failed == polled {
+        verdict = "unhealthy";
+    }
+    for (op, (total, breach, burn)) in merged_slo(sweep) {
+        if burn >= BURN_UNHEALTHY {
+            verdict = "unhealthy";
+            reasons.push(format!(
+                "slo burn {burn:.2} on {op} (breach {breach}/{total})"
+            ));
+        } else if burn >= BURN_DEGRADED {
+            if verdict == "ok" {
+                verdict = "degraded";
+            }
+            reasons.push(format!(
+                "slo burn {burn:.2} on {op} (breach {breach}/{total})"
+            ));
+        }
+    }
+    let mut pairs = vec![
+        ("status".to_owned(), Json::Str("ok".into())),
+        ("op".to_owned(), Json::Str("cluster-health".into())),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), Json::Str(id.into())));
+    }
+    pairs.extend([
+        ("verdict".to_owned(), Json::Str(verdict.into())),
+        (
+            "reasons".to_owned(),
+            Json::Arr(reasons.into_iter().map(Json::Str).collect()),
+        ),
+        ("nodes_polled".to_owned(), Json::Num(polled as f64)),
+        ("nodes_failed".to_owned(), Json::Num(failed as f64)),
+        ("slo".to_owned(), slo_json(sweep)),
+    ]);
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram_probe::telemetry::LogLinear;
+
+    fn metrics_reply(latencies: &[u64], slo_total: u64, slo_breach: u64) -> Json {
+        let hist = LogLinear::default();
+        for &v in latencies {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let buckets: Vec<Json> = snap
+            .buckets
+            .iter()
+            .map(|&(i, c)| Json::Arr(vec![Json::Num(f64::from(i)), Json::Num(c as f64)]))
+            .collect();
+        Json::Obj(vec![(
+            "result".into(),
+            Json::Obj(vec![
+                (
+                    "quantiles".into(),
+                    Json::Obj(vec![(
+                        "serve.request.latency_ns".into(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(snap.count as f64)),
+                            ("sum".into(), Json::Num(snap.sum as f64)),
+                            ("buckets".into(), Json::Arr(buckets)),
+                        ]),
+                    )]),
+                ),
+                (
+                    "counters".into(),
+                    Json::Obj(vec![
+                        (
+                            "serve.slo.optimize.total".into(),
+                            Json::Obj(vec![("total".into(), Json::Num(slo_total as f64))]),
+                        ),
+                        (
+                            "serve.slo.optimize.breach".into(),
+                            Json::Obj(vec![("total".into(), Json::Num(slo_breach as f64))]),
+                        ),
+                    ]),
+                ),
+            ]),
+        )])
+    }
+
+    fn stats_reply(hits: f64, misses: f64) -> Json {
+        Json::Obj(vec![(
+            "result".into(),
+            Json::Obj(vec![(
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Num(hits)),
+                    ("misses".into(), Json::Num(misses)),
+                ]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn merged_quantiles_match_a_single_combined_histogram() {
+        // Two nodes with disjoint latency populations; the merged p99
+        // must equal the p99 of the union, not the mean of per-node
+        // p99s.
+        let slow: Vec<u64> = (0..100).map(|i| 1_000_000 + i * 1_000).collect();
+        let fast: Vec<u64> = (0..100).map(|i| 10_000 + i * 100).collect();
+        let nodes = vec!["a".to_string(), "b".to_string()];
+        let sweep = poll(&nodes, |node, line| {
+            Ok(if line.contains("metrics") {
+                metrics_reply(if node == "a" { &slow } else { &fast }, 100, 0)
+            } else {
+                stats_reply(10.0, 90.0)
+            })
+        });
+        let union = LogLinear::default();
+        for &v in slow.iter().chain(fast.iter()) {
+            union.record(v);
+        }
+        let expected = union.snapshot();
+        let merged = sweep.merged.get("serve.request.latency_ns").unwrap();
+        assert_eq!(merged.count, expected.count);
+        for q in [0.5, 0.9, 0.99] {
+            let (a, b) = (merged.quantile(q), expected.quantile(q));
+            assert!(
+                (a - b).abs() <= f64::EPSILON * a.abs().max(1.0),
+                "q{q}: merged {a} vs union {b}"
+            );
+        }
+        // SLO totals summed across nodes.
+        let slo = merged_slo(&sweep);
+        assert_eq!(slo.get("optimize").map(|v| (v.0, v.1)), Some((200, 0)));
+    }
+
+    #[test]
+    fn replies_carry_shards_slo_and_per_node_status() {
+        let nodes = vec!["up".to_string(), "down".to_string()];
+        let sweep = poll(&nodes, |node, line| {
+            if node == "down" {
+                Err(ServeError::Remote("connection refused".into()))
+            } else if line.contains("metrics") {
+                Ok(metrics_reply(&[1_000, 2_000], 10, 9))
+            } else {
+                Ok(stats_reply(3.0, 1.0))
+            }
+        });
+        let metrics = cluster_metrics_json(&sweep, Some("m1"));
+        assert_eq!(metrics.get("id").and_then(Json::as_str), Some("m1"));
+        assert_eq!(
+            metrics
+                .get("shards")
+                .and_then(|s| s.get("up"))
+                .and_then(|s| s.get("hit_rate"))
+                .and_then(Json::as_f64),
+            Some(0.75)
+        );
+        assert!(metrics
+            .get("merged")
+            .and_then(|m| m.get("serve.request.latency_ns"))
+            .and_then(|q| q.get("buckets"))
+            .and_then(Json::as_array)
+            .is_some_and(|b| !b.is_empty()));
+        let health = cluster_health_json(&sweep, None);
+        // One node down and a 9/10 breach burn (well past unhealthy).
+        assert_eq!(
+            health.get("verdict").and_then(Json::as_str),
+            Some("unhealthy"),
+            "{}",
+            health.render()
+        );
+        assert_eq!(health.get("nodes_failed").and_then(Json::as_u64), Some(1));
+    }
+}

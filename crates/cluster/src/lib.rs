@@ -23,7 +23,17 @@
 //!   machine that drives ring membership, with bounded retry + backoff
 //!   on every forwarding path;
 //! * **reports itself** — `cluster.*` probes, windowed telemetry, and
-//!   a router-local, never-cached `cluster-stats` op.
+//!   a router-local, never-cached `cluster-stats` op;
+//! * **traces end-to-end** — a traced request gets a propagated
+//!   `trace_ctx` (trace id + parent span + seeded sampling decision);
+//!   each node re-roots its span tree under the router's root, and the
+//!   router stitches winner *and* cancelled hedge loser into one
+//!   clock-rebased timeline ([`stitch`]);
+//! * **federates metrics** — never-cached `cluster-metrics` and
+//!   `cluster-health` ops merge the nodes' windowed `LogLinear`
+//!   histograms bucket-wise ([`collector`]), so cluster-wide
+//!   p50/p90/p99 and the SLO burn are computed over one merged
+//!   distribution instead of averaged per-node percentiles.
 //!
 //! Deployment knobs are the `SRAM_CLUSTER_NODES`,
 //! `SRAM_CLUSTER_REPLICAS`, `SRAM_CLUSTER_HEDGE_MS`, and
@@ -42,6 +52,8 @@ mod ring;
 mod router;
 
 pub mod affinity;
+pub mod collector;
+pub mod stitch;
 
 pub use poller::{NodeState, NodeStatus, DOWN_AFTER_FAILURES};
 pub use ring::{splitmix64, Ring, DEFAULT_VNODES};

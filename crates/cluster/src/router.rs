@@ -23,20 +23,36 @@
 //! * **`cluster-stats`** — answered by the router itself (the nodes
 //!   would reject the op): ring membership, per-node poller state, and
 //!   the router's own counters. Never cached, never forwarded.
+//! * **`cluster-metrics` / `cluster-health`** — answered by the router
+//!   from a fresh [`crate::collector`] sweep of every node's `metrics`
+//!   and `stats` ops: merged `LogLinear` histograms with cluster-wide
+//!   p50/p90/p99, the per-shard cache-hit breakdown, and an SLO burn
+//!   over the merged distribution. Never cached, never forwarded.
+//!
+//! A request with `"trace": true` additionally gets a distributed
+//! trace: the router makes one seeded sampling decision, attaches a
+//! `trace_ctx` to every forwarded attempt, and stitches the returned
+//! span trees — the winner *and* any cancelled hedge loser, marked
+//! `hedge_loser: true` — into one clock-rebased timeline
+//! ([`crate::stitch`]) that replaces the winner's node-local tree in
+//! the reply.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sram_faults::CancelToken;
+use sram_probe::trace::TraceCtx;
 use sram_serve::{error_response, Json, Request, ServeError};
 
+use crate::collector;
 use crate::poller::{poll_loop, Membership};
 use crate::pool::Pool;
 use crate::ring::DEFAULT_VNODES;
+use crate::stitch::{self, AttemptPiece};
 
 /// Hedge delay is recomputed from the telemetry window at most this
 /// often — the export walks every counter, too heavy per request.
@@ -45,6 +61,25 @@ const HEDGE_RECOMPUTE: Duration = Duration::from_millis(250);
 /// Upper bound on the derived hedge delay: beyond this a hedge no
 /// longer rescues tail latency, it just doubles load.
 const HEDGE_CAP_MS: f64 = 250.0;
+
+/// Default router slow-query threshold (ms), overridden by
+/// `SRAM_LOG_SLOW_MS` — same knob the nodes honor.
+const DEFAULT_SLOW_QUERY_MS: u64 = 1000;
+
+/// Monotonic per-request key feeding the seeded trace sampler and the
+/// deterministic trace-id stream.
+static ROUTE_KEY: AtomicU64 = AtomicU64::new(0);
+
+fn slow_threshold_ns() -> u64 {
+    static THRESHOLD: OnceLock<u64> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("SRAM_LOG_SLOW_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SLOW_QUERY_MS)
+            .saturating_mul(1_000_000)
+    })
+}
 
 /// Router sizing and timing knobs. [`RouterConfig::from_env`] reads
 /// the `SRAM_CLUSTER_*` family; in-process clusters set fields
@@ -358,6 +393,18 @@ fn handle_line(inner: &Arc<RouterInner>, line: &str) -> Json {
     if op == "cluster-stats" {
         return cluster_stats(inner, id.as_deref());
     }
+    if op == "cluster-metrics" || op == "cluster-health" {
+        // Fresh sweep per call, never cached: a stale quantile plane
+        // is worse than a slow one.
+        let sweep = collector::poll(&inner.config.nodes, |node, request_line| {
+            inner.pool.call(node, request_line)
+        });
+        return if op == "cluster-metrics" {
+            collector::cluster_metrics_json(&sweep, id.as_deref())
+        } else {
+            collector::cluster_health_json(&sweep, id.as_deref())
+        };
+    }
     // Same strictness as a node: a request the nodes would reject is
     // rejected here, without burning a forward on it.
     let request = match Request::from_line(line) {
@@ -386,25 +433,71 @@ fn handle_line(inner: &Arc<RouterInner>, line: &str) -> Json {
         // protocol's retryable backpressure reply).
         return error_response(id.as_deref(), &ServeError::Busy);
     }
-    forward(inner, line, id.as_deref(), &candidates, epoch)
+    forward(inner, &request, line, id.as_deref(), &candidates, epoch)
+}
+
+/// One attempt's outcome, reported back to the forwarding loop. Every
+/// attempt reports — including cancelled hedge losers, whose replies
+/// the client never sees but whose span trees the stitcher keeps.
+struct AttemptReport {
+    index: usize,
+    via: Via,
+    result: Result<Json, ServeError>,
+    /// Send time, ns since the forward started (router clock).
+    send_ns: u64,
+    /// Round-trip time, ns (0 when cancelled before the wire).
+    rtt_ns: u64,
+    /// `true` when the attempt observed the cancel token — it lost the
+    /// race and its reply was discarded.
+    loser: bool,
 }
 
 /// Forwards a query line to its ring candidates with hedging and
 /// failover; returns exactly one reply.
 fn forward(
     inner: &Arc<RouterInner>,
+    request: &Request,
     line: &str,
     id: Option<&str>,
     candidates: &[String],
     epoch: u64,
 ) -> Json {
     sram_probe::probe_inc!("cluster.request.routed");
-    let (tx, rx) = mpsc::channel::<(usize, Via, Result<Json, ServeError>)>();
+    // A traced request (that is not already carrying someone else's
+    // context) gets a distributed trace: one seeded sampling decision
+    // here governs every node it touches, and the propagated parent
+    // span is what their trees re-root under.
+    let trace_ctx = if request.trace && request.trace_ctx.is_none() {
+        let key = ROUTE_KEY.fetch_add(1, Ordering::Relaxed);
+        let sampled = sram_probe::trace::sample(key).is_some();
+        let trace_id = sram_probe::trace::trace_id(key);
+        let ctx = TraceCtx {
+            trace_id,
+            // Chained through the id stream: deterministic, nonzero,
+            // and independent of the trace id itself. Masked to 53 bits
+            // because span ids ride the wire as JSON numbers (exact
+            // integer range of `f64`); the 16-hex trace id is a string
+            // and keeps all 64 bits.
+            parent_span: (sram_probe::trace::trace_id(trace_id) & ((1 << 53) - 1)).max(1),
+            sampled,
+        };
+        let mut forwarded = request.clone();
+        forwarded.trace_ctx = Some(ctx);
+        sram_probe::counter("cluster.trace.propagated").inc();
+        Some((ctx, forwarded.to_json().render()))
+    } else {
+        None
+    };
+    let wire_line: &str = trace_ctx.as_ref().map_or(line, |(_, l)| l.as_str());
+    let stitching = trace_ctx.as_ref().is_some_and(|(ctx, _)| ctx.sampled);
+
+    let forward_t0 = Instant::now();
+    let (tx, rx) = mpsc::channel::<AttemptReport>();
     let token = CancelToken::never();
     let spawn_attempt = |index: usize, via: Via| {
         let inner = Arc::clone(inner);
         let addr = candidates[index].clone();
-        let line = line.to_owned();
+        let line = wire_line.to_owned();
         let tx = tx.clone();
         let token = token.clone();
         std::thread::spawn(move || {
@@ -412,25 +505,42 @@ fn forward(
                 // Cancelled before the wire was touched: the race was
                 // already decided, don't load the node at all.
                 sram_probe::counter("cluster.hedge.cancelled").inc();
+                let _ = tx.send(AttemptReport {
+                    index,
+                    via,
+                    result: Err(ServeError::Internal("cancelled before send".into())),
+                    send_ns: forward_t0.elapsed().as_nanos() as u64,
+                    rtt_ns: 0,
+                    loser: true,
+                });
                 return;
             }
+            let send_ns = forward_t0.elapsed().as_nanos() as u64;
             let started = Instant::now();
             let result = inner.pool.call(&addr, &line);
+            let rtt_ns = started.elapsed().as_nanos() as u64;
             if result.is_ok() {
-                let ns = started.elapsed().as_nanos() as u64;
-                sram_probe::probe_record!("cluster.forward.latency_ns", ns);
+                sram_probe::probe_record!("cluster.forward.latency_ns", rtt_ns);
                 // Ungated: the hedge-delay derivation needs the p99
                 // stream even with probes off.
-                sram_probe::telemetry::record("cluster.forward.latency_ns", ns);
+                sram_probe::telemetry::record("cluster.forward.latency_ns", rtt_ns);
             }
-            if token.is_cancelled() {
-                // Lost the race after doing the work: the hedged twin
-                // already answered the client, so this reply is
-                // discarded — the loser-cancel half of hedging.
+            // Lost the race after doing the work: the hedged twin
+            // already answered the client, so this reply is discarded —
+            // but still reported, so the stitcher can keep the loser's
+            // side of the race on the timeline.
+            let loser = token.is_cancelled();
+            if loser {
                 sram_probe::counter("cluster.hedge.cancelled").inc();
-                return;
             }
-            let _ = tx.send((index, via, result));
+            let _ = tx.send(AttemptReport {
+                index,
+                via,
+                result,
+                send_ns,
+                rtt_ns,
+                loser,
+            });
         });
     };
 
@@ -449,46 +559,56 @@ fn forward(
             .saturating_mul(candidates.len().max(1) as u32)
         + Duration::from_secs(1);
 
+    let mut winner: Option<AttemptReport> = None;
+    let mut reports: Vec<AttemptReport> = Vec::new();
     loop {
         let now = Instant::now();
         if now >= deadline {
             break;
         }
+        if winner.is_some() && reports.len() + 1 >= spawned {
+            break; // every attempt reported; nothing left to stitch
+        }
         let remaining = deadline - now;
-        let wait = if !hedged && spawned < candidates.len() {
+        let wait = if winner.is_none() && !hedged && spawned < candidates.len() {
             hedge_after.min(remaining)
         } else {
             remaining
         };
         match rx.recv_timeout(wait) {
-            Ok((index, via, Ok(mut reply))) => {
-                token.cancel();
-                if via == Via::Hedge {
-                    sram_probe::counter("cluster.hedge.wins").inc();
+            Ok(report) => {
+                if winner.is_none() && !report.loser && report.result.is_ok() {
+                    token.cancel();
+                    if report.via == Via::Hedge {
+                        sram_probe::counter("cluster.hedge.wins").inc();
+                    }
+                    winner = Some(report);
+                    if !stitching {
+                        // Untraced: answer now; straggler reports go
+                        // to a dropped channel and vanish, as before.
+                        break;
+                    }
+                    continue;
                 }
-                if let Json::Obj(pairs) = &mut reply {
-                    pairs.push(("node".into(), Json::Str(candidates[index].clone())));
-                    pairs.push(("epoch".into(), Json::Num(epoch as f64)));
-                    pairs.push(("via".into(), Json::Str(via.as_str().into())));
+                if winner.is_none() && !report.loser && report.result.is_err() {
+                    failed += 1;
+                    if spawned < candidates.len() {
+                        // The pool's bounded retry already ran; this
+                        // node is not answering — move down the ring
+                        // now rather than waiting out the hedge timer.
+                        sram_probe::probe_inc!("cluster.forward.failovers");
+                        spawn_attempt(spawned, Via::Failover);
+                        spawned += 1;
+                    } else if failed >= spawned {
+                        // Every candidate failed: retryable
+                        // backpressure.
+                        return error_response(id, &ServeError::Busy);
+                    }
                 }
-                return reply;
-            }
-            Ok((_, _, Err(_))) => {
-                failed += 1;
-                if spawned < candidates.len() {
-                    // The pool's bounded retry already ran; this node
-                    // is not answering — move down the ring now rather
-                    // than waiting out the hedge timer.
-                    sram_probe::probe_inc!("cluster.forward.failovers");
-                    spawn_attempt(spawned, Via::Failover);
-                    spawned += 1;
-                } else if failed >= spawned {
-                    // Every candidate failed: retryable backpressure.
-                    return error_response(id, &ServeError::Busy);
-                }
+                reports.push(report);
             }
             Err(RecvTimeoutError::Timeout) => {
-                if !hedged && spawned < candidates.len() {
+                if winner.is_none() && !hedged && spawned < candidates.len() {
                     hedged = true;
                     // Ungated: CI asserts the hedge fired under the
                     // soak's injected `cell.slow` latency.
@@ -502,10 +622,96 @@ fn forward(
         }
     }
     token.cancel();
-    error_response(
-        id,
-        &ServeError::Internal("cluster forward timed out on every candidate".into()),
-    )
+    let Some(winner) = winner else {
+        return error_response(
+            id,
+            &ServeError::Internal("cluster forward timed out on every candidate".into()),
+        );
+    };
+
+    let total_ns = forward_t0.elapsed().as_nanos() as u64;
+    // Winners are only recorded on Ok replies; the Err arm is a
+    // defensive fallthrough rather than a reachable path.
+    let mut reply = match winner.result {
+        Ok(reply) => reply,
+        Err(err) => return error_response(id, &err),
+    };
+    if let Json::Obj(pairs) = &mut reply {
+        pairs.push(("node".into(), Json::Str(candidates[winner.index].clone())));
+        pairs.push(("epoch".into(), Json::Num(epoch as f64)));
+        pairs.push(("via".into(), Json::Str(winner.via.as_str().into())));
+    }
+    if stitching {
+        if let Some((ctx, _)) = &trace_ctx {
+            let winner_piece = AttemptPiece {
+                node: candidates[winner.index].clone(),
+                via: winner.via.as_str(),
+                hedge_loser: false,
+                send_ns: winner.send_ns,
+                rtt_ns: winner.rtt_ns,
+                tree: reply.get("trace").cloned(),
+                error: None,
+            };
+            let mut pieces = vec![winner_piece];
+            for report in &reports {
+                pieces.push(AttemptPiece {
+                    node: candidates[report.index].clone(),
+                    via: report.via.as_str(),
+                    hedge_loser: report.loser,
+                    send_ns: report.send_ns,
+                    rtt_ns: report.rtt_ns,
+                    tree: report
+                        .result
+                        .as_ref()
+                        .ok()
+                        .and_then(|r| r.get("trace").cloned()),
+                    error: report.result.as_ref().err().map(ToString::to_string),
+                });
+            }
+            pieces.sort_by_key(|p| p.send_ns);
+            let losers = pieces
+                .iter()
+                .filter(|p| p.hedge_loser && p.tree.is_some())
+                .count() as u64;
+            let stitched = stitch::stitch(ctx, total_ns, &pieces);
+            sram_probe::counter("cluster.trace.stitched").inc();
+            sram_probe::counter("cluster.trace.losers").add(losers);
+            match stitch::validate(&stitched) {
+                Ok(spans) => sram_probe::counter("cluster.trace.stitched_spans").add(spans),
+                Err(_) => sram_probe::counter("cluster.trace.forests").inc(),
+            }
+            if let Json::Obj(pairs) = &mut reply {
+                pairs.retain(|(k, _)| k != "trace");
+                pairs.push(("trace".into(), stitched));
+            }
+        }
+    }
+    if total_ns >= slow_threshold_ns() && sram_probe::log::enabled(sram_probe::log::LogLevel::Warn)
+    {
+        use sram_probe::log::LogValue;
+        let mut fields: Vec<(&str, LogValue)> = vec![
+            ("op", LogValue::Str(request.query.op().into())),
+            ("latency_ms", LogValue::U64(total_ns / 1_000_000)),
+            ("via", LogValue::Str(winner.via.as_str().into())),
+            ("hedged", LogValue::Bool(hedged)),
+        ];
+        if let Some(id) = id {
+            fields.push(("id", LogValue::Str(id.into())));
+        }
+        if let Json::Obj(pairs) = &reply {
+            // A traced slow query carries its stitched cross-node tree
+            // into the log verbatim.
+            if let Some((_, tree)) = pairs.iter().find(|(k, _)| k == "trace") {
+                fields.push(("trace", LogValue::Raw(tree.render())));
+            }
+        }
+        sram_probe::log::log_event(
+            sram_probe::log::LogLevel::Warn,
+            "cluster.slow_query",
+            &fields,
+        );
+    }
+    reply
 }
 
 /// Derives the hedge delay from the windowed p99 of forward latency:
@@ -710,6 +916,84 @@ mod tests {
                 .is_some(),
             "health fans out per node: {health:?}"
         );
+
+        router.shutdown();
+        node.shutdown();
+    }
+
+    #[test]
+    fn traced_requests_stitch_and_metrics_ops_federate() {
+        let node = sram_serve::spawn_local_node("127.0.0.1:0", 2, 16).unwrap();
+        let router = Router::start(RouterConfig {
+            nodes: vec![node.local_addr().to_string()],
+            replicas: 1,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+
+        let reply = client
+            .call_line(
+                r#"{"op":"optimize","capacity_bytes":2048,"flavor":"lvt","method":"m2","trace":true}"#,
+            )
+            .unwrap();
+        assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+        let tree = reply.get("trace").expect("traced reply carries a tree");
+        assert_eq!(
+            tree.get("name").and_then(Json::as_str),
+            Some("cluster.request"),
+            "{}",
+            tree.render()
+        );
+        // One connected timeline: root + attempt + the node's subtree,
+        // whose adopted parent is the router's root span.
+        let spans = stitch::validate(tree).expect("stitched tree is connected");
+        assert!(spans >= 3, "expected a full timeline, got {spans} spans");
+        let attempt = &tree.get("children").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(
+            attempt.get("name").and_then(Json::as_str),
+            Some("cluster.attempt")
+        );
+        assert_eq!(
+            attempt.get("hedge_loser").and_then(Json::as_bool),
+            Some(false)
+        );
+        // The stitched Chrome export keeps router and node on separate
+        // pid lanes.
+        let chrome = stitch::chrome_trace(tree);
+        assert!(
+            chrome.contains("\"args\":{\"name\":\"router\"}"),
+            "{chrome}"
+        );
+        assert!(chrome.contains("\"pid\":2"), "{chrome}");
+
+        let metrics = client.call_line(r#"{"op":"cluster-metrics"}"#).unwrap();
+        assert_eq!(
+            metrics.get("op").and_then(Json::as_str),
+            Some("cluster-metrics")
+        );
+        let merged = metrics
+            .get("merged")
+            .and_then(|m| m.get("serve.request.latency_ns"))
+            .expect("merged latency histogram");
+        assert!(merged.get("p99").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(merged
+            .get("buckets")
+            .and_then(Json::as_array)
+            .is_some_and(|b| !b.is_empty()));
+        assert!(metrics
+            .get("shards")
+            .and_then(|s| s.get(&node.local_addr().to_string()))
+            .is_some());
+
+        let health = client.call_line(r#"{"op":"cluster-health"}"#).unwrap();
+        assert!(
+            health.get("verdict").and_then(Json::as_str).is_some(),
+            "{}",
+            health.render()
+        );
+        assert_eq!(health.get("nodes_failed").and_then(Json::as_u64), Some(0));
 
         router.shutdown();
         node.shutdown();

@@ -41,11 +41,11 @@ fn every_rule_fires_on_the_fixture_tree() {
     assert_eq!(count(&report, "registry-sync"), 2);
     assert_eq!(count(&report, "dead-parameter"), 1);
     assert_eq!(count(&report, "config-sync"), 2);
-    assert_eq!(count(&report, "probe-drift"), 4);
+    assert_eq!(count(&report, "probe-drift"), 5);
     assert_eq!(count(&report, "suppression-syntax"), 1);
     assert_eq!(count(&report, "unused-suppression"), 2);
     assert_eq!(count(&report, "parse-error"), 1);
-    assert_eq!(report.diagnostics.len(), 33);
+    assert_eq!(report.diagnostics.len(), 34);
     assert!(report.deny_count() > 0, "--deny-all must fail on fixtures");
 }
 
@@ -163,7 +163,7 @@ fn warn_level_keeps_exit_clean() {
     }
     let report = run(&fixture_root(), &config).expect("fixture tree readable");
     assert_eq!(report.deny_count(), 0);
-    assert_eq!(report.warn_count(), 33);
+    assert_eq!(report.warn_count(), 34);
 }
 
 #[test]
@@ -171,7 +171,7 @@ fn json_rendering_of_the_fixture_report_is_well_formed() {
     let report = fixture_report();
     let json = report.render_json();
     assert!(json.contains("\"files_scanned\": 19"));
-    assert!(json.contains("\"counts\": {\"deny\": 33, \"warn\": 0}"));
+    assert!(json.contains("\"counts\": {\"deny\": 34, \"warn\": 0}"));
     // Balanced braces/brackets outside strings — cheap well-formedness
     // check without a JSON parser in the dependency-free workspace.
     let mut depth = 0i32;
@@ -253,15 +253,23 @@ fn probe_crate_fixture_is_sanctioned_but_namespaced() {
 fn cluster_crate_fixture_is_sanctioned_but_namespaced() {
     // PR 8's satellite: the router crate's detached spawns are exempt
     // from thread-discipline, but its metrics must live under
-    // `cluster.` — the wrong-prefix registration is the only finding.
+    // `cluster.` (the wrong-prefix registration). PR 9 adds the
+    // unasserted `cluster.trace.` stitching metric: probe-drift must
+    // see the new trace namespace, not just the PR 8 families.
     let report = fixture_report();
     let diags = in_file(&report, "crates/cluster/src/bad_cluster.rs");
-    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags.len(), 2, "{diags:?}");
     assert_eq!(diags[0].rule, "probe-naming");
     assert!(
         diags[0].message.contains("node.evicted_fixture"),
         "{}",
         diags[0].message
+    );
+    assert_eq!(diags[1].rule, "probe-drift");
+    assert!(
+        diags[1].message.contains("cluster.trace.stitched_fixture"),
+        "{}",
+        diags[1].message
     );
 }
 
@@ -343,7 +351,9 @@ fn probe_drift_reports_all_four_drift_shapes() {
         .iter()
         .filter(|d| d.rule == "probe-drift")
         .collect();
-    assert_eq!(drift.len(), 4, "{drift:?}");
+    // Four shapes in the spice crate plus the never-asserted
+    // cluster.trace fixture metric.
+    assert_eq!(drift.len(), 5, "{drift:?}");
     let unlisted = drift
         .iter()
         .find(|d| d.message.contains("spice.drifted_metric"))

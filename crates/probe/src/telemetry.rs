@@ -533,6 +533,13 @@ pub struct Export {
     pub gauges: BTreeMap<&'static str, f64>,
     /// Ring-merged quantile summaries by name.
     pub quantiles: BTreeMap<&'static str, QuantileSummary>,
+    /// The raw ring-merged histograms the summaries were computed
+    /// from. Exposed so a remote collector can serialize the sparse
+    /// buckets, merge them across processes with
+    /// [`QuantileSnapshot::merge`], and recompute cluster-wide
+    /// quantiles within the same [`MAX_QUANTILE_RELATIVE_ERROR`]
+    /// bound instead of averaging per-node percentiles.
+    pub quantile_buckets: BTreeMap<&'static str, QuantileSnapshot>,
 }
 
 /// Builds an [`Export`] from the current ring plus live totals.
@@ -589,8 +596,8 @@ pub fn export() -> Export {
         }
     }
     let quantiles = merged
-        .into_iter()
-        .map(|(name, q)| {
+        .iter()
+        .map(|(&name, q)| {
             (
                 name,
                 QuantileSummary {
@@ -612,6 +619,7 @@ pub fn export() -> Export {
         counters,
         gauges: snap.gauges.clone(),
         quantiles,
+        quantile_buckets: merged,
     }
 }
 

@@ -255,6 +255,90 @@ pub fn sample(key: u64) -> Option<ForceGuard> {
 }
 
 // ---------------------------------------------------------------------
+// Cross-process trace context
+// ---------------------------------------------------------------------
+
+/// Domain separator mixed into [`trace_id`] so trace ids never collide
+/// with the [`sample`] hash stream for the same key.
+const TRACE_ID_SALT: u64 = 0x7_1D5A_17ED_5EED;
+
+/// A deterministic trace id for a root `key`: the same splitmix64
+/// stream construction as [`sample`], salted so the id stream and the
+/// sampling decision stream are independent. Never returns 0 (0 is
+/// the "no span" sentinel throughout this module).
+#[must_use]
+pub fn trace_id(key: u64) -> u64 {
+    let id = splitmix64(SAMPLE_SEED.load(Ordering::Relaxed) ^ TRACE_ID_SALT ^ key);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Propagated trace context: what a router sends along with a
+/// forwarded request so the receiving node's span tree nests under the
+/// caller's root instead of starting a disconnected fragment.
+///
+/// The wire form ([`TraceCtx::encode`]) is a W3C-`traceparent`-shaped
+/// string, `00-<16 hex trace id>-<16 hex parent span>-<01|00>`, where
+/// the final flag byte carries the sampling decision: the *sender*
+/// samples (via [`sample`]), and a `00` flag tells the receiver to
+/// skip tracing entirely — one seeded decision governs the whole
+/// cross-process tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The distributed trace this request belongs to.
+    pub trace_id: u64,
+    /// The sender-side span the receiver's root should parent under.
+    pub parent_span: u64,
+    /// The sender's sampling decision; `false` short-circuits all
+    /// receiver-side recording.
+    pub sampled: bool,
+}
+
+impl TraceCtx {
+    /// Renders the wire form: `00-{trace_id:016x}-{parent:016x}-{01|00}`.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!(
+            "00-{:016x}-{:016x}-{}",
+            self.trace_id,
+            self.parent_span,
+            if self.sampled { "01" } else { "00" }
+        )
+    }
+
+    /// Parses the wire form. Returns `None` for anything malformed: a
+    /// wrong version, field count, field width, non-hex digits, or an
+    /// unknown flag byte.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('-');
+        let (version, trace, parent, flags) =
+            (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+        if parts.next().is_some() || version != "00" {
+            return None;
+        }
+        if trace.len() != 16 || parent.len() != 16 {
+            return None;
+        }
+        let trace_id = u64::from_str_radix(trace, 16).ok()?;
+        let parent_span = u64::from_str_radix(parent, 16).ok()?;
+        let sampled = match flags {
+            "01" => true,
+            "00" => false,
+            _ => return None,
+        };
+        Some(Self {
+            trace_id,
+            parent_span,
+            sampled,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Clock, span ids, name interning
 // ---------------------------------------------------------------------
 
@@ -797,48 +881,72 @@ const COMPLETE_LANE_OFFSET: u32 = 1000;
 /// Renders events as Chrome trace-event JSON — an object with a
 /// `"traceEvents"` array — loadable in `chrome://tracing` and Perfetto.
 /// Timestamps are microseconds (`ts`/`dur`), as the format requires.
+/// All events share `pid` 1; multi-process captures go through
+/// [`chrome_trace_json_labeled`], which gives each source its own lane.
 #[must_use]
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    chrome_trace_json_labeled(&[(1, "sram", events)])
+}
+
+/// Renders several event sources (e.g. a router and each cluster node)
+/// into one Chrome trace. Each `(pid, label, events)` source renders
+/// under its own `pid`, announced with a `process_name` metadata (`M`)
+/// event so viewers show the label instead of a bare number — without
+/// this, merged node+router captures all land on `pid` 1 and draw on
+/// top of each other.
+#[must_use]
+pub fn chrome_trace_json_labeled(sources: &[(u32, &str, &[TraceEvent])]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
-    for (i, event) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for (pid, label, events) in sources {
+        if !first {
             out.push(',');
         }
-        let (ph, tid) = match event.phase {
-            Phase::Begin => ("B", event.tid),
-            Phase::End => ("E", event.tid),
-            Phase::Complete => ("X", event.tid + COMPLETE_LANE_OFFSET),
-        };
+        first = false;
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"cat\":\"sram\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3}",
-            escape(event.name),
-            event.t_ns as f64 / 1e3,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(label),
         );
-        if event.phase == Phase::Complete {
-            let _ = write!(out, ",\"dur\":{:.3}", event.dur_ns as f64 / 1e3);
-        }
-        let mut wrote_args = false;
-        if event.id != 0 {
-            let _ = write!(out, ",\"args\":{{\"span\":{}", event.id);
-            wrote_args = true;
-            if event.parent != 0 {
-                let _ = write!(out, ",\"parent\":{}", event.parent);
+        for event in *events {
+            out.push(',');
+            let (ph, tid) = match event.phase {
+                Phase::Begin => ("B", event.tid),
+                Phase::End => ("E", event.tid),
+                Phase::Complete => ("X", event.tid + COMPLETE_LANE_OFFSET),
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"sram\",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3}",
+                escape(event.name),
+                event.t_ns as f64 / 1e3,
+            );
+            if event.phase == Phase::Complete {
+                let _ = write!(out, ",\"dur\":{:.3}", event.dur_ns as f64 / 1e3);
             }
-        }
-        for (key, value) in &event.args {
-            if !wrote_args {
-                out.push_str(",\"args\":{");
+            let mut wrote_args = false;
+            if event.id != 0 {
+                let _ = write!(out, ",\"args\":{{\"span\":{}", event.id);
                 wrote_args = true;
-                let _ = write!(out, "\"{}\":{value}", escape(key));
-            } else {
-                let _ = write!(out, ",\"{}\":{value}", escape(key));
+                if event.parent != 0 {
+                    let _ = write!(out, ",\"parent\":{}", event.parent);
+                }
             }
-        }
-        if wrote_args {
+            for (key, value) in &event.args {
+                if !wrote_args {
+                    out.push_str(",\"args\":{");
+                    wrote_args = true;
+                    let _ = write!(out, "\"{}\":{value}", escape(key));
+                } else {
+                    let _ = write!(out, ",\"{}\":{value}", escape(key));
+                }
+            }
+            if wrote_args {
+                out.push('}');
+            }
             out.push('}');
         }
-        out.push('}');
     }
     out.push_str("]}");
     out
@@ -1379,5 +1487,85 @@ mod tests {
         let slots = ring_slots();
         assert!(slots.is_power_of_two());
         assert!((MIN_SLOTS..=MAX_SLOTS).contains(&slots));
+    }
+
+    #[test]
+    fn trace_ctx_round_trips_through_the_wire_form() {
+        for ctx in [
+            TraceCtx {
+                trace_id: 0xdead_beef_cafe_0001,
+                parent_span: 42,
+                sampled: true,
+            },
+            TraceCtx {
+                trace_id: 1,
+                parent_span: u64::MAX,
+                sampled: false,
+            },
+        ] {
+            let wire = ctx.encode();
+            assert_eq!(TraceCtx::parse(&wire), Some(ctx), "{wire}");
+        }
+        let wire = TraceCtx {
+            trace_id: 0xabc,
+            parent_span: 7,
+            sampled: true,
+        }
+        .encode();
+        assert_eq!(wire, "00-0000000000000abc-0000000000000007-01");
+    }
+
+    #[test]
+    fn trace_ctx_rejects_malformed_input() {
+        for bad in [
+            "",
+            "00-0000000000000abc-0000000000000007", // missing flags
+            "01-0000000000000abc-0000000000000007-01", // wrong version
+            "00-0000000000000abc-0000000000000007-02", // unknown flag
+            "00-0000000000000abc-0000000000000007-01-00", // extra field
+            "00-abc-0000000000000007-01",           // short trace id
+            "00-0000000000000abc-00000000000000zz-01", // non-hex
+        ] {
+            assert_eq!(TraceCtx::parse(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn trace_id_is_deterministic_and_nonzero() {
+        let _guard = serial();
+        let (rate, seed) = sampling();
+        set_sampling(rate, DEFAULT_SAMPLE_SEED);
+        let a = trace_id(7);
+        assert_eq!(a, trace_id(7), "same key, same seed → same id");
+        assert_ne!(a, trace_id(8));
+        assert_ne!(a, 0);
+        // Distinct from the sampling hash stream for the same key.
+        assert_ne!(a, splitmix64(DEFAULT_SAMPLE_SEED ^ 7));
+        set_sampling(rate, seed);
+    }
+
+    #[test]
+    fn labeled_chrome_export_gives_each_source_its_own_pid() {
+        let _guard = serial();
+        let force = force();
+        clear();
+        {
+            let _span = crate::trace_span!("test.labeled_export");
+        }
+        let events: Vec<TraceEvent> = capture()
+            .into_iter()
+            .filter(|e| e.name == "test.labeled_export")
+            .collect();
+        drop(force);
+        let json = chrome_trace_json_labeled(&[(1, "router", &events), (2, "node-0", &events)]);
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("\"args\":{\"name\":\"router\"}"), "{json}");
+        assert!(json.contains("\"args\":{\"name\":\"node-0\"}"), "{json}");
+        assert!(json.contains("\"pid\":2"), "{json}");
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count(), "{json}");
+        // The single-source path still pins everything to pid 1.
+        let solo = chrome_trace_json(&events);
+        assert!(!solo.contains("\"pid\":2"), "{solo}");
     }
 }

@@ -581,6 +581,22 @@ impl Engine {
             .quantiles
             .iter()
             .map(|(name, q)| {
+                // The sparse bucket array rides along with the summary
+                // so a federation collector can rebuild the histogram
+                // and merge it across nodes losslessly, instead of
+                // averaging per-node percentiles.
+                let buckets = export
+                    .quantile_buckets
+                    .get(name)
+                    .map(|snap| {
+                        snap.buckets
+                            .iter()
+                            .map(|&(idx, count)| {
+                                Json::Arr(vec![Json::Num(f64::from(idx)), Json::Num(count as f64)])
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
                 (
                     (*name).to_string(),
                     Json::Obj(vec![
@@ -589,6 +605,7 @@ impl Engine {
                         ("p50".into(), Json::Num(q.p50)),
                         ("p90".into(), Json::Num(q.p90)),
                         ("p99".into(), Json::Num(q.p99)),
+                        ("buckets".into(), Json::Arr(buckets)),
                     ]),
                 )
             })

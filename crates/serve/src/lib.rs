@@ -34,11 +34,15 @@
 //! `ok|degraded|unhealthy` verdict with reasons: worker liveness,
 //! queue pressure, windowed expiry/reject rates, and per-op SLO burn —
 //! the contract a cluster router polls). Envelope fields `id`
-//! (echoed), `deadline_ms` (per-request budget), and `trace` (when
+//! (echoed), `deadline_ms` (per-request budget), `trace` (when
 //! `true`, the response carries the request's span tree inline under
 //! `"trace"`: parse → queue wait → characterize/execute → respond;
 //! under `SRAM_TRACE_SAMPLE` < 1 only a seeded, deterministic fraction
-//! of traced roots actually record) are
+//! of traced roots actually record), and `trace_ctx` (a propagated
+//! `00-<trace id>-<parent span>-<01|00>` context from an upstream
+//! router: its flag byte overrides local sampling, and the node's
+//! `serve.request` root adopts the remote parent so cross-process
+//! trees stitch into one timeline) are
 //! accepted on every op. Error replies carry `"status":"error"`,
 //! `"busy"` (queue full — retry), `"deadline_exceeded"`,
 //! `"shutting_down"`, or `"internal"` (a worker panicked mid-request;

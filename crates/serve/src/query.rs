@@ -2,12 +2,15 @@
 //! keys, and the batching key.
 //!
 //! Every request line is an object with an `"op"` field naming one of
-//! the query kinds, the kind's own fields, and three optional envelope
+//! the query kinds, the kind's own fields, and four optional envelope
 //! fields: `"id"` (echoed verbatim in the response), `"deadline_ms"`
-//! (per-request budget), and `"trace"` (when `true`, the response
-//! carries the request's span tree inline). Unknown fields are rejected —
-//! a misspelled parameter silently falling back to a default is the
-//! worst failure mode a query service can have.
+//! (per-request budget), `"trace"` (when `true`, the response carries
+//! the request's span tree inline), and `"trace_ctx"` (a propagated
+//! [`TraceCtx`] in its `00-<trace id>-<parent span>-<flags>` wire form;
+//! when present its sampling flag overrides local sampling and the
+//! server re-roots its span tree under the remote parent). Unknown
+//! fields are rejected — a misspelled parameter silently falling back
+//! to a default is the worst failure mode a query service can have.
 //!
 //! Two queries that differ only in field order (or envelope fields)
 //! must hit the same cache entry, so the cache key is derived from a
@@ -19,6 +22,7 @@ use sram_coopt::{
     DelayOnly, EnergyDelayProduct, EnergyDelaySquared, EnergyOnly, Method, Objective,
 };
 use sram_device::VtFlavor;
+use sram_probe::trace::TraceCtx;
 
 /// Largest accepted capacity (64 MiB) — guards the exhaustive search
 /// from absurd requests.
@@ -158,6 +162,11 @@ pub struct Request {
     /// When `true`, the server traces this request and inlines its span
     /// tree in the response under `"trace"`.
     pub trace: bool,
+    /// Propagated trace context from an upstream caller (a router).
+    /// When present, its sampling decision governs tracing (the local
+    /// `trace` flag and sampler are bypassed) and the server's
+    /// `serve.request` root adopts the context's parent span.
+    pub trace_ctx: Option<TraceCtx>,
     /// The validated query.
     pub query: Query,
 }
@@ -253,7 +262,7 @@ impl<'a> Fields<'a> {
 }
 
 /// Envelope fields accepted on every op.
-const ENVELOPE: [&str; 4] = ["op", "id", "deadline_ms", "trace"];
+const ENVELOPE: [&str; 5] = ["op", "id", "deadline_ms", "trace", "trace_ctx"];
 
 fn capacity_field(fields: &Fields<'_>) -> Result<u64, ServeError> {
     let bytes = fields.u64_field("capacity_bytes")?;
@@ -308,6 +317,19 @@ impl Request {
             Some(v) => v
                 .as_bool()
                 .ok_or_else(|| ServeError::InvalidQuery("trace must be a boolean".into()))?,
+        };
+        let trace_ctx = match fields.get("trace_ctx") {
+            None => None,
+            Some(v) => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| ServeError::InvalidQuery("trace_ctx must be a string".into()))?;
+                Some(TraceCtx::parse(s).ok_or_else(|| {
+                    ServeError::InvalidQuery(format!(
+                        "trace_ctx must be 00-<16 hex>-<16 hex>-<01|00>, got {s:?}"
+                    ))
+                })?)
+            }
         };
 
         let op = fields.str_field("op")?;
@@ -411,6 +433,7 @@ impl Request {
             id,
             deadline_ms,
             trace,
+            trace_ctx,
             query,
         })
     }
@@ -427,6 +450,9 @@ impl Request {
         }
         if self.trace {
             pairs.push(("trace".into(), Json::Bool(true)));
+        }
+        if let Some(ctx) = &self.trace_ctx {
+            pairs.push(("trace_ctx".into(), Json::Str(ctx.encode())));
         }
         let num = |v: f64| Json::Num(v);
         match &self.query {
@@ -774,6 +800,43 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("trace must be a boolean"), "{err}");
+    }
+
+    #[test]
+    fn trace_ctx_round_trips_through_the_wire_codec() {
+        let ctx = TraceCtx {
+            trace_id: 0x1234_5678_9abc_def0,
+            parent_span: 99,
+            sampled: true,
+        };
+        let line = format!(
+            r#"{{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2","trace_ctx":"{}"}}"#,
+            ctx.encode()
+        );
+        let r = Request::from_line(&line).unwrap();
+        assert_eq!(r.trace_ctx, Some(ctx));
+        let back = Request::from_line(&r.to_json().render()).unwrap();
+        assert_eq!(back, r);
+        // The sampled=false flag survives the round trip too.
+        let off = TraceCtx {
+            sampled: false,
+            ..ctx
+        };
+        let mut unsampled = r.clone();
+        unsampled.trace_ctx = Some(off);
+        let back = Request::from_line(&unsampled.to_json().render()).unwrap();
+        assert_eq!(back.trace_ctx, Some(off));
+    }
+
+    #[test]
+    fn malformed_trace_ctx_is_rejected() {
+        for ctx in [r#""garbage""#, r#""01-00-00-01""#, "17", "true"] {
+            let line = format!(r#"{{"op":"stats","trace_ctx":{ctx}}}"#);
+            assert!(
+                matches!(Request::from_line(&line), Err(ServeError::InvalidQuery(_))),
+                "should reject trace_ctx {ctx}"
+            );
+        }
     }
 
     #[test]

@@ -494,11 +494,23 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
     // requests pass through per-root sampling: at `SRAM_TRACE_SAMPLE`
     // below 1, only a seeded, deterministic fraction of roots force
     // tracing on, so a loaded node keeps representative traces without
-    // ring pressure.
-    let sampled = if request.trace {
-        sram_probe::trace::sample(REQUEST_KEY.fetch_add(1, Ordering::Relaxed))
-    } else {
-        None
+    // ring pressure. A propagated `trace_ctx` overrides both: the
+    // upstream caller already made the sampling decision (once per
+    // distributed trace), so `sampled: false` short-circuits tracing
+    // entirely and `sampled: true` forces it on and re-roots our
+    // `serve.request` span under the caller's parent span id.
+    let trace_ctx = request.trace_ctx;
+    let (sampled, _adopt) = match trace_ctx {
+        Some(ctx) if ctx.sampled => (
+            Some(sram_probe::trace::force()),
+            Some(sram_probe::trace::adopt_parent(ctx.parent_span)),
+        ),
+        Some(_) => (None, None),
+        None if request.trace => (
+            sram_probe::trace::sample(REQUEST_KEY.fetch_add(1, Ordering::Relaxed)),
+            None,
+        ),
+        None => (None, None),
     };
     let root = if sampled.is_some() {
         sram_probe::trace::span_at("serve.request", t_parse)
@@ -554,7 +566,24 @@ fn serve_line(line: &str, shutdown: &AtomicBool, queue: &JobQueue) -> Json {
         let events = sram_probe::trace::capture();
         if let Some(tree) = sram_probe::trace::span_tree(&events, root_id) {
             if let Json::Obj(pairs) = &mut response {
-                pairs.push(("trace".into(), crate::engine::trace_json(&tree)));
+                let mut tree_json = crate::engine::trace_json(&tree);
+                if let (Some(ctx), Json::Obj(tree_pairs)) = (trace_ctx, &mut tree_json) {
+                    // Stamp the distributed identity on the returned
+                    // root so the caller can stitch without guessing.
+                    // `parent_span` is read back from the root's begin
+                    // event, not echoed from the request, so it proves
+                    // the adoption actually re-rooted the tree.
+                    let adopted = events
+                        .iter()
+                        .find(|e| e.id == root_id && e.phase == sram_probe::trace::Phase::Begin)
+                        .map_or(0, |e| e.parent);
+                    tree_pairs.push((
+                        "trace_id".into(),
+                        Json::Str(format!("{:016x}", ctx.trace_id)),
+                    ));
+                    tree_pairs.push(("parent_span".into(), Json::Num(adopted as f64)));
+                }
+                pairs.push(("trace".into(), tree_json));
             }
         }
     }

@@ -159,6 +159,60 @@ fn traced_request_over_tcp_carries_the_full_span_tree() {
     server.shutdown();
 }
 
+#[test]
+fn propagated_trace_ctx_reroots_the_tree_and_honors_remote_sampling() {
+    let server = Server::start(engine(), ServerConfig::default()).expect("server binds");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    // sampled=true: the node forces tracing on (no local `trace` flag
+    // needed) and its `serve.request` root adopts the remote parent.
+    let resp = client
+        .call_line(
+            r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2","trace_ctx":"00-00000000deadbeef-0000000000000042-01"}"#,
+        )
+        .expect("traced call succeeds");
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{}",
+        resp.render()
+    );
+    let tree = resp.get("trace").expect("sampled ctx forces a tree");
+    assert_eq!(
+        tree.get("name").and_then(Json::as_str),
+        Some("serve.request")
+    );
+    assert_eq!(
+        tree.get("trace_id").and_then(Json::as_str),
+        Some("00000000deadbeef")
+    );
+    // The parent is read back from the root span's begin event, so this
+    // asserts the tree actually re-rooted under the remote span id.
+    assert_eq!(
+        tree.get("parent_span").and_then(Json::as_u64),
+        Some(0x42),
+        "{}",
+        tree.render()
+    );
+
+    // sampled=false: the remote decision short-circuits tracing even
+    // when the local trace flag asks for it.
+    let off = client
+        .call_line(
+            r#"{"op":"optimize","capacity_bytes":1024,"flavor":"hvt","method":"m2","trace":true,"trace_ctx":"00-00000000deadbeef-0000000000000042-00"}"#,
+        )
+        .expect("unsampled call succeeds");
+    assert_eq!(off.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(
+        off.get("trace").is_none(),
+        "sampled=false must suppress the tree: {}",
+        off.render()
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
 fn collect_names<'j>(node: &'j Json, out: &mut Vec<&'j str>) {
     if let Some(name) = node.get("name").and_then(Json::as_str) {
         out.push(name);
